@@ -1,0 +1,198 @@
+package repro
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation (see EXPERIMENTS.md for full-scale paper-vs-measured
+// numbers). Each BenchmarkFigureN runs that figure's experiment at a
+// reduced instruction budget per iteration and reports the headline
+// metric via b.ReportMetric, so
+//
+//	go test -bench=Figure -benchmem
+//
+// both times the experiment machinery and prints the reproduced values.
+// Full-scale tables come from: go run ./cmd/experiments -figure all.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// benchBudget keeps each figure iteration to a few hundred milliseconds.
+const (
+	benchWarm    = 150_000
+	benchMeasure = 300_000
+)
+
+func benchEngine() *sim.Engine {
+	return sim.NewEngine(benchWarm, benchMeasure, 1)
+}
+
+func db() sim.Workload { return sim.Workload{Name: "DB", Apps: []string{"DB"}} }
+
+// BenchmarkFigure1 regenerates the I-cache geometry study and reports
+// the default-configuration DB miss rate (% per instruction).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		r := e.MustRun(sim.RunSpec{Workload: db(), Cores: 1, Scheme: "none",
+			L1I: cache.Config{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64}})
+		small := e.MustRun(sim.RunSpec{Workload: db(), Cores: 1, Scheme: "none",
+			L1I: cache.Config{SizeBytes: 16 << 10, Assoc: 4, LineBytes: 64}})
+		def := 100 * r.Total.L1I.PerInstr(r.Total.Instructions)
+		b.ReportMetric(def, "L1Imiss%/instr")
+		b.ReportMetric(100*small.Total.L1I.PerInstr(small.Total.Instructions)/def, "16KB/32KB")
+	}
+}
+
+// BenchmarkFigure2 regenerates the L2 instruction miss-rate study and
+// reports the CMP-vs-single-core ratio for DB at 2 MB.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		one := e.MustRun(sim.RunSpec{Workload: db(), Cores: 1, Scheme: "none"})
+		four := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none"})
+		r1 := one.Total.L2I.PerInstr(one.Total.Instructions)
+		r4 := four.Total.L2I.PerInstr(four.Total.Instructions)
+		b.ReportMetric(100*r4, "cmpL2I%/instr")
+		if r1 > 0 {
+			b.ReportMetric(r4/r1, "cmp/single")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the miss-breakdown study and reports the
+// sequential share of DB's L1-I misses (paper: 40-60%).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		r := e.MustRun(sim.RunSpec{Workload: db(), Cores: 1, Scheme: "none"})
+		b.ReportMetric(100*r.Total.L1IMissBreakdown.SuperFraction(isa.SuperSequential), "seq%")
+		b.ReportMetric(100*r.Total.L1IMissBreakdown.SuperFraction(isa.SuperBranch), "branch%")
+		b.ReportMetric(100*r.Total.L1IMissBreakdown.SuperFraction(isa.SuperFunction), "function%")
+	}
+}
+
+// BenchmarkFigure4 regenerates the limits study and reports the speedup
+// from eliminating all instruction misses on the DB CMP.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		base := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none"})
+		var oracle [isa.NumSuperCategories]bool
+		oracle[isa.SuperSequential] = true
+		oracle[isa.SuperBranch] = true
+		oracle[isa.SuperFunction] = true
+		all := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none", Oracle: oracle})
+		b.ReportMetric(all.Total.IPC()/base.Total.IPC(), "oracleSpeedupX")
+	}
+}
+
+// BenchmarkFigure5 regenerates the miss-rate study and reports the
+// discontinuity prefetcher's normalized residual L1-I miss rate on DB.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		base := e.MustRun(sim.RunSpec{Workload: db(), Cores: 1, Scheme: "none"})
+		disc := e.MustRun(sim.RunSpec{Workload: db(), Cores: 1, Scheme: "discontinuity"})
+		b.ReportMetric(float64(disc.Total.L1I.Misses)/float64(base.Total.L1I.Misses), "residualL1I")
+		b.ReportMetric(float64(disc.Total.L2I.Misses)/float64(base.Total.L2I.Misses), "residualL2I")
+	}
+}
+
+// BenchmarkFigure6 reports the conventional-install (polluting) speedup
+// of the discontinuity prefetcher on the DB CMP.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		base := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none"})
+		disc := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discontinuity"})
+		b.ReportMetric(disc.Total.IPC()/base.Total.IPC(), "speedupX")
+	}
+}
+
+// BenchmarkFigure7 reports the L2 data-miss inflation caused by
+// conventional prefetch installs on the DB CMP.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		base := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none"})
+		disc := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discontinuity"})
+		b.ReportMetric(float64(disc.Total.L2D.Misses)/float64(base.Total.L2D.Misses), "L2DinflationX")
+	}
+}
+
+// BenchmarkFigure8 reports the bypass-install speedup of the
+// discontinuity prefetcher on the DB CMP (the paper's headline result).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		base := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none"})
+		disc := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discontinuity", Bypass: true})
+		b.ReportMetric(disc.Total.IPC()/base.Total.IPC(), "speedupX")
+	}
+}
+
+// BenchmarkFigure9 reports prefetch accuracy of the 4-line and 2-line
+// discontinuity variants on the DB CMP.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		d4 := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discontinuity", Bypass: true})
+		d2 := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discont-2nl", Bypass: true})
+		b.ReportMetric(100*d4.Total.Prefetch.Accuracy(), "acc4nl%")
+		b.ReportMetric(100*d2.Total.Prefetch.Accuracy(), "acc2nl%")
+	}
+}
+
+// BenchmarkFigure10 reports L1 miss coverage at 8192- and 256-entry
+// discontinuity tables on the DB CMP.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchEngine()
+		base := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "none"})
+		big := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discontinuity", Bypass: true, TableEntries: 8192})
+		small := e.MustRun(sim.RunSpec{Workload: db(), Cores: 4, Scheme: "discontinuity", Bypass: true, TableEntries: 256})
+		cov := func(r sim.Result) float64 {
+			return 100 * (1 - float64(r.Total.L1I.Misses)/float64(base.Total.L1I.Misses))
+		}
+		b.ReportMetric(cov(big), "cov8192%")
+		b.ReportMetric(cov(small), "cov256%")
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed
+// (instructions simulated per second) on the paper's headline
+// configuration.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	m, err := NewMachine(MachineConfig{
+		Cores: 4, Workloads: []string{"DB"},
+		Prefetcher: PrefetcherDiscontinuity, BypassL2: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(10_000)
+	}
+	b.ReportMetric(float64(b.N*10_000*4)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkWorkloadGeneration measures block-stream generation alone.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for _, app := range WorkloadNames() {
+		b.Run(app, func(b *testing.B) {
+			var buf discard
+			if err := RecordTrace(&buf, app, 1, uint64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+type discard struct{ n int }
+
+func (d *discard) Write(p []byte) (int, error) { d.n += len(p); return len(p), nil }

@@ -1,0 +1,139 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (1-10) as a paper-style table, plus ablations beyond the paper.
+//
+// Usage:
+//
+//	experiments [-figure 1|2|...|10|a1..a10|all] [-n instrs] [-warm instrs]
+//	            [-seed n] [-csv] [-md] [-o dir] [-v] [-parallel=false]
+//
+// Instruction budgets are per core. The defaults run every figure in a
+// few minutes on a laptop; raise -n for tighter numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+var (
+	figure   = flag.String("figure", "all", "figure to reproduce: 1-10, a1-a10, or 'all'")
+	measure  = flag.Uint64("n", 3_000_000, "measured instructions per core")
+	warm     = flag.Uint64("warm", 1_500_000, "warm-up instructions per core")
+	seed     = flag.Uint64("seed", 1, "workload seed")
+	csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	mdOut    = flag.Bool("md", false, "emit markdown tables")
+	outDir   = flag.String("o", "", "also write each table as a CSV file into this directory")
+	verbose  = flag.Bool("v", false, "log each simulation run")
+	parallel = flag.Bool("parallel", true, "pre-run simulations concurrently")
+)
+
+func main() {
+	flag.Parse()
+	e := sim.NewEngine(*warm, *measure, *seed)
+	if *verbose {
+		e.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	want := strings.Split(*figure, ",")
+	matched := false
+	start := time.Now()
+	// Pre-warm the full matrix concurrently when regenerating everything;
+	// single figures warm implicitly through memoisation.
+	if *parallel && selected(want, "all") {
+		if err := e.WarmAll(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, fig := range e.Figures() {
+		if !selected(want, fig.ID) {
+			continue
+		}
+		matched = true
+		t0 := time.Now()
+		tables := fig.Run()
+		for _, t := range tables {
+			emit(t)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "figure %s done in %s\n", fig.ID, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	for _, abl := range e.Ablations() {
+		if !selected(want, abl.ID) {
+			continue
+		}
+		matched = true
+		for _, t := range abl.Run() {
+			emit(t)
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1-10, a1-a10 or all)\n", *figure)
+		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "total %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func selected(want []string, id string) bool {
+	for _, w := range want {
+		w = strings.TrimSpace(w)
+		if w == "all" || w == id {
+			return true
+		}
+	}
+	return false
+}
+
+func emit(t *stats.Table) {
+	if *outDir != "" {
+		if err := writeCSVFile(t); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *csvOut:
+		t.CSV(os.Stdout)
+	case *mdOut:
+		t.Markdown(os.Stdout)
+	default:
+		t.Render(os.Stdout)
+	}
+	fmt.Println()
+}
+
+// writeCSVFile stores the table as <outDir>/<slug-of-title>.csv.
+func writeCSVFile(t *stats.Table) error {
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	slug := make([]rune, 0, len(t.Title))
+	for _, r := range strings.ToLower(t.Title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			slug = append(slug, r)
+		case r == ' ' || r == '-' || r == '_' || r == '(' || r == ')':
+			if len(slug) > 0 && slug[len(slug)-1] != '-' {
+				slug = append(slug, '-')
+			}
+		}
+	}
+	name := strings.Trim(string(slug), "-") + ".csv"
+	f, err := os.Create(filepath.Join(*outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.CSV(f)
+	return nil
+}

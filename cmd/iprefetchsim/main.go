@@ -1,0 +1,129 @@
+// Command iprefetchsim runs one simulation of the paper's machine and
+// prints its metrics.
+//
+// Usage:
+//
+//	iprefetchsim [-cores n] [-apps DB,TPC-W,...] [-prefetcher scheme]
+//	             [-bypass] [-table entries] [-l1i bytes] [-l2 bytes]
+//	             [-n instrs] [-warm instrs] [-seed n] [-breakdown]
+//
+// Examples:
+//
+//	# Paper's headline configuration: 4-way CMP, discontinuity
+//	# prefetcher with the L2-bypass install policy.
+//	iprefetchsim -cores 4 -apps DB -prefetcher discontinuity -bypass
+//
+//	# Multiprogrammed mix, no prefetching (baseline).
+//	iprefetchsim -cores 4 -apps DB,TPC-W,jApp,Web
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+var (
+	cores      = flag.Int("cores", 1, "number of cores (1 = private L2, >1 = shared)")
+	apps       = flag.String("apps", "DB", "comma-separated workloads, cycled across cores")
+	prefetcher = flag.String("prefetcher", "none", "prefetch scheme (none, nl-miss, nl-tagged, n4l-tagged, discontinuity, discont-2nl, ...)")
+	bypass     = flag.Bool("bypass", false, "prefetches bypass the L2 until proven useful (paper Section 7)")
+	table      = flag.Int("table", 0, "discontinuity table entries (0 = default 8192)")
+	l1iBytes   = flag.Int("l1i", 0, "L1-I size in bytes (0 = 32KB default)")
+	l2Bytes    = flag.Int("l2", 0, "L2 size in bytes (0 = 2MB default)")
+	measure    = flag.Uint64("n", 5_000_000, "measured instructions per core")
+	warm       = flag.Uint64("warm", 2_000_000, "warm-up instructions per core")
+	seed       = flag.Uint64("seed", 1, "workload seed")
+	breakdown  = flag.Bool("breakdown", false, "print the L1-I miss breakdown by category")
+	perCore    = flag.Bool("percore", false, "print per-core metrics")
+	cpiStack   = flag.Bool("cpistack", false, "print the CPI attribution stack")
+	writebacks = flag.Bool("writebacks", false, "model dirty write-back traffic")
+	jsonOut    = flag.Bool("json", false, "emit metrics as JSON")
+)
+
+func main() {
+	flag.Parse()
+	cfg := repro.MachineConfig{
+		Cores:                     *cores,
+		Workloads:                 strings.Split(*apps, ","),
+		Prefetcher:                *prefetcher,
+		BypassL2:                  *bypass,
+		DiscontinuityTableEntries: *table,
+		ModelWritebacks:           *writebacks,
+		Seed:                      *seed,
+	}
+	if *l1iBytes > 0 {
+		cfg.L1I = repro.CacheGeometry{SizeBytes: *l1iBytes, Assoc: 4, LineBytes: 64}
+	}
+	if *l2Bytes > 0 {
+		cfg.L2 = repro.CacheGeometry{SizeBytes: *l2Bytes, Assoc: 4, LineBytes: 64}
+	}
+	m, err := repro.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m.Run(*warm)
+	m.ResetStats()
+	m.Run(*measure)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	printMetrics("chip", m.Metrics())
+	if *perCore {
+		for i := 0; i < *cores; i++ {
+			cm, err := m.CoreMetrics(i)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			printMetrics(fmt.Sprintf("core %d", i), cm)
+		}
+	}
+}
+
+func printMetrics(label string, g repro.Metrics) {
+	fmt.Printf("[%s]\n", label)
+	fmt.Printf("  instructions     %d\n", g.Instructions)
+	fmt.Printf("  cycles           %d\n", g.Cycles)
+	fmt.Printf("  IPC              %.4f\n", g.IPC)
+	fmt.Printf("  L1-I miss/instr  %.4f%%\n", 100*g.L1IMissPerInstr)
+	fmt.Printf("  L2-I miss/instr  %.4f%%\n", 100*g.L2IMissPerInstr)
+	fmt.Printf("  L2-D miss/instr  %.4f%%\n", 100*g.L2DMissPerInstr)
+	fmt.Printf("  bpred mispredict %.2f%%\n", 100*g.BranchMispredictRate)
+	if *cpiStack {
+		total := float64(g.Cycles) / float64(g.Instructions)
+		rest := total - g.FetchStallCPI - g.DataStallCPI - g.BpredStallCPI
+		fmt.Printf("  CPI stack        %.3f total = fetch %.3f + data %.3f + bpred %.3f + issue/other %.3f\n",
+			total, g.FetchStallCPI, g.DataStallCPI, g.BpredStallCPI, rest)
+	}
+	if g.PrefetchIssued > 0 {
+		fmt.Printf("  prefetch issued  %d\n", g.PrefetchIssued)
+		fmt.Printf("  prefetch useful  %d (accuracy %.1f%%)\n", g.PrefetchUseful, 100*g.PrefetchAccuracy)
+	}
+	if *breakdown {
+		fmt.Printf("  L1-I miss breakdown:\n")
+		keys := make([]string, 0, len(g.MissBreakdown))
+		for k := range g.MissBreakdown {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return g.MissBreakdown[keys[i]] > g.MissBreakdown[keys[j]] })
+		for _, k := range keys {
+			if g.MissBreakdown[k] > 0 {
+				fmt.Printf("    %-16s %.1f%%\n", k, 100*g.MissBreakdown[k])
+			}
+		}
+	}
+}

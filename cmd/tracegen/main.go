@@ -1,0 +1,142 @@
+// Command tracegen records, inspects and validates basic-block traces of
+// the built-in workloads (the library's stand-in for the paper's
+// trace-driven methodology).
+//
+// Usage:
+//
+//	tracegen record  -app DB -n 1000000 -seed 1 -o db.trc
+//	tracegen stats   -i db.trc
+//	tracegen analyze -app DB -n 1000000   # footprint/reuse/discontinuity study
+//	tracegen analyze -i db.trc            # same, over a recorded trace
+//	tracegen list                         # list built-in workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
+	case "analyze":
+		analyzeCmd(os.Args[2:])
+	case "list":
+		list()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracegen record|stats|analyze|list [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	app := fs.String("app", "DB", "workload name")
+	n := fs.Uint64("n", 1_000_000, "number of basic blocks to record")
+	seed := fs.Uint64("seed", 1, "stream seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := repro.RecordTrace(w, *app, *seed, *n); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d blocks of %s\n", *n, *app)
+}
+
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (default stdin)")
+	fs.Parse(args)
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	st, err := repro.ReadTraceStats(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload      %s\n", st.Workload)
+	fmt.Printf("blocks        %d\n", st.Blocks)
+	fmt.Printf("instructions  %d\n", st.Instructions)
+	fmt.Printf("memops        %d (%.3f per instruction)\n", st.MemOps,
+		float64(st.MemOps)/float64(st.Instructions))
+	fmt.Printf("CTI mix:\n")
+	keys := make([]string, 0, len(st.CTIMix))
+	for k := range st.CTIMix {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return st.CTIMix[keys[i]] > st.CTIMix[keys[j]] })
+	for _, k := range keys {
+		fmt.Printf("  %-16s %.2f%%\n", k, 100*st.CTIMix[k])
+	}
+}
+
+func analyzeCmd(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	app := fs.String("app", "", "workload name to analyze live (mutually exclusive with -i)")
+	in := fs.String("i", "", "recorded trace to analyze")
+	n := fs.Uint64("n", 1_000_000, "blocks to analyze (live mode)")
+	seed := fs.Uint64("seed", 1, "stream seed (live mode)")
+	fs.Parse(args)
+
+	switch {
+	case *app != "" && *in != "":
+		fatal(fmt.Errorf("use either -app or -i, not both"))
+	case *app != "":
+		if err := repro.AnalyzeWorkload(os.Stdout, *app, *seed, *n); err != nil {
+			fatal(err)
+		}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := repro.AnalyzeTrace(os.Stdout, f); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("analyze needs -app or -i"))
+	}
+}
+
+func list() {
+	for _, w := range repro.Workloads() {
+		fmt.Printf("%-6s %5d functions, %.1f MB code — %s\n",
+			w.Name, w.Functions, float64(w.CodeBytes)/(1<<20), w.Description)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

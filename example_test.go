@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Build the paper's 4-way CMP running the database workload with the
+// discontinuity prefetcher and the L2-bypass install policy, and verify
+// prefetching eliminates most instruction misses.
+func Example() {
+	baseline, _ := repro.NewMachine(repro.MachineConfig{
+		Cores:     4,
+		Workloads: []string{"DB"},
+	})
+	baseline.Run(500_000)
+	baseline.ResetStats()
+	baseline.Run(500_000)
+
+	prefetched, _ := repro.NewMachine(repro.MachineConfig{
+		Cores:      4,
+		Workloads:  []string{"DB"},
+		Prefetcher: repro.PrefetcherDiscontinuity,
+		BypassL2:   true,
+	})
+	prefetched.Run(500_000)
+	prefetched.ResetStats()
+	prefetched.Run(500_000)
+
+	b, p := baseline.Metrics(), prefetched.Metrics()
+	fmt.Println("misses reduced:", p.L1IMissPerInstr < b.L1IMissPerInstr/2)
+	fmt.Println("faster:", p.IPC > b.IPC)
+	// Output:
+	// misses reduced: true
+	// faster: true
+}
+
+// List the built-in commercial workload models.
+func ExampleWorkloads() {
+	for _, w := range repro.Workloads() {
+		fmt.Println(w.Name)
+	}
+	// Output:
+	// DB
+	// TPC-W
+	// jApp
+	// Web
+}
+
+// Machines are deterministic: identical configurations and seeds give
+// bit-identical runs.
+func ExampleMachineConfig_determinism() {
+	run := func() uint64 {
+		m, _ := repro.NewMachine(repro.MachineConfig{Workloads: []string{"Web"}, Seed: 7})
+		m.Run(100_000)
+		return m.Metrics().Cycles
+	}
+	fmt.Println(run() == run())
+	// Output:
+	// true
+}

@@ -1,0 +1,55 @@
+// limits_study reproduces the paper's Figure 4 narrative via the public
+// API: how much performance is on the table if classes of instruction
+// misses could be eliminated perfectly — and how close the real
+// discontinuity prefetcher gets to that bound.
+//
+// Because the oracle lives below the public API, the upper bound here is
+// approximated by an "infinite L1-I" machine (a 16 MB instruction cache
+// swallows the entire footprint), which eliminates all L1 instruction
+// misses the way the Figure 4 oracle does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func measure(cfg repro.MachineConfig) repro.Metrics {
+	m, err := repro.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(1_000_000)
+	m.ResetStats()
+	m.Run(2_000_000)
+	return m.Metrics()
+}
+
+func main() {
+	apps := []string{"DB", "TPC-W", "jApp", "Web"}
+	fmt.Println("limits study: how much of the ideal gain does prefetching capture?")
+	fmt.Println("(4-way CMP; ideal = all instruction misses eliminated)")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "app", "baseline IPC", "ideal", "discontinuity", "captured")
+
+	for _, app := range apps {
+		base := measure(repro.MachineConfig{Cores: 4, Workloads: []string{app}})
+		ideal := measure(repro.MachineConfig{Cores: 4, Workloads: []string{app},
+			L1I: repro.CacheGeometry{SizeBytes: 16 << 20, Assoc: 4, LineBytes: 64}})
+		disc := measure(repro.MachineConfig{Cores: 4, Workloads: []string{app},
+			Prefetcher: repro.PrefetcherDiscontinuity, BypassL2: true})
+
+		idealX := ideal.IPC / base.IPC
+		discX := disc.IPC / base.IPC
+		captured := (discX - 1) / (idealX - 1)
+		fmt.Printf("%-8s %12.3f %11.2fx %12.2fx %9.0f%%\n",
+			app, base.IPC, idealX, discX, 100*captured)
+	}
+
+	fmt.Println()
+	fmt.Println("The gap between 'ideal' and 'discontinuity' is the paper's")
+	fmt.Println("Section 6 story: imperfect coverage, imperfect timeliness, and")
+	fmt.Println("the bandwidth cost of inaccurate prefetches.")
+}

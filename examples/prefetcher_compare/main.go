@@ -1,0 +1,72 @@
+// prefetcher_compare races every built-in instruction-prefetch scheme on
+// one workload (Figure 5/6-style study): per-scheme miss elimination,
+// accuracy and speedup over the no-prefetch baseline.
+//
+// Usage: prefetcher_compare [app]   (default jApp)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	app := "jApp"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+
+	schemes := []string{
+		repro.PrefetcherNone,
+		repro.PrefetcherNextLineOnMiss,
+		repro.PrefetcherNextLineTagged,
+		repro.PrefetcherNext4Tagged,
+		repro.PrefetcherLookahead4,
+		repro.PrefetcherTarget,
+		"markov",
+		"wrong-path",
+		repro.PrefetcherDiscont2NL,
+		repro.PrefetcherDiscontinuity,
+	}
+
+	fmt.Printf("prefetcher comparison on %s (4-way CMP, L2-bypass installs)\n\n", app)
+	fmt.Printf("%-16s %8s %10s %10s %10s %9s\n",
+		"scheme", "IPC", "L1-I miss", "L2-I miss", "accuracy", "speedup")
+
+	var baseIPC float64
+	for _, scheme := range schemes {
+		m, err := repro.NewMachine(repro.MachineConfig{
+			Cores:      4,
+			Workloads:  []string{app},
+			Prefetcher: scheme,
+			BypassL2:   scheme != repro.PrefetcherNone,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Run(1_000_000)
+		m.ResetStats()
+		m.Run(2_000_000)
+		g := m.Metrics()
+		if scheme == repro.PrefetcherNone {
+			baseIPC = g.IPC
+		}
+		acc := "-"
+		if g.PrefetchIssued > 0 {
+			acc = fmt.Sprintf("%.1f%%", 100*g.PrefetchAccuracy)
+		}
+		fmt.Printf("%-16s %8.3f %9.3f%% %9.4f%% %10s %8.3fx\n",
+			scheme, g.IPC, 100*g.L1IMissPerInstr, 100*g.L2IMissPerInstr,
+			acc, g.IPC/baseIPC)
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  - next-line schemes only cover sequential misses;")
+	fmt.Println("  - next-4-lines also catches short taken branches;")
+	fmt.Println("  - the discontinuity prefetcher adds calls and long branches,")
+	fmt.Println("    trading prefetch accuracy for the best miss coverage;")
+	fmt.Println("  - discont-2nl recovers accuracy at a small coverage cost.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: build the paper's 4-way CMP running the database
+// workload, compare no prefetching against the discontinuity prefetcher
+// with the L2-bypass install policy, and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func run(prefetcher string, bypass bool) repro.Metrics {
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Cores:      4,
+		Workloads:  []string{"DB"},
+		Prefetcher: prefetcher,
+		BypassL2:   bypass,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(1_000_000) // warm caches and predictors
+	m.ResetStats()
+	m.Run(2_000_000) // measure
+	return m.Metrics()
+}
+
+func main() {
+	fmt.Println("4-way CMP, database workload (HPCA'05 configuration)")
+	fmt.Println()
+
+	base := run(repro.PrefetcherNone, false)
+	fmt.Printf("no prefetch:    IPC %.3f   L1-I miss %.2f%%/instr   L2-I miss %.3f%%/instr\n",
+		base.IPC, 100*base.L1IMissPerInstr, 100*base.L2IMissPerInstr)
+
+	disc := run(repro.PrefetcherDiscontinuity, true)
+	fmt.Printf("discontinuity:  IPC %.3f   L1-I miss %.2f%%/instr   L2-I miss %.3f%%/instr\n",
+		disc.IPC, 100*disc.L1IMissPerInstr, 100*disc.L2IMissPerInstr)
+
+	fmt.Println()
+	fmt.Printf("speedup                 %.2fx\n", disc.IPC/base.IPC)
+	fmt.Printf("L1-I misses eliminated  %.0f%%\n", 100*(1-disc.L1IMissPerInstr/base.L1IMissPerInstr))
+	fmt.Printf("L2-I misses eliminated  %.0f%%\n", 100*(1-disc.L2IMissPerInstr/base.L2IMissPerInstr))
+	fmt.Printf("prefetch accuracy       %.0f%%\n", 100*disc.PrefetchAccuracy)
+}

@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ExperimentConfig sizes the experiment engine. Zero values take
+// interactive-scale defaults (1.5M warm + 3M measured instructions per
+// core).
+type ExperimentConfig struct {
+	// WarmInstrs and MeasureInstrs are per-core instruction budgets.
+	WarmInstrs    uint64
+	MeasureInstrs uint64
+	// Seed drives all workload streams. Default 1.
+	Seed uint64
+	// Verbose, when non-nil, receives one line per completed simulation.
+	Verbose func(string)
+}
+
+// Experiments reproduces the paper's evaluation figures. It memoises
+// simulation runs, so regenerating several figures shares baselines.
+type Experiments struct {
+	eng *sim.Engine
+}
+
+// NewExperiments builds an experiment engine.
+func NewExperiments(cfg ExperimentConfig) *Experiments {
+	if cfg.WarmInstrs == 0 {
+		cfg.WarmInstrs = 1_500_000
+	}
+	if cfg.MeasureInstrs == 0 {
+		cfg.MeasureInstrs = 3_000_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	eng := sim.NewEngine(cfg.WarmInstrs, cfg.MeasureInstrs, cfg.Seed)
+	eng.Verbose = cfg.Verbose
+	return &Experiments{eng: eng}
+}
+
+// Table is one paper-style result table.
+type Table struct {
+	t *stats.Table
+}
+
+// Title returns the table's caption.
+func (t Table) Title() string { return t.t.Title }
+
+// String renders the table as aligned text.
+func (t Table) String() string { return t.t.String() }
+
+// WriteCSV emits the table as CSV.
+func (t Table) WriteCSV(w io.Writer) { t.t.CSV(w) }
+
+// WriteMarkdown emits the table as GitHub-flavored markdown.
+func (t Table) WriteMarkdown(w io.Writer) { t.t.Markdown(w) }
+
+// Figure identifies one reproducible figure of the paper.
+type Figure struct {
+	// ID is "1".."10" for the paper's figures, "a1".."a10" for ablations.
+	ID string
+	// Name is a short description.
+	Name string
+	// Run executes the experiment and returns its tables.
+	Run func() []Table
+}
+
+// Figures returns the paper's ten evaluation figures in order.
+func (e *Experiments) Figures() []Figure {
+	var out []Figure
+	for _, f := range e.eng.Figures() {
+		run := f.Run
+		out = append(out, Figure{ID: f.ID, Name: f.Name, Run: func() []Table {
+			return wrapTables(run())
+		}})
+	}
+	return out
+}
+
+// Ablations returns the beyond-the-paper design-choice studies.
+func (e *Experiments) Ablations() []Figure {
+	var out []Figure
+	for _, f := range e.eng.Ablations() {
+		run := f.Run
+		out = append(out, Figure{ID: f.ID, Name: f.Name, Run: func() []Table {
+			return wrapTables(run())
+		}})
+	}
+	return out
+}
+
+// Figure returns the figure with the given id, or false.
+func (e *Experiments) Figure(id string) (Figure, bool) {
+	for _, f := range e.Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	for _, f := range e.Ablations() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+func wrapTables(ts []*stats.Table) []Table {
+	out := make([]Table, len(ts))
+	for i, t := range ts {
+		out[i] = Table{t: t}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package analysis characterises basic-block streams the way the
+// paper's Section 3 characterises its traces: instruction-footprint and
+// reuse behaviour, the control-transfer mix, and the discontinuity
+// structure the prefetchers depend on. cmd/tracegen exposes it as the
+// `analyze` subcommand, and the workload calibration tests use it to
+// keep the synthetic applications honest.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Profile accumulates statistics over a block stream.
+type Profile struct {
+	lineBytes int
+
+	Instructions uint64
+	Blocks       uint64
+
+	// CTICounts tallies block terminators.
+	CTICounts [isa.NumCTIKinds]uint64
+
+	// UniqueLines is the instruction footprint in distinct cache lines.
+	uniqueLines map[isa.Line]struct{}
+
+	// stack is an exact LRU stack over instruction lines for reuse
+	// (stack) distances; distances land in power-of-two buckets.
+	stack *lruStack
+	// ReuseBuckets[i] counts line references with stack distance in
+	// [2^i, 2^(i+1)); ColdRefs counts first-ever references.
+	ReuseBuckets [28]uint64
+	ColdRefs     uint64
+
+	// Discontinuities: cross-line transitions caused by flow-changing
+	// CTIs, bucketed by |target - trigger| line distance.
+	DiscBuckets [28]uint64
+	// DiscTargets maps trigger line -> distinct target lines seen, for
+	// the paper's "one target per trigger line" premise (Section 4).
+	discTargets map[isa.Line]map[isa.Line]struct{}
+
+	prevLine isa.Line
+	prevCTI  isa.CTIKind
+	started  bool
+}
+
+// NewProfile creates an analyser for the given line size.
+func NewProfile(lineBytes int) *Profile {
+	return &Profile{
+		lineBytes:   lineBytes,
+		uniqueLines: make(map[isa.Line]struct{}),
+		stack:       newLRUStack(),
+		discTargets: make(map[isa.Line]map[isa.Line]struct{}),
+	}
+}
+
+// Observe feeds one block.
+func (p *Profile) Observe(b *isa.Block) {
+	p.Blocks++
+	p.Instructions += uint64(b.NumInstrs)
+	p.CTICounts[b.CTI]++
+
+	first, last := b.Lines(p.lineBytes)
+	for l := first; l <= last; l++ {
+		if !p.started || l != p.prevLine {
+			p.touchLine(l)
+		}
+		p.prevLine = l
+		p.started = true
+	}
+
+	// Discontinuity structure.
+	if b.CTI.ChangesFlow() {
+		trigger := isa.LineOf(b.End()-1, p.lineBytes)
+		target := isa.LineOf(b.Target, p.lineBytes)
+		if trigger != target {
+			var dist uint64
+			if target > trigger {
+				dist = uint64(target - trigger)
+			} else {
+				dist = uint64(trigger - target)
+			}
+			p.DiscBuckets[bucketOf(dist)]++
+			m, ok := p.discTargets[trigger]
+			if !ok {
+				m = make(map[isa.Line]struct{}, 1)
+				p.discTargets[trigger] = m
+			}
+			m[target] = struct{}{}
+		}
+	}
+	p.prevCTI = b.CTI
+}
+
+func (p *Profile) touchLine(l isa.Line) {
+	if _, seen := p.uniqueLines[l]; !seen {
+		p.uniqueLines[l] = struct{}{}
+		p.ColdRefs++
+		p.stack.touch(l)
+		return
+	}
+	d := p.stack.touch(l)
+	p.ReuseBuckets[bucketOf(d)]++
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	if b >= 28 {
+		b = 27
+	}
+	return b
+}
+
+// FootprintBytes returns the instruction footprint in bytes.
+func (p *Profile) FootprintBytes() uint64 {
+	return uint64(len(p.uniqueLines)) * uint64(p.lineBytes)
+}
+
+// CTIFraction returns the share of blocks ending in kind k.
+func (p *Profile) CTIFraction(k isa.CTIKind) float64 {
+	if p.Blocks == 0 {
+		return 0
+	}
+	return float64(p.CTICounts[k]) / float64(p.Blocks)
+}
+
+// WorkingSetLines returns the number of distinct lines covering frac of
+// all warm (non-cold) line references — e.g. WorkingSetLines(0.9) is the
+// 90 % working set. It is derived from the stack-distance histogram: a
+// fully-associative LRU cache of that many lines would hit frac of warm
+// references.
+func (p *Profile) WorkingSetLines(frac float64) uint64 {
+	var total uint64
+	for _, c := range p.ReuseBuckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(frac * float64(total))
+	var cum uint64
+	for i, c := range p.ReuseBuckets {
+		cum += c
+		if cum >= want {
+			return uint64(1) << uint(i+1)
+		}
+	}
+	return uint64(1) << 28
+}
+
+// SingleTargetFraction returns the share of discontinuity trigger lines
+// with exactly one distinct target (the paper's table-design premise).
+func (p *Profile) SingleTargetFraction() float64 {
+	if len(p.discTargets) == 0 {
+		return 0
+	}
+	single := 0
+	for _, m := range p.discTargets {
+		if len(m) == 1 {
+			single++
+		}
+	}
+	return float64(single) / float64(len(p.discTargets))
+}
+
+// DistinctTriggers returns the number of distinct discontinuity trigger
+// lines observed — the discontinuity table's working set.
+func (p *Profile) DistinctTriggers() int { return len(p.discTargets) }
+
+// Report writes a human-readable summary.
+func (p *Profile) Report(w io.Writer) {
+	fmt.Fprintf(w, "instructions        %d\n", p.Instructions)
+	fmt.Fprintf(w, "blocks              %d (%.1f instr/block)\n", p.Blocks,
+		float64(p.Instructions)/float64(max(p.Blocks, 1)))
+	fmt.Fprintf(w, "footprint           %.2f MB (%d lines)\n",
+		float64(p.FootprintBytes())/(1<<20), len(p.uniqueLines))
+	fmt.Fprintf(w, "90%% working set     %.1f KB\n",
+		float64(p.WorkingSetLines(0.9)*uint64(p.lineBytes))/(1<<10))
+	fmt.Fprintf(w, "99%% working set     %.1f KB\n",
+		float64(p.WorkingSetLines(0.99)*uint64(p.lineBytes))/(1<<10))
+	fmt.Fprintf(w, "disc. triggers      %d lines (%.1f%% single-target)\n",
+		p.DistinctTriggers(), 100*p.SingleTargetFraction())
+
+	fmt.Fprintf(w, "CTI mix:\n")
+	type kv struct {
+		k isa.CTIKind
+		n uint64
+	}
+	var kinds []kv
+	for k := 0; k < isa.NumCTIKinds; k++ {
+		kinds = append(kinds, kv{isa.CTIKind(k), p.CTICounts[k]})
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].n > kinds[j].n })
+	for _, e := range kinds {
+		if e.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %5.2f%%\n", e.k, 100*float64(e.n)/float64(max(p.Blocks, 1)))
+	}
+
+	fmt.Fprintf(w, "line reuse distance (warm refs):\n")
+	var total uint64
+	for _, c := range p.ReuseBuckets {
+		total += c
+	}
+	for i, c := range p.ReuseBuckets {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  <%7d lines    %5.2f%%\n", uint64(1)<<uint(i+1),
+			100*float64(c)/float64(max(total, 1)))
+	}
+	fmt.Fprintf(w, "discontinuity distance:\n")
+	total = 0
+	for _, c := range p.DiscBuckets {
+		total += c
+	}
+	for i, c := range p.DiscBuckets {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  <%7d lines    %5.2f%%\n", uint64(1)<<uint(i+1),
+			100*float64(c)/float64(max(total, 1)))
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lruStack computes exact LRU stack distances (Mattson) in O(log n) per
+// reference: each reference occupies a monotonically increasing time
+// position, a Fenwick tree counts live positions, and a reference's
+// stack distance is the number of live positions after its previous
+// occurrence. The structure is rebuilt when mostly dead to bound memory.
+type lruStack struct {
+	pos  map[isa.Line]int // line -> its current (live) position
+	tree []uint32         // Fenwick tree over positions, 1-based
+	next int              // next position to assign
+	live int
+}
+
+func newLRUStack() *lruStack {
+	return &lruStack{pos: make(map[isa.Line]int), tree: make([]uint32, 1<<16)}
+}
+
+// touch records a reference to l, returning its stack distance (number
+// of distinct lines referenced since l's last reference; 0 for
+// back-to-back references). A first-ever reference returns 0; callers
+// handle cold references separately.
+func (s *lruStack) touch(l isa.Line) uint64 {
+	var dist uint64
+	if idx, ok := s.pos[l]; ok {
+		// Live entries strictly after idx = live total - live up to idx.
+		dist = uint64(s.live) - uint64(s.prefix(idx))
+		s.add(idx, -1)
+		s.live--
+		// Remove the stale mapping so a rebuild cannot resurrect it.
+		delete(s.pos, l)
+	}
+	s.next++
+	if s.next >= len(s.tree) {
+		s.rebuild()
+	}
+	s.add(s.next, 1)
+	s.pos[l] = s.next
+	s.live++
+	return dist
+}
+
+// prefix returns the number of live positions in [1, i].
+func (s *lruStack) prefix(i int) uint32 {
+	var sum uint32
+	for ; i > 0; i -= i & (-i) {
+		sum += s.tree[i]
+	}
+	return sum
+}
+
+func (s *lruStack) add(i int, delta int32) {
+	for ; i < len(s.tree); i += i & (-i) {
+		s.tree[i] = uint32(int32(s.tree[i]) + delta)
+	}
+}
+
+// rebuild renumbers live positions densely, preserving order.
+func (s *lruStack) rebuild() {
+	type le struct {
+		line isa.Line
+		pos  int
+	}
+	lines := make([]le, 0, len(s.pos))
+	for l, p := range s.pos {
+		lines = append(lines, le{l, p})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].pos < lines[j].pos })
+	size := 1 << 16
+	for size < 2*len(lines)+1024 {
+		size <<= 1
+	}
+	s.tree = make([]uint32, size)
+	s.next = 0
+	for _, e := range lines {
+		s.next++
+		s.pos[e.line] = s.next
+		s.add(s.next, 1)
+	}
+}

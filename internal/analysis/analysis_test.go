@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func blockAt(pc isa.Addr, n int, cti isa.CTIKind, target isa.Addr) isa.Block {
+	return isa.Block{PC: pc, NumInstrs: n, CTI: cti, Target: target}
+}
+
+func TestProfileCountsBasics(t *testing.T) {
+	p := NewProfile(64)
+	p.Observe(&isa.Block{PC: 0, NumInstrs: 16, CTI: isa.CTINone})
+	p.Observe(&isa.Block{PC: 64, NumInstrs: 16, CTI: isa.CTICall, Target: 0x4000})
+	if p.Instructions != 32 || p.Blocks != 2 {
+		t.Fatalf("counts = %d/%d", p.Instructions, p.Blocks)
+	}
+	if p.CTICounts[isa.CTICall] != 1 || p.CTICounts[isa.CTINone] != 1 {
+		t.Fatalf("CTI counts wrong")
+	}
+	if p.CTIFraction(isa.CTICall) != 0.5 {
+		t.Fatalf("fraction = %v", p.CTIFraction(isa.CTICall))
+	}
+	// Two lines touched: 0 and 1.
+	if p.FootprintBytes() != 128 {
+		t.Fatalf("footprint = %d", p.FootprintBytes())
+	}
+}
+
+func TestProfileDiscontinuities(t *testing.T) {
+	p := NewProfile(64)
+	// Call from line 0 to line 256 (0x4000/64).
+	p.Observe(&isa.Block{PC: 0, NumInstrs: 4, CTI: isa.CTICall, Target: 0x4000})
+	if p.DistinctTriggers() != 1 {
+		t.Fatalf("triggers = %d", p.DistinctTriggers())
+	}
+	if p.SingleTargetFraction() != 1 {
+		t.Fatalf("single-target = %v", p.SingleTargetFraction())
+	}
+	// Same trigger, second target: no longer single-target.
+	p.Observe(&isa.Block{PC: 0, NumInstrs: 4, CTI: isa.CTICall, Target: 0x8000})
+	if p.SingleTargetFraction() != 0 {
+		t.Fatalf("single-target after 2nd target = %v", p.SingleTargetFraction())
+	}
+	// Same-line transitions are ignored.
+	before := p.DistinctTriggers()
+	p.Observe(&isa.Block{PC: 0, NumInstrs: 2, CTI: isa.CTICondTakenFwd, Target: 32})
+	if p.DistinctTriggers() != before {
+		t.Fatal("same-line transition counted as discontinuity")
+	}
+}
+
+func TestStackDistances(t *testing.T) {
+	p := NewProfile(64)
+	// Touch lines 0,1,2 then 0 again: 0's reuse distance is 2.
+	for _, pc := range []isa.Addr{0, 64, 128, 0} {
+		p.Observe(&isa.Block{PC: pc, NumInstrs: 4, CTI: isa.CTIUncondBranch, Target: 0})
+	}
+	if p.ColdRefs != 3 {
+		t.Fatalf("cold refs = %d", p.ColdRefs)
+	}
+	// Distance 2 lands in bucket 1 ([2,4)).
+	if p.ReuseBuckets[1] != 1 {
+		t.Fatalf("reuse buckets = %v", p.ReuseBuckets[:4])
+	}
+}
+
+func TestBackToBackReuse(t *testing.T) {
+	p := NewProfile(64)
+	p.Observe(&isa.Block{PC: 0, NumInstrs: 4, CTI: isa.CTIUncondBranch, Target: 0})
+	p.Observe(&isa.Block{PC: 0, NumInstrs: 4, CTI: isa.CTIUncondBranch, Target: 0})
+	// Consecutive same-line references are elided (still fetching the
+	// same line), so no warm refs are recorded at all.
+	var total uint64
+	for _, c := range p.ReuseBuckets {
+		total += c
+	}
+	if total != 0 {
+		t.Fatalf("same-line run recorded %d warm refs", total)
+	}
+}
+
+// lruStack distances must match a naive reference implementation.
+func TestLRUStackMatchesReference(t *testing.T) {
+	f := func(refs []uint8) bool {
+		s := newLRUStack()
+		var order []isa.Line // MRU at end
+		for _, r := range refs {
+			l := isa.Line(r % 32)
+			got := s.touch(l)
+			// Reference: find l in order, distance = entries after it.
+			want := uint64(0)
+			found := -1
+			for i := len(order) - 1; i >= 0; i-- {
+				if order[i] == l {
+					found = i
+					break
+				}
+			}
+			if found >= 0 {
+				want = uint64(len(order) - 1 - found)
+				order = append(order[:found], order[found+1:]...)
+			}
+			order = append(order, l)
+			if found >= 0 && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUStackRebuild(t *testing.T) {
+	s := newLRUStack()
+	// Force many position assignments over a small line set so the
+	// Fenwick tree rebuilds at least once (tree starts at 1<<16).
+	for i := 0; i < 1<<17; i++ {
+		s.touch(isa.Line(i % 64))
+	}
+	// After heavy churn, distances are still exact: touching the same
+	// line twice in a row gives 0; a line 63 touches ago gives 63.
+	s.touch(isa.Line(7))
+	if d := s.touch(isa.Line(7)); d != 0 {
+		t.Fatalf("back-to-back distance = %d", d)
+	}
+	for i := 0; i < 64; i++ {
+		s.touch(isa.Line(i))
+	}
+	if d := s.touch(isa.Line(0)); d != 63 {
+		t.Fatalf("distance = %d, want 63", d)
+	}
+}
+
+func TestWorkingSetMonotone(t *testing.T) {
+	prog := workload.MustBuildProgram(workload.Web(), 0)
+	g := workload.NewGenerator(prog, 3)
+	p := NewProfile(64)
+	var b isa.Block
+	for i := 0; i < 200_000; i++ {
+		g.Next(&b)
+		p.Observe(&b)
+	}
+	w50 := p.WorkingSetLines(0.5)
+	w90 := p.WorkingSetLines(0.9)
+	w99 := p.WorkingSetLines(0.99)
+	if !(w50 <= w90 && w90 <= w99) {
+		t.Fatalf("working sets not monotone: %d %d %d", w50, w90, w99)
+	}
+	// The 90% instruction working set of a commercial workload must
+	// exceed the 32 KB L1-I (512 lines) — that is the paper's premise.
+	if w90 < 512 {
+		t.Fatalf("90%% working set = %d lines; L1-I would hold it", w90)
+	}
+}
+
+func TestSingleTargetPremiseOnWorkloads(t *testing.T) {
+	// The paper's table-design premise: most trigger lines have one
+	// target. Verify it holds for every built-in application.
+	for _, prof := range workload.Profiles() {
+		prog := workload.MustBuildProgram(prof, 0)
+		g := workload.NewGenerator(prog, 1)
+		p := NewProfile(64)
+		var b isa.Block
+		for i := 0; i < 300_000; i++ {
+			g.Next(&b)
+			p.Observe(&b)
+		}
+		if f := p.SingleTargetFraction(); f < 0.5 {
+			t.Errorf("%s: single-target fraction = %.2f; paper premise broken", prof.Name, f)
+		}
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	g := workload.NewGenerator(prog, 1)
+	p := NewProfile(64)
+	var b isa.Block
+	for i := 0; i < 50_000; i++ {
+		g.Next(&b)
+		p.Observe(&b)
+	}
+	var sb strings.Builder
+	p.Report(&sb)
+	out := sb.String()
+	for _, want := range []string{"instructions", "footprint", "working set", "CTI mix", "reuse distance", "discontinuity distance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewProfile(64)
+	if p.CTIFraction(isa.CTICall) != 0 || p.SingleTargetFraction() != 0 || p.WorkingSetLines(0.9) != 0 {
+		t.Fatal("empty profile must report zeros")
+	}
+	var sb strings.Builder
+	p.Report(&sb) // must not panic
+	_ = blockAt
+}
+
+func BenchmarkObserve(b *testing.B) {
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	g := workload.NewGenerator(prog, 1)
+	p := NewProfile(64)
+	var blk isa.Block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&blk)
+		p.Observe(&blk)
+	}
+}

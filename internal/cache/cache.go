@@ -1,0 +1,348 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy: the per-core L1 instruction and data caches and the
+// (optionally shared) unified L2.
+//
+// Lines carry the metadata the paper's mechanisms need:
+//
+//   - a Prefetched bit (the "prefetch tag" of next-line-tagged schemes),
+//   - a Used bit recording whether the line was demand-referenced since
+//     fill (drives prefetch-usefulness accounting and the L2-bypass
+//     install-on-proven-useful policy of Section 7),
+//   - an Inst bit so a unified L2 can split its miss statistics into
+//     instruction and data components (Figures 2 and 7).
+//
+// Replacement is true LRU, maintained as an MRU→LRU ordered list per set,
+// which is exact and fast for the small associativities modelled (≤ 32).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Policy selects the replacement policy.
+type Policy uint8
+
+const (
+	// LRU is true least-recently-used (the paper's machines; default).
+	LRU Policy = iota
+	// FIFO evicts in fill order, ignoring reuse.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic xorshift).
+	Random
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// Assoc is the set associativity (1 = direct mapped).
+	Assoc int
+	// LineBytes is the line size in bytes (power of two).
+	LineBytes int
+	// Policy is the replacement policy (zero value = LRU).
+	Policy Policy
+}
+
+// NumSets returns the number of sets implied by the geometry.
+func (c Config) NumSets() int {
+	return c.SizeBytes / (c.Assoc * c.LineBytes)
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	sets := c.NumSets()
+	if sets <= 0 || sets*c.Assoc*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %dB not divisible into %d-way sets of %dB lines",
+			c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: number of sets %d not a power of two", sets)
+	}
+	if c.Policy > Random {
+		return fmt.Errorf("cache: unknown replacement policy %d", c.Policy)
+	}
+	return nil
+}
+
+// Flags is the per-line metadata.
+type Flags struct {
+	// Prefetched is set when the line was filled by a prefetch and has
+	// not yet been demand-referenced.
+	Prefetched bool
+	// Used is set once the line is demand-referenced after fill.
+	Used bool
+	// Inst marks instruction (vs data) lines in a unified cache.
+	Inst bool
+	// UselessPrefetch marks an L2 line whose previous prefetch into the
+	// L1 was evicted unused (the Luk & Mowry usefulness filter the paper
+	// cites in Section 2.4). A demand use clears it.
+	UselessPrefetch bool
+	// Dirty marks a line modified since fill (write-back modelling).
+	Dirty bool
+}
+
+type way struct {
+	line  isa.Line
+	valid bool
+	flags Flags
+}
+
+// Victim describes a line evicted by an insert.
+type Victim struct {
+	Line  isa.Line
+	Flags Flags
+}
+
+// Cache is one level of the hierarchy. It is not safe for concurrent
+// use; the simulator interleaves cores deterministically on one
+// goroutine.
+type Cache struct {
+	cfg      Config
+	setMask  uint64
+	sets     [][]way // each set ordered MRU (index 0) → LRU (last)
+	inserted uint64
+	evicted  uint64
+	rngState uint64 // deterministic victim selection for Random policy
+}
+
+// New builds a cache, panicking on invalid geometry (configurations are
+// program constants, not user input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.NumSets()
+	sets := make([][]way, n)
+	backing := make([]way, n*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{cfg: cfg, setMask: uint64(n - 1), sets: sets, rngState: 0x9e3779b97f4a7c15}
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// setOf returns the set index for a line.
+func (c *Cache) setOf(l isa.Line) int {
+	return int(uint64(l) & c.setMask)
+}
+
+// find returns the way index of l within its set, or -1.
+func (c *Cache) find(set []way, l isa.Line) int {
+	for i := range set {
+		if set[i].valid && set[i].line == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves way i of the set to the MRU position.
+func touch(set []way, i int) {
+	if i == 0 {
+		return
+	}
+	w := set[i]
+	copy(set[1:i+1], set[0:i])
+	set[0] = w
+}
+
+// Probe reports whether line l is present, without updating replacement
+// state or flags. This models a prefetcher's tag inspection.
+func (c *Cache) Probe(l isa.Line) bool {
+	set := c.sets[c.setOf(l)]
+	return c.find(set, l) >= 0
+}
+
+// PeekFlags returns the flags of line l without any side effects.
+func (c *Cache) PeekFlags(l isa.Line) (Flags, bool) {
+	set := c.sets[c.setOf(l)]
+	if i := c.find(set, l); i >= 0 {
+		return set[i].flags, true
+	}
+	return Flags{}, false
+}
+
+// Access performs a demand reference to line l. On a hit it promotes the
+// line to MRU, records the use (clearing Prefetched, setting Used) and
+// returns hit=true along with the flags the line had *before* this
+// access (so callers can see whether the hit consumed a prefetch). On a
+// miss it returns hit=false; the caller is responsible for filling via
+// Insert after the miss is serviced.
+func (c *Cache) Access(l isa.Line) (hit bool, prior Flags) {
+	set := c.sets[c.setOf(l)]
+	i := c.find(set, l)
+	if i < 0 {
+		return false, Flags{}
+	}
+	prior = set[i].flags
+	set[i].flags.Prefetched = false
+	set[i].flags.Used = true
+	set[i].flags.UselessPrefetch = false
+	if c.cfg.Policy == LRU {
+		// FIFO and Random keep fill order; only LRU promotes on use.
+		touch(set, i)
+	}
+	return true, prior
+}
+
+// Insert fills line l with the given flags, evicting the LRU way if the
+// set is full. It returns the victim (valid only when evicted is true).
+// If l is already present, its flags are overwritten and it is promoted
+// to MRU with no eviction.
+func (c *Cache) Insert(l isa.Line, f Flags) (victim Victim, evicted bool) {
+	set := c.sets[c.setOf(l)]
+	if i := c.find(set, l); i >= 0 {
+		set[i].flags = f
+		touch(set, i)
+		return Victim{}, false
+	}
+	c.inserted++
+	// Look for an invalid way (take the last one so valid MRU ordering
+	// is preserved).
+	slot := -1
+	for i := len(set) - 1; i >= 0; i-- {
+		if !set[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		// Pick a victim: the last element is the LRU (or oldest fill,
+		// for FIFO, since fills also move to the front); Random picks a
+		// deterministic pseudo-random way.
+		slot = len(set) - 1
+		if c.cfg.Policy == Random {
+			c.rngState ^= c.rngState << 13
+			c.rngState ^= c.rngState >> 7
+			c.rngState ^= c.rngState << 17
+			slot = int(c.rngState % uint64(len(set)))
+		}
+		victim = Victim{Line: set[slot].line, Flags: set[slot].flags}
+		evicted = true
+		c.evicted++
+	}
+	set[slot] = way{line: l, valid: true, flags: f}
+	touch(set, slot)
+	return victim, evicted
+}
+
+// Invalidate removes line l if present, returning its flags.
+func (c *Cache) Invalidate(l isa.Line) (Flags, bool) {
+	set := c.sets[c.setOf(l)]
+	i := c.find(set, l)
+	if i < 0 {
+		return Flags{}, false
+	}
+	f := set[i].flags
+	// Shift the invalidated way to the end as an invalid slot.
+	w := set[i]
+	copy(set[i:], set[i+1:])
+	w.valid = false
+	set[len(set)-1] = w
+	return f, true
+}
+
+// SetUselessPrefetch sets (or clears) the useless-prefetch marker of
+// line l if present, returning whether the line was found.
+func (c *Cache) SetUselessPrefetch(l isa.Line, v bool) bool {
+	set := c.sets[c.setOf(l)]
+	if i := c.find(set, l); i >= 0 {
+		set[i].flags.UselessPrefetch = v
+		return true
+	}
+	return false
+}
+
+// MarkDirty sets the Dirty bit of line l if present, returning whether
+// the line was found.
+func (c *Cache) MarkDirty(l isa.Line) bool {
+	set := c.sets[c.setOf(l)]
+	if i := c.find(set, l); i >= 0 {
+		set[i].flags.Dirty = true
+		return true
+	}
+	return false
+}
+
+// MarkUsed sets the Used bit of line l if present (without promoting).
+// The front-end uses it when a demand fetch consumes a line that is
+// known-present via other paths.
+func (c *Cache) MarkUsed(l isa.Line) bool {
+	set := c.sets[c.setOf(l)]
+	if i := c.find(set, l); i >= 0 {
+		set[i].flags.Used = true
+		set[i].flags.Prefetched = false
+		return true
+	}
+	return false
+}
+
+// Inserted and Evicted return lifetime fill/eviction counts (used by
+// tests and diagnostics).
+func (c *Cache) Inserted() uint64 { return c.inserted }
+
+// Evicted returns the number of lines evicted over the cache's lifetime.
+func (c *Cache) Evicted() uint64 { return c.evicted }
+
+// Reset invalidates all lines and zeroes lifetime counters, preserving
+// geometry. The simulator uses it between warm-up configurations.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.inserted = 0
+	c.evicted = 0
+}
+
+// CountValid returns the number of valid lines (diagnostics/tests).
+func (c *Cache) CountValid() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CountValidWhere returns the number of valid lines whose flags satisfy
+// pred. Used to measure instruction-vs-data occupancy of the unified L2
+// when analysing pollution.
+func (c *Cache) CountValidWhere(pred func(Flags) bool) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && pred(set[i].flags) {
+				n++
+			}
+		}
+	}
+	return n
+}

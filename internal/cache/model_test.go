@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// refCache is a deliberately naive reference implementation of a
+// set-associative LRU cache: per-set slices ordered MRU-first, no
+// cleverness. The real Cache must agree with it on every observable
+// behaviour for arbitrary operation sequences.
+type refCache struct {
+	sets  [][]refLine
+	assoc int
+}
+
+type refLine struct {
+	line  isa.Line
+	flags Flags
+}
+
+func newRef(cfg Config) *refCache {
+	return &refCache{sets: make([][]refLine, cfg.NumSets()), assoc: cfg.Assoc}
+}
+
+func (r *refCache) setOf(l isa.Line) int { return int(uint64(l) % uint64(len(r.sets))) }
+
+func (r *refCache) find(l isa.Line) (int, int) {
+	si := r.setOf(l)
+	for i, e := range r.sets[si] {
+		if e.line == l {
+			return si, i
+		}
+	}
+	return si, -1
+}
+
+func (r *refCache) access(l isa.Line) (bool, Flags) {
+	si, i := r.find(l)
+	if i < 0 {
+		return false, Flags{}
+	}
+	prior := r.sets[si][i].flags
+	e := r.sets[si][i]
+	e.flags.Prefetched = false
+	e.flags.Used = true
+	e.flags.UselessPrefetch = false
+	r.sets[si] = append(r.sets[si][:i], r.sets[si][i+1:]...)
+	r.sets[si] = append([]refLine{e}, r.sets[si]...)
+	return true, prior
+}
+
+func (r *refCache) insert(l isa.Line, f Flags) (Victim, bool) {
+	si, i := r.find(l)
+	if i >= 0 {
+		e := r.sets[si][i]
+		e.flags = f
+		r.sets[si] = append(r.sets[si][:i], r.sets[si][i+1:]...)
+		r.sets[si] = append([]refLine{e}, r.sets[si]...)
+		return Victim{}, false
+	}
+	var victim Victim
+	evicted := false
+	if len(r.sets[si]) == r.assoc {
+		last := r.sets[si][len(r.sets[si])-1]
+		victim = Victim{Line: last.line, Flags: last.flags}
+		evicted = true
+		r.sets[si] = r.sets[si][:len(r.sets[si])-1]
+	}
+	r.sets[si] = append([]refLine{{line: l, flags: f}}, r.sets[si]...)
+	return victim, evicted
+}
+
+func (r *refCache) invalidate(l isa.Line) (Flags, bool) {
+	si, i := r.find(l)
+	if i < 0 {
+		return Flags{}, false
+	}
+	f := r.sets[si][i].flags
+	r.sets[si] = append(r.sets[si][:i], r.sets[si][i+1:]...)
+	return f, true
+}
+
+func (r *refCache) probe(l isa.Line) bool {
+	_, i := r.find(l)
+	return i >= 0
+}
+
+// TestCacheMatchesReferenceModel drives the real cache and the reference
+// with identical random operation sequences and requires identical
+// observable results at every step.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, Assoc: 4, LineBytes: 64} // 4 sets x 4 ways
+	f := func(ops []uint16) bool {
+		c := New(cfg)
+		r := newRef(cfg)
+		for _, op := range ops {
+			l := isa.Line(op % 64)
+			switch (op >> 8) % 4 {
+			case 0: // access
+				gh, gf := c.Access(l)
+				wh, wf := r.access(l)
+				if gh != wh || gf != wf {
+					return false
+				}
+			case 1: // insert
+				flags := Flags{Prefetched: op&1 != 0, Inst: op&2 != 0}
+				gv, ge := c.Insert(l, flags)
+				wv, we := r.insert(l, flags)
+				if ge != we || (ge && (gv.Line != wv.Line || gv.Flags != wv.Flags)) {
+					return false
+				}
+			case 2: // invalidate
+				gf, gok := c.Invalidate(l)
+				wf, wok := r.invalidate(l)
+				if gok != wok || gf != wf {
+					return false
+				}
+			case 3: // probe
+				if c.Probe(l) != r.probe(l) {
+					return false
+				}
+			}
+		}
+		// Final contents must agree.
+		for l := isa.Line(0); l < 64; l++ {
+			if c.Probe(l) != r.probe(l) {
+				return false
+			}
+			gf, gok := c.PeekFlags(l)
+			si, i := r.find(l)
+			if gok != (i >= 0) {
+				return false
+			}
+			if gok && gf != r.sets[si][i].flags {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheMatchesReferenceDirectMapped repeats the model check at
+// associativity 1, where every conflict evicts.
+func TestCacheMatchesReferenceDirectMapped(t *testing.T) {
+	cfg := Config{SizeBytes: 512, Assoc: 1, LineBytes: 64} // 8 sets x 1 way
+	f := func(ops []uint16) bool {
+		c := New(cfg)
+		r := newRef(cfg)
+		for _, op := range ops {
+			l := isa.Line(op % 32)
+			if op&0x8000 != 0 {
+				gv, ge := c.Insert(l, Flags{})
+				wv, we := r.insert(l, Flags{})
+				if ge != we || (ge && gv.Line != wv.Line) {
+					return false
+				}
+			} else {
+				gh, _ := c.Access(l)
+				wh, _ := r.access(l)
+				if gh != wh {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package core assembles the paper's contribution into a working
+// prefetching front-end: prefetch candidates from a prediction engine
+// (internal/prefetch) flow through the recent-demand filter and the
+// LIFO prefetch queue of Section 4.1, are tag-probed against the L1
+// instruction cache, and are installed under either the conventional or
+// the L2-bypass policy of Section 7. The front-end also implements the
+// oracle miss elimination used by the limits study (Figure 4).
+package core
+
+import (
+	"repro/internal/isa"
+)
+
+// entryState tracks a prefetch-queue slot's lifecycle. The paper keeps
+// issued and invalidated entries around in unused slots as a duplicate
+// filter; they are reclaimed before any waiting entry is dropped.
+type entryState uint8
+
+const (
+	stateEmpty entryState = iota
+	stateWaiting
+	stateIssued
+	stateInvalid
+)
+
+type queueEntry struct {
+	line  isa.Line
+	state entryState
+	seq   uint64 // insertion order; higher is newer
+}
+
+// PrefetchQueue is the paper's per-core prefetch queue (Section 4.1):
+//
+//   - finite (32 entries), managed last-in first-out so the freshest
+//     predictions issue first;
+//   - never contains duplicate prefetches: a push matching a waiting
+//     entry hoists that entry to the head instead, and a push matching
+//     an issued or invalidated entry is dropped;
+//   - demand fetches invalidate matching waiting entries;
+//   - issued and invalidated entries linger in otherwise-unused slots to
+//     extend the duplicate filter, and are reclaimed first on overflow;
+//   - when all slots hold waiting prefetches, the oldest waiting entry
+//     is dropped to admit the new one.
+type PrefetchQueue struct {
+	entries []queueEntry
+	nextSeq uint64
+
+	pushed      uint64
+	droppedDup  uint64
+	droppedOld  uint64
+	invalidated uint64
+	hoisted     uint64
+}
+
+// NewPrefetchQueue creates a queue with the given capacity (paper: 32).
+func NewPrefetchQueue(capacity int) *PrefetchQueue {
+	if capacity < 1 {
+		panic("core: prefetch queue capacity must be >= 1")
+	}
+	return &PrefetchQueue{entries: make([]queueEntry, capacity)}
+}
+
+// Push offers a prefetch candidate. It returns true if the candidate was
+// accepted as a new waiting entry (or hoisted), false if it was dropped
+// as a duplicate.
+func (q *PrefetchQueue) Push(l isa.Line) bool {
+	q.pushed++
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.state == stateEmpty || e.line != l {
+			continue
+		}
+		switch e.state {
+		case stateWaiting:
+			// Hoist: make it the newest so LIFO issue picks it next.
+			q.nextSeq++
+			e.seq = q.nextSeq
+			q.hoisted++
+			return true
+		case stateIssued, stateInvalid:
+			q.droppedDup++
+			return false
+		}
+	}
+	// New entry: empty slot, else reclaim oldest issued/invalid marker,
+	// else drop the oldest waiting prefetch.
+	slot := q.findSlot()
+	q.nextSeq++
+	q.entries[slot] = queueEntry{line: l, state: stateWaiting, seq: q.nextSeq}
+	return true
+}
+
+func (q *PrefetchQueue) findSlot() int {
+	oldestMarker, oldestWaiting := -1, -1
+	var markerSeq, waitingSeq uint64
+	for i := range q.entries {
+		e := &q.entries[i]
+		switch e.state {
+		case stateEmpty:
+			return i
+		case stateIssued, stateInvalid:
+			if oldestMarker < 0 || e.seq < markerSeq {
+				oldestMarker, markerSeq = i, e.seq
+			}
+		case stateWaiting:
+			if oldestWaiting < 0 || e.seq < waitingSeq {
+				oldestWaiting, waitingSeq = i, e.seq
+			}
+		}
+	}
+	if oldestMarker >= 0 {
+		return oldestMarker
+	}
+	q.droppedOld++
+	return oldestWaiting
+}
+
+// PopNewest removes and returns the newest waiting entry (LIFO issue
+// order, the paper's policy). The slot transitions to issued, retaining
+// the line as a duplicate-filter marker.
+func (q *PrefetchQueue) PopNewest() (isa.Line, bool) {
+	return q.pop(func(a, b uint64) bool { return a > b })
+}
+
+// PopOldest removes and returns the oldest waiting entry (FIFO issue
+// order; the A4 ablation).
+func (q *PrefetchQueue) PopOldest() (isa.Line, bool) {
+	return q.pop(func(a, b uint64) bool { return a < b })
+}
+
+func (q *PrefetchQueue) pop(better func(a, b uint64) bool) (isa.Line, bool) {
+	best := -1
+	var bestSeq uint64
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.state == stateWaiting && (best < 0 || better(e.seq, bestSeq)) {
+			best, bestSeq = i, e.seq
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	q.entries[best].state = stateIssued
+	return q.entries[best].line, true
+}
+
+// OnDemandFetch invalidates any waiting entry for line l (the demand
+// fetch supersedes the prefetch). It returns true if an entry was
+// invalidated.
+func (q *PrefetchQueue) OnDemandFetch(l isa.Line) bool {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.state == stateWaiting && e.line == l {
+			e.state = stateInvalid
+			q.invalidated++
+			return true
+		}
+	}
+	return false
+}
+
+// Waiting returns the number of waiting entries.
+func (q *PrefetchQueue) Waiting() int {
+	n := 0
+	for i := range q.entries {
+		if q.entries[i].state == stateWaiting {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity returns the queue's slot count.
+func (q *PrefetchQueue) Capacity() int { return len(q.entries) }
+
+// DroppedDup returns pushes dropped by the issued/invalidated filter.
+func (q *PrefetchQueue) DroppedDup() uint64 { return q.droppedDup }
+
+// DroppedOverflow returns waiting entries displaced by overflow.
+func (q *PrefetchQueue) DroppedOverflow() uint64 { return q.droppedOld }
+
+// Invalidated returns entries cancelled by demand fetches.
+func (q *PrefetchQueue) Invalidated() uint64 { return q.invalidated }
+
+// Hoisted returns pushes that promoted an existing waiting entry.
+func (q *PrefetchQueue) Hoisted() uint64 { return q.hoisted }
+
+// Reset clears all slots and counters.
+func (q *PrefetchQueue) Reset() {
+	for i := range q.entries {
+		q.entries[i] = queueEntry{}
+	}
+	q.nextSeq = 0
+	q.pushed = 0
+	q.droppedDup = 0
+	q.droppedOld = 0
+	q.invalidated = 0
+	q.hoisted = 0
+}
+
+// RecentList is the paper's filter over the most recent demand fetches
+// (Section 4.1): a small ring of line addresses; prefetch candidates
+// matching any of them are dropped before reaching the queue.
+type RecentList struct {
+	ring []isa.Line
+	used int
+	head int
+}
+
+// NewRecentList creates a list tracking the last n demand fetches
+// (paper: 32).
+func NewRecentList(n int) *RecentList {
+	if n < 1 {
+		panic("core: recent list size must be >= 1")
+	}
+	return &RecentList{ring: make([]isa.Line, n)}
+}
+
+// Add records a demand fetch.
+func (r *RecentList) Add(l isa.Line) {
+	r.ring[r.head] = l
+	r.head = (r.head + 1) % len(r.ring)
+	if r.used < len(r.ring) {
+		r.used++
+	}
+}
+
+// Contains reports whether l is among the tracked recent fetches.
+func (r *RecentList) Contains(l isa.Line) bool {
+	for i := 0; i < r.used; i++ {
+		if r.ring[i] == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset forgets all history.
+func (r *RecentList) Reset() {
+	r.used = 0
+	r.head = 0
+}

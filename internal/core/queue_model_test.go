@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// refQueue is a naive reference implementation of the paper's prefetch
+// queue semantics, written independently of PrefetchQueue: an ordered
+// slice of (line, state) with explicit scans. The real queue must agree
+// with it on every observable for arbitrary operation sequences.
+type refQueue struct {
+	entries []refEntry // insertion order: oldest first
+	cap     int
+}
+
+type refEntry struct {
+	line  isa.Line
+	state entryState
+}
+
+func newRefQueue(capacity int) *refQueue { return &refQueue{cap: capacity} }
+
+func (q *refQueue) push(l isa.Line) bool {
+	for i := range q.entries {
+		if q.entries[i].line != l {
+			continue
+		}
+		switch q.entries[i].state {
+		case stateWaiting:
+			// Hoist: becomes the newest entry.
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.entries = append(q.entries, e)
+			return true
+		case stateIssued, stateInvalid:
+			return false
+		}
+	}
+	if len(q.entries) < q.cap {
+		q.entries = append(q.entries, refEntry{line: l, state: stateWaiting})
+		return true
+	}
+	// Reclaim the oldest marker, else drop the oldest waiting entry.
+	for i := range q.entries {
+		if q.entries[i].state != stateWaiting {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.entries = append(q.entries, refEntry{line: l, state: stateWaiting})
+			return true
+		}
+	}
+	q.entries = append(q.entries[1:], refEntry{line: l, state: stateWaiting})
+	return true
+}
+
+func (q *refQueue) popNewest() (isa.Line, bool) {
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		if q.entries[i].state == stateWaiting {
+			q.entries[i].state = stateIssued
+			return q.entries[i].line, true
+		}
+	}
+	return 0, false
+}
+
+func (q *refQueue) popOldest() (isa.Line, bool) {
+	for i := range q.entries {
+		if q.entries[i].state == stateWaiting {
+			q.entries[i].state = stateIssued
+			return q.entries[i].line, true
+		}
+	}
+	return 0, false
+}
+
+func (q *refQueue) onDemandFetch(l isa.Line) bool {
+	for i := range q.entries {
+		if q.entries[i].state == stateWaiting && q.entries[i].line == l {
+			q.entries[i].state = stateInvalid
+			return true
+		}
+	}
+	return false
+}
+
+func (q *refQueue) waiting() int {
+	n := 0
+	for _, e := range q.entries {
+		if e.state == stateWaiting {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQueueMatchesReferenceModel drives both implementations with random
+// operation sequences.
+func TestQueueMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		q := NewPrefetchQueue(8)
+		r := newRefQueue(8)
+		for _, op := range ops {
+			l := isa.Line(op % 24)
+			switch (op >> 8) % 4 {
+			case 0, 1: // push (weighted: pushes dominate real traffic)
+				if q.Push(l) != r.push(l) {
+					return false
+				}
+			case 2: // pop newest
+				gl, gok := q.PopNewest()
+				wl, wok := r.popNewest()
+				if gok != wok || (gok && gl != wl) {
+					return false
+				}
+			case 3: // demand fetch
+				if q.OnDemandFetch(l) != r.onDemandFetch(l) {
+					return false
+				}
+			}
+			if q.Waiting() != r.waiting() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueMatchesReferenceFIFO repeats the model check with oldest-first
+// issue (the A4 ablation path).
+func TestQueueMatchesReferenceFIFO(t *testing.T) {
+	f := func(ops []uint16) bool {
+		q := NewPrefetchQueue(4)
+		r := newRefQueue(4)
+		for _, op := range ops {
+			l := isa.Line(op % 12)
+			if op&0x8000 != 0 {
+				gl, gok := q.PopOldest()
+				wl, wok := r.popOldest()
+				if gok != wok || (gok && gl != wl) {
+					return false
+				}
+			} else {
+				if q.Push(l) != r.push(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

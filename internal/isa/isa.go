@@ -1,0 +1,289 @@
+// Package isa defines the SPARC-flavoured abstractions the simulator is
+// built on: byte addresses, cache-line arithmetic, the control-transfer
+// instruction (CTI) taxonomy from the paper's Section 3.2, and the
+// basic-block record that workload generators emit and the timing model
+// consumes.
+//
+// The paper's miss categorisation and the discontinuity prefetcher operate
+// purely on cache-line-granular fetch-address transitions plus the class
+// of the CTI that caused each transition; no instruction semantics are
+// required, so blocks carry only addresses, lengths and CTI classes.
+package isa
+
+import "fmt"
+
+// Addr is a byte address in a simulated 64-bit address space. The top
+// bits are used by the CMP harness as an address-space identifier so that
+// distinct processes never alias (a multiprogrammed mix shares no code).
+type Addr uint64
+
+// InstrBytes is the size of one instruction. SPARC is a fixed-width
+// 32-bit ISA.
+const InstrBytes = 4
+
+// Line identifies a cache line: the address right-shifted by the line
+// size's log2. Lines are the unit the prefetchers reason about.
+type Line uint64
+
+// LineOf returns the line containing addr for the given line size in
+// bytes (which must be a power of two).
+func LineOf(addr Addr, lineBytes int) Line {
+	return Line(uint64(addr) / uint64(lineBytes))
+}
+
+// Base returns the first byte address of the line.
+func (l Line) Base(lineBytes int) Addr {
+	return Addr(uint64(l) * uint64(lineBytes))
+}
+
+// CTIKind classifies the control-transfer instruction ending a basic
+// block, per the paper's Figure 3 taxonomy.
+type CTIKind uint8
+
+const (
+	// CTINone: the block ends by running into the next sequential block
+	// (fall-through; only used when a block is split for size reasons).
+	CTINone CTIKind = iota
+	// CTICondTakenFwd: conditional branch, taken, forward target.
+	CTICondTakenFwd
+	// CTICondTakenBwd: conditional branch, taken, backward target (loops).
+	CTICondTakenBwd
+	// CTICondNotTaken: conditional branch, not taken (falls through, but a
+	// miss on the fall-through line is still attributed to the branch).
+	CTICondNotTaken
+	// CTIUncondBranch: unconditional PC-relative branch.
+	CTIUncondBranch
+	// CTICall: direct call (target embedded in the instruction).
+	CTICall
+	// CTIJump: indirect jump (target from a register).
+	CTIJump
+	// CTIReturn: return (target from a register / RAS).
+	CTIReturn
+	// CTITrap: software trap into the kernel.
+	CTITrap
+
+	NumCTIKinds = int(CTITrap) + 1
+)
+
+var ctiNames = [NumCTIKinds]string{
+	"none", "cond-taken-fwd", "cond-taken-bwd", "cond-not-taken",
+	"uncond-branch", "call", "jump", "return", "trap",
+}
+
+// String returns a short human-readable name.
+func (k CTIKind) String() string {
+	if int(k) < len(ctiNames) {
+		return ctiNames[k]
+	}
+	return fmt.Sprintf("cti(%d)", uint8(k))
+}
+
+// IsConditional reports whether the CTI is a conditional branch.
+func (k CTIKind) IsConditional() bool {
+	return k == CTICondTakenFwd || k == CTICondTakenBwd || k == CTICondNotTaken
+}
+
+// IsBranch reports whether the CTI belongs to the paper's "branch"
+// super-category (conditional or unconditional branches).
+func (k CTIKind) IsBranch() bool {
+	return k.IsConditional() || k == CTIUncondBranch
+}
+
+// IsFunction reports whether the CTI belongs to the paper's "function
+// call" super-category (call, jump, return).
+func (k CTIKind) IsFunction() bool {
+	return k == CTICall || k == CTIJump || k == CTIReturn
+}
+
+// ChangesFlow reports whether the CTI redirects fetch to a non-sequential
+// address.
+func (k CTIKind) ChangesFlow() bool {
+	switch k {
+	case CTICondTakenFwd, CTICondTakenBwd, CTIUncondBranch, CTICall, CTIJump, CTIReturn, CTITrap:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the CTI's target comes from a register (not
+// computable from the instruction encoding). In the SPARC ISA all
+// branches are PC-relative and call is direct; only jump and return are
+// indirect.
+func (k CTIKind) IsIndirect() bool {
+	return k == CTIJump || k == CTIReturn
+}
+
+// MissCategory is the attribution of an instruction miss, per Figure 3.
+// A miss on a line reached by sequential fetch is Sequential; a miss on
+// the target line of a CTI is attributed to that CTI's category.
+type MissCategory uint8
+
+const (
+	MissSequential MissCategory = iota
+	MissCondTakenFwd
+	MissCondTakenBwd
+	MissCondNotTaken
+	MissUncondBranch
+	MissCall
+	MissJump
+	MissReturn
+	MissTrap
+
+	NumMissCategories = int(MissTrap) + 1
+)
+
+var missNames = [NumMissCategories]string{
+	"sequential", "cond-taken-fwd", "cond-taken-bwd", "cond-not-taken",
+	"uncond-branch", "call", "jump", "return", "trap",
+}
+
+// String returns a short human-readable name.
+func (c MissCategory) String() string {
+	if int(c) < len(missNames) {
+		return missNames[c]
+	}
+	return fmt.Sprintf("miss(%d)", uint8(c))
+}
+
+// CategoryOf maps the CTI that redirected fetch onto the miss category of
+// a miss at its target. CTINone (pure sequential fetch) maps to
+// MissSequential; a not-taken conditional branch's fall-through miss is
+// attributed to MissCondNotTaken, matching the paper's taxonomy.
+func CategoryOf(k CTIKind) MissCategory {
+	switch k {
+	case CTINone:
+		return MissSequential
+	case CTICondTakenFwd:
+		return MissCondTakenFwd
+	case CTICondTakenBwd:
+		return MissCondTakenBwd
+	case CTICondNotTaken:
+		return MissCondNotTaken
+	case CTIUncondBranch:
+		return MissUncondBranch
+	case CTICall:
+		return MissCall
+	case CTIJump:
+		return MissJump
+	case CTIReturn:
+		return MissReturn
+	case CTITrap:
+		return MissTrap
+	}
+	return MissSequential
+}
+
+// SuperCategory is the coarse grouping used by the limits study
+// (Figure 4): sequential, branch, or function-call misses.
+type SuperCategory uint8
+
+const (
+	SuperSequential SuperCategory = iota
+	SuperBranch
+	SuperFunction
+	SuperTrap
+
+	NumSuperCategories = int(SuperTrap) + 1
+)
+
+var superNames = [NumSuperCategories]string{"sequential", "branch", "function", "trap"}
+
+// String returns a short human-readable name.
+func (s SuperCategory) String() string {
+	if int(s) < len(superNames) {
+		return superNames[s]
+	}
+	return fmt.Sprintf("super(%d)", uint8(s))
+}
+
+// SuperOf maps a fine miss category to its super-category.
+func SuperOf(c MissCategory) SuperCategory {
+	switch c {
+	case MissSequential:
+		return SuperSequential
+	case MissCondTakenFwd, MissCondTakenBwd, MissCondNotTaken, MissUncondBranch:
+		return SuperBranch
+	case MissCall, MissJump, MissReturn:
+		return SuperFunction
+	case MissTrap:
+		return SuperTrap
+	}
+	return SuperSequential
+}
+
+// MemKind classifies a data memory operation.
+type MemKind uint8
+
+const (
+	MemLoad MemKind = iota
+	MemStore
+)
+
+// MemOp is one data access performed by a basic block.
+type MemOp struct {
+	Addr Addr
+	Kind MemKind
+}
+
+// Block is one dynamic basic block: NumInstrs sequential instructions
+// starting at PC, ended by a CTI of kind CTI. For flow-changing CTIs,
+// Target is the address fetch is redirected to; for CTINone and
+// not-taken conditional branches, execution continues at the address
+// immediately after the block (NextSeq).
+//
+// Blocks are the unit of both trace records and timing-model processing:
+// fetching a block touches the cache lines spanned by
+// [PC, PC+NumInstrs*InstrBytes).
+type Block struct {
+	PC        Addr
+	NumInstrs int
+	CTI       CTIKind
+	Target    Addr
+	MemOps    []MemOp
+}
+
+// End returns the address one past the last instruction byte of the block.
+func (b *Block) End() Addr {
+	return b.PC + Addr(b.NumInstrs*InstrBytes)
+}
+
+// NextSeq returns the fall-through address after the block.
+func (b *Block) NextSeq() Addr { return b.End() }
+
+// NextPC returns where fetch continues after this block, honouring the
+// CTI kind.
+func (b *Block) NextPC() Addr {
+	if b.CTI.ChangesFlow() {
+		return b.Target
+	}
+	return b.NextSeq()
+}
+
+// Lines returns the inclusive line-number range [first, last] the block's
+// instructions occupy for the given line size.
+func (b *Block) Lines(lineBytes int) (first, last Line) {
+	first = LineOf(b.PC, lineBytes)
+	last = LineOf(b.End()-1, lineBytes)
+	return first, last
+}
+
+// Validate performs basic consistency checks, returning a descriptive
+// error for malformed blocks. Trace readers use it to reject corrupt
+// input.
+func (b *Block) Validate() error {
+	if b.NumInstrs <= 0 {
+		return fmt.Errorf("isa: block at %#x has %d instructions", uint64(b.PC), b.NumInstrs)
+	}
+	if uint64(b.PC)%InstrBytes != 0 {
+		return fmt.Errorf("isa: block PC %#x not %d-byte aligned", uint64(b.PC), InstrBytes)
+	}
+	if b.CTI.ChangesFlow() {
+		if uint64(b.Target)%InstrBytes != 0 {
+			return fmt.Errorf("isa: block target %#x not aligned", uint64(b.Target))
+		}
+	}
+	if int(b.CTI) >= NumCTIKinds {
+		return fmt.Errorf("isa: unknown CTI kind %d", b.CTI)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	tests := []struct {
+		addr      Addr
+		lineBytes int
+		want      Line
+	}{
+		{0, 64, 0},
+		{63, 64, 0},
+		{64, 64, 1},
+		{128, 64, 2},
+		{4096, 64, 64},
+		{100, 32, 3},
+		{255, 128, 1},
+		{256, 128, 2},
+	}
+	for _, tc := range tests {
+		if got := LineOf(tc.addr, tc.lineBytes); got != tc.want {
+			t.Errorf("LineOf(%d, %d) = %d, want %d", tc.addr, tc.lineBytes, got, tc.want)
+		}
+	}
+}
+
+func TestLineBaseRoundTrip(t *testing.T) {
+	f := func(raw uint64, pick uint8) bool {
+		sizes := []int{32, 64, 128, 256}
+		lb := sizes[int(pick)%len(sizes)]
+		a := Addr(raw)
+		l := LineOf(a, lb)
+		base := l.Base(lb)
+		// base must be <= a, within one line, and line-aligned.
+		return base <= a && uint64(a)-uint64(base) < uint64(lb) && uint64(base)%uint64(lb) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCTIClassification(t *testing.T) {
+	tests := []struct {
+		k                           CTIKind
+		cond, branch, fn, flow, ind bool
+	}{
+		{CTINone, false, false, false, false, false},
+		{CTICondTakenFwd, true, true, false, true, false},
+		{CTICondTakenBwd, true, true, false, true, false},
+		{CTICondNotTaken, true, true, false, false, false},
+		{CTIUncondBranch, false, true, false, true, false},
+		{CTICall, false, false, true, true, false},
+		{CTIJump, false, false, true, true, true},
+		{CTIReturn, false, false, true, true, true},
+		{CTITrap, false, false, false, true, false},
+	}
+	for _, tc := range tests {
+		if tc.k.IsConditional() != tc.cond {
+			t.Errorf("%v IsConditional = %v", tc.k, tc.k.IsConditional())
+		}
+		if tc.k.IsBranch() != tc.branch {
+			t.Errorf("%v IsBranch = %v", tc.k, tc.k.IsBranch())
+		}
+		if tc.k.IsFunction() != tc.fn {
+			t.Errorf("%v IsFunction = %v", tc.k, tc.k.IsFunction())
+		}
+		if tc.k.ChangesFlow() != tc.flow {
+			t.Errorf("%v ChangesFlow = %v", tc.k, tc.k.ChangesFlow())
+		}
+		if tc.k.IsIndirect() != tc.ind {
+			t.Errorf("%v IsIndirect = %v", tc.k, tc.k.IsIndirect())
+		}
+	}
+}
+
+func TestCategoryOfCoversAllKinds(t *testing.T) {
+	want := map[CTIKind]MissCategory{
+		CTINone:         MissSequential,
+		CTICondTakenFwd: MissCondTakenFwd,
+		CTICondTakenBwd: MissCondTakenBwd,
+		CTICondNotTaken: MissCondNotTaken,
+		CTIUncondBranch: MissUncondBranch,
+		CTICall:         MissCall,
+		CTIJump:         MissJump,
+		CTIReturn:       MissReturn,
+		CTITrap:         MissTrap,
+	}
+	for k, c := range want {
+		if got := CategoryOf(k); got != c {
+			t.Errorf("CategoryOf(%v) = %v, want %v", k, got, c)
+		}
+	}
+}
+
+func TestSuperOf(t *testing.T) {
+	want := map[MissCategory]SuperCategory{
+		MissSequential:   SuperSequential,
+		MissCondTakenFwd: SuperBranch,
+		MissCondTakenBwd: SuperBranch,
+		MissCondNotTaken: SuperBranch,
+		MissUncondBranch: SuperBranch,
+		MissCall:         SuperFunction,
+		MissJump:         SuperFunction,
+		MissReturn:       SuperFunction,
+		MissTrap:         SuperTrap,
+	}
+	for c, s := range want {
+		if got := SuperOf(c); got != s {
+			t.Errorf("SuperOf(%v) = %v, want %v", c, got, s)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	for k := 0; k < NumCTIKinds; k++ {
+		if CTIKind(k).String() == "" {
+			t.Errorf("CTIKind %d has empty name", k)
+		}
+	}
+	for c := 0; c < NumMissCategories; c++ {
+		if MissCategory(c).String() == "" {
+			t.Errorf("MissCategory %d has empty name", c)
+		}
+	}
+	for s := 0; s < NumSuperCategories; s++ {
+		if SuperCategory(s).String() == "" {
+			t.Errorf("SuperCategory %d has empty name", s)
+		}
+	}
+	// Out-of-range values format rather than panic.
+	if CTIKind(200).String() == "" || MissCategory(200).String() == "" || SuperCategory(200).String() == "" {
+		t.Error("out-of-range enums should still format")
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	b := Block{PC: 0x1000, NumInstrs: 20, CTI: CTICall, Target: 0x8000}
+	if b.End() != 0x1000+20*InstrBytes {
+		t.Fatalf("End = %#x", uint64(b.End()))
+	}
+	if b.NextPC() != 0x8000 {
+		t.Fatalf("NextPC = %#x, want target", uint64(b.NextPC()))
+	}
+	first, last := b.Lines(64)
+	if first != LineOf(0x1000, 64) {
+		t.Fatalf("first line = %d", first)
+	}
+	// 20 instrs * 4B = 80B starting at 0x1000 spans two 64B lines.
+	if last != first+1 {
+		t.Fatalf("last line = %d, want %d", last, first+1)
+	}
+}
+
+func TestBlockNextPCFallThrough(t *testing.T) {
+	for _, k := range []CTIKind{CTINone, CTICondNotTaken} {
+		b := Block{PC: 0x2000, NumInstrs: 3, CTI: k, Target: 0x9999000}
+		if b.NextPC() != b.End() {
+			t.Errorf("%v NextPC = %#x, want fall-through %#x", k, uint64(b.NextPC()), uint64(b.End()))
+		}
+	}
+}
+
+func TestBlockSingleLineSpan(t *testing.T) {
+	// A block wholly inside one line reports first == last.
+	b := Block{PC: 0x40, NumInstrs: 4, CTI: CTINone}
+	first, last := b.Lines(64)
+	if first != last {
+		t.Fatalf("expected single-line block, got [%d,%d]", first, last)
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	good := Block{PC: 0x100, NumInstrs: 5, CTI: CTIUncondBranch, Target: 0x400}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	bad := []Block{
+		{PC: 0x100, NumInstrs: 0, CTI: CTINone},
+		{PC: 0x101, NumInstrs: 3, CTI: CTINone},
+		{PC: 0x100, NumInstrs: 3, CTI: CTICall, Target: 0x401},
+		{PC: 0x100, NumInstrs: 3, CTI: CTIKind(99)},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad block %d accepted", i)
+		}
+	}
+}
+
+// Property: for flow-changing CTIs NextPC is Target; otherwise it is End.
+func TestNextPCProperty(t *testing.T) {
+	f := func(pc, tgt uint32, n uint8, kindRaw uint8) bool {
+		k := CTIKind(int(kindRaw) % NumCTIKinds)
+		b := Block{
+			PC:        Addr(pc) &^ 3,
+			NumInstrs: int(n%64) + 1,
+			CTI:       k,
+			Target:    Addr(tgt) &^ 3,
+		}
+		if k.ChangesFlow() {
+			return b.NextPC() == b.Target
+		}
+		return b.NextPC() == b.End()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a block's line span length equals the number of distinct
+// lines covered by its bytes.
+func TestLinesSpanProperty(t *testing.T) {
+	f := func(pc uint32, n uint8) bool {
+		b := Block{PC: Addr(pc) &^ 3, NumInstrs: int(n%128) + 1, CTI: CTINone}
+		first, last := b.Lines(64)
+		seen := map[Line]bool{}
+		for a := b.PC; a < b.End(); a += InstrBytes {
+			seen[LineOf(a, 64)] = true
+		}
+		return int(last-first)+1 == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

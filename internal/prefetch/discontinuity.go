@@ -1,0 +1,340 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DiscontinuityConfig parameterises the paper's discontinuity prefetcher
+// (Section 4).
+type DiscontinuityConfig struct {
+	// TableEntries is the size of the direct-mapped prediction table
+	// (paper default: 8192; Figure 10 sweeps 256–8192). Power of two.
+	TableEntries int
+	// PrefetchAhead is the sequential prefetch-ahead distance N. The
+	// paper uses 4 by default and evaluates 2 ("discont (2NL)") as a
+	// bandwidth-frugal variant in Figure 9.
+	PrefetchAhead int
+	// CounterMax is the saturation value of the per-entry eviction
+	// counter (3 for the paper's 2-bit counter). With NoCounter set the
+	// table always replaces on conflict (an ablation).
+	CounterMax uint8
+	// NoCounter disables eviction-counter protection (ablation A1).
+	NoCounter bool
+	// ConfidenceFilter enables the Haga et al. refinement the paper
+	// discusses in Section 2.4: each entry carries a confidence counter
+	// estimating whether its target is likely absent from the cache —
+	// incremented when the target is evicted after demand use,
+	// decremented when a prefetch of it proves ineffective. Predictions
+	// below ConfidenceThreshold are suppressed, which removes the need
+	// to probe the cache tags before issuing.
+	ConfidenceFilter bool
+	// ConfidenceThreshold is the minimum confidence to emit a prediction
+	// (default 2 when the filter is enabled).
+	ConfidenceThreshold uint8
+	// ConfidenceMax saturates the confidence counter (default 7, 3 bits).
+	ConfidenceMax uint8
+}
+
+// DefaultDiscontinuityConfig returns the paper's configuration.
+func DefaultDiscontinuityConfig() DiscontinuityConfig {
+	return DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4, CounterMax: 3}
+}
+
+// Validate reports whether the configuration is usable.
+func (c DiscontinuityConfig) Validate() error {
+	if c.TableEntries <= 0 || c.TableEntries&(c.TableEntries-1) != 0 {
+		return fmt.Errorf("prefetch: table entries %d not a positive power of two", c.TableEntries)
+	}
+	if c.PrefetchAhead < 1 {
+		return fmt.Errorf("prefetch: prefetch-ahead %d must be >= 1", c.PrefetchAhead)
+	}
+	return nil
+}
+
+type dentry struct {
+	trigger isa.Line
+	target  isa.Line
+	ctr     uint8
+	conf    uint8
+	valid   bool
+}
+
+// Discontinuity is the paper's discontinuity prefetcher paired with its
+// next-N-line sequential component.
+//
+// The prediction table is direct mapped with a single target per entry
+// (the paper found one target per trigger line suffices) and a 2-bit
+// saturating eviction counter:
+//
+//   - Allocation (on a cross-line discontinuity whose target missed
+//     L1-I): if the trigger's slot is empty the entry is installed with
+//     a saturated counter. Small forward discontinuities within the
+//     prefetch-ahead distance are NOT stored — the sequential component
+//     covers them, which is what keeps the table small.
+//   - Replacement: a conflicting candidate decrements the resident
+//     entry's counter and only replaces it at zero, so useful entries
+//     survive stray events.
+//   - Prediction: each triggering fetch of line L emits the sequential
+//     candidates L+1…L+N and probes the table with L, L+1, …, L+N (the
+//     sequential prefetcher "moving ahead of the demand fetch stream").
+//     A hit at L+i emits the stored target G and the remainder of the
+//     prefetch-ahead distance beyond it (G+1 … G+(N−i)), because waiting
+//     for the discontinuity to be verified would be too late to cover an
+//     L2 miss.
+//   - Usefulness: when a prefetched target line is demand-used, the
+//     entry that predicted it gets its counter credited.
+type Discontinuity struct {
+	cfg     DiscontinuityConfig
+	name    string
+	mask    uint64
+	entries []dentry
+
+	// pending maps issued target lines to the table slot that predicted
+	// them, for usefulness credit. Bounded; stale entries are simply
+	// dropped.
+	pending map[isa.Line]int32
+
+	allocations  uint64
+	replacements uint64
+	probes       uint64
+	probeHits    uint64
+	suppressed   uint64
+
+	// targetSlots maps target lines to predicting slots for confidence
+	// feedback on L1 evictions; bounded like pending.
+	targetSlots map[isa.Line]int32
+}
+
+const pendingCap = 512
+
+// NewDiscontinuity builds the prefetcher, panicking on invalid
+// configuration (configurations are program constants).
+func NewDiscontinuity(cfg DiscontinuityConfig) *Discontinuity {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.CounterMax == 0 && !cfg.NoCounter {
+		cfg.CounterMax = 3
+	}
+	if cfg.ConfidenceFilter {
+		if cfg.ConfidenceThreshold == 0 {
+			cfg.ConfidenceThreshold = 2
+		}
+		if cfg.ConfidenceMax == 0 {
+			cfg.ConfidenceMax = 7
+		}
+	}
+	name := fmt.Sprintf("discontinuity-%dnl", cfg.PrefetchAhead)
+	if cfg.PrefetchAhead == 4 {
+		name = "discontinuity"
+	}
+	return &Discontinuity{
+		cfg:         cfg,
+		name:        name,
+		mask:        uint64(cfg.TableEntries - 1),
+		entries:     make([]dentry, cfg.TableEntries),
+		pending:     make(map[isa.Line]int32, pendingCap),
+		targetSlots: make(map[isa.Line]int32, pendingCap),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *Discontinuity) Name() string { return p.name }
+
+// Config returns the active configuration.
+func (p *Discontinuity) Config() DiscontinuityConfig { return p.cfg }
+
+func (p *Discontinuity) slot(trigger isa.Line) *dentry {
+	return &p.entries[uint64(trigger)&p.mask]
+}
+
+// OnFetch implements Prefetcher.
+func (p *Discontinuity) OnFetch(ev Event, out []isa.Line) []isa.Line {
+	n := p.cfg.PrefetchAhead
+	if ev.Miss || ev.PrefetchHit {
+		// Sequential component: next-N lines (tagged trigger).
+		for i := 1; i <= n; i++ {
+			out = append(out, ev.Line+isa.Line(i))
+		}
+	}
+	// Discontinuity component: probe with the demand line and each line
+	// of the prefetch-ahead window.
+	for i := 0; i <= n; i++ {
+		probe := ev.Line + isa.Line(i)
+		p.probes++
+		e := p.slot(probe)
+		if !e.valid || e.trigger != probe {
+			continue
+		}
+		p.probeHits++
+		if p.cfg.ConfidenceFilter && e.conf < p.cfg.ConfidenceThreshold {
+			p.suppressed++
+			continue
+		}
+		rem := n - i
+		if rem < 1 {
+			rem = 1
+		}
+		for j := 0; j <= rem; j++ {
+			out = append(out, e.target+isa.Line(j))
+		}
+		p.credit(e.target, int32(uint64(probe)&p.mask))
+	}
+	return out
+}
+
+// credit remembers which slot predicted target so a later demand use can
+// increment its counter.
+func (p *Discontinuity) credit(target isa.Line, slot int32) {
+	if len(p.pending) >= pendingCap {
+		// Drop an arbitrary stale credit; losing credit is harmless.
+		for k := range p.pending {
+			delete(p.pending, k)
+			break
+		}
+	}
+	p.pending[target] = slot
+	if p.cfg.ConfidenceFilter {
+		if len(p.targetSlots) >= 4*pendingCap {
+			for k := range p.targetSlots {
+				delete(p.targetSlots, k)
+				break
+			}
+		}
+		p.targetSlots[target] = slot
+	}
+}
+
+// OnL1Eviction implements EvictionObserver when the confidence filter is
+// active: evicting a demand-used target raises confidence (the line is
+// gone, so the next prefetch of it will be useful); evicting an unused
+// prefetched target lowers it (the prefetch was ineffective).
+func (p *Discontinuity) OnL1Eviction(line isa.Line, wasUsed bool) {
+	if !p.cfg.ConfidenceFilter {
+		return
+	}
+	slot, ok := p.targetSlots[line]
+	if !ok {
+		return
+	}
+	e := &p.entries[slot]
+	if !e.valid || e.target != line {
+		delete(p.targetSlots, line)
+		return
+	}
+	if wasUsed {
+		if e.conf < p.cfg.ConfidenceMax {
+			e.conf++
+		}
+	} else if e.conf > 0 {
+		e.conf--
+	}
+}
+
+// OnDiscontinuity implements Prefetcher: table allocation/replacement.
+func (p *Discontinuity) OnDiscontinuity(trigger, target isa.Line, targetMissed bool) {
+	if !targetMissed {
+		return
+	}
+	// Small forward discontinuities are covered by the sequential
+	// component; storing them would waste table space (Section 2.2).
+	if target > trigger && target <= trigger+isa.Line(p.cfg.PrefetchAhead) {
+		return
+	}
+	e := p.slot(trigger)
+	if e.valid && e.trigger == trigger {
+		if e.target == target {
+			return // already represented
+		}
+		// Same trigger, new target: treat like a conflicting candidate.
+		if p.cfg.NoCounter || e.ctr == 0 {
+			e.target = target
+			e.ctr = p.cfg.CounterMax
+			e.conf = p.cfg.ConfidenceThreshold
+			p.replacements++
+			return
+		}
+		e.ctr--
+		return
+	}
+	if !e.valid {
+		*e = dentry{trigger: trigger, target: target, ctr: p.cfg.CounterMax,
+			conf: p.cfg.ConfidenceThreshold, valid: true}
+		p.allocations++
+		return
+	}
+	// Conflict with a different trigger mapping to the same slot.
+	if p.cfg.NoCounter || e.ctr == 0 {
+		*e = dentry{trigger: trigger, target: target, ctr: p.cfg.CounterMax,
+			conf: p.cfg.ConfidenceThreshold, valid: true}
+		p.replacements++
+		return
+	}
+	e.ctr--
+}
+
+// OnPrefetchUseful implements Prefetcher: credit the predicting entry.
+func (p *Discontinuity) OnPrefetchUseful(line isa.Line) {
+	slot, ok := p.pending[line]
+	if !ok {
+		return
+	}
+	delete(p.pending, line)
+	e := &p.entries[slot]
+	if e.valid && e.target == line && e.ctr < p.cfg.CounterMax {
+		e.ctr++
+	}
+}
+
+// Reset implements Prefetcher.
+func (p *Discontinuity) Reset() {
+	for i := range p.entries {
+		p.entries[i] = dentry{}
+	}
+	clear(p.pending)
+	clear(p.targetSlots)
+	p.allocations = 0
+	p.replacements = 0
+	p.probes = 0
+	p.probeHits = 0
+	p.suppressed = 0
+}
+
+// Occupancy returns the number of valid table entries.
+func (p *Discontinuity) Occupancy() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocations returns lifetime table allocations (diagnostics).
+func (p *Discontinuity) Allocations() uint64 { return p.allocations }
+
+// Replacements returns lifetime entry replacements.
+func (p *Discontinuity) Replacements() uint64 { return p.replacements }
+
+// ProbeHitRate returns the fraction of table probes that hit.
+func (p *Discontinuity) ProbeHitRate() float64 {
+	if p.probes == 0 {
+		return 0
+	}
+	return float64(p.probeHits) / float64(p.probes)
+}
+
+// Suppressed returns predictions withheld by the confidence filter.
+func (p *Discontinuity) Suppressed() uint64 { return p.suppressed }
+
+// Lookup exposes the stored target for a trigger line (tests).
+func (p *Discontinuity) Lookup(trigger isa.Line) (isa.Line, bool) {
+	e := p.slot(trigger)
+	if e.valid && e.trigger == trigger {
+		return e.target, true
+	}
+	return 0, false
+}

@@ -1,0 +1,66 @@
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factory builds a fresh prefetcher instance (one per core).
+type Factory func() Prefetcher
+
+// registry maps scheme names to factories for CLI and experiment use.
+var registry = map[string]Factory{
+	"none":          func() Prefetcher { return NewNone() },
+	"nl-always":     func() Prefetcher { return NewNextLineAlways() },
+	"nl-miss":       func() Prefetcher { return NewNextLineOnMiss() },
+	"nl-tagged":     func() Prefetcher { return NewNextLineTagged() },
+	"n2l-tagged":    func() Prefetcher { return NewNextNTagged(2) },
+	"n4l-tagged":    func() Prefetcher { return NewNextNTagged(4) },
+	"n8l-tagged":    func() Prefetcher { return NewNextNTagged(8) },
+	"lookahead4":    func() Prefetcher { return NewLookahead(4) },
+	"target":        func() Prefetcher { return NewTarget(8192, 2) },
+	"markov":        func() Prefetcher { return NewMarkov(8192, 2) },
+	"wrong-path":    func() Prefetcher { return NewWrongPath() },
+	"streams":       func() Prefetcher { return NewStreams(4, 4) },
+	"discontinuity": func() Prefetcher { return NewDiscontinuity(DefaultDiscontinuityConfig()) },
+	"discont-2nl": func() Prefetcher {
+		cfg := DefaultDiscontinuityConfig()
+		cfg.PrefetchAhead = 2
+		return NewDiscontinuity(cfg)
+	},
+}
+
+// New returns a fresh prefetcher of the named scheme.
+func New(name string) (Prefetcher, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown scheme %q (known: %v)", name, SchemeNames())
+	}
+	return f(), nil
+}
+
+// MustNew is New that panics on unknown names, for use with literal
+// scheme names in experiments.
+func MustNew(name string) Prefetcher {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SchemeNames returns the registered scheme names, sorted.
+func SchemeNames() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperSchemes returns the four schemes compared throughout the paper's
+// evaluation (Figures 5–8), in presentation order.
+func PaperSchemes() []string {
+	return []string{"nl-miss", "nl-tagged", "n4l-tagged", "discontinuity"}
+}

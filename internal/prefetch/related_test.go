@@ -1,0 +1,273 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestMarkovLearnsMultipleSuccessors(t *testing.T) {
+	p := NewMarkov(1024, 2)
+	// Line 10 is followed alternately by 50 and 90.
+	seq := []isa.Line{10, 50, 10, 90, 10, 50, 10, 90}
+	for _, l := range seq {
+		p.OnFetch(Event{Line: l}, nil)
+	}
+	out := p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	if len(out) != 2 {
+		t.Fatalf("successors = %v, want both 50 and 90", out)
+	}
+	found := map[isa.Line]bool{}
+	for _, l := range out {
+		found[l] = true
+	}
+	if !found[50] || !found[90] {
+		t.Fatalf("successors = %v", out)
+	}
+}
+
+func TestMarkovMRUOrdering(t *testing.T) {
+	p := NewMarkov(64, 2)
+	p.OnFetch(Event{Line: 10}, nil)
+	p.OnFetch(Event{Line: 50}, nil)
+	p.OnFetch(Event{Line: 10}, nil)
+	p.OnFetch(Event{Line: 90}, nil)
+	// 90 is the most recent successor: it must come first.
+	out := p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	if len(out) != 2 || out[0] != 90 {
+		t.Fatalf("out = %v, want 90 first", out)
+	}
+}
+
+func TestMarkovWaysBounded(t *testing.T) {
+	p := NewMarkov(64, 2)
+	for i, succ := range []isa.Line{50, 90, 130, 170} {
+		p.OnFetch(Event{Line: 10}, nil)
+		p.OnFetch(Event{Line: succ}, nil)
+		_ = i
+	}
+	out := p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	if len(out) != 2 {
+		t.Fatalf("ways bound violated: %v", out)
+	}
+	// The two most recent (170, 130) survive.
+	if out[0] != 170 || out[1] != 130 {
+		t.Fatalf("out = %v, want [170 130]", out)
+	}
+}
+
+func TestMarkovNoSelfLoops(t *testing.T) {
+	p := NewMarkov(64, 2)
+	p.OnFetch(Event{Line: 5}, nil)
+	p.OnFetch(Event{Line: 5}, nil)
+	p.OnFetch(Event{Line: 5}, nil)
+	if out := p.OnFetch(Event{Line: 5, Miss: true}, nil); len(out) != 0 {
+		t.Fatalf("self-loop trained: %v", out)
+	}
+}
+
+func TestMarkovReset(t *testing.T) {
+	p := NewMarkov(64, 2)
+	p.OnFetch(Event{Line: 1}, nil)
+	p.OnFetch(Event{Line: 9}, nil)
+	p.Reset()
+	if out := p.OnFetch(Event{Line: 1, Miss: true}, nil); len(out) != 0 {
+		t.Fatalf("table survived reset: %v", out)
+	}
+}
+
+func TestMarkovPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMarkov(0, 2) },
+		func() { NewMarkov(100, 2) },
+		func() { NewMarkov(64, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWrongPathPrefetchesOtherOutcome(t *testing.T) {
+	p := NewWrongPath()
+	// Followed taken: prefetch the fall-through line.
+	out := p.OnBranch(100, 20, true, nil)
+	if len(out) != 1 || out[0] != 20 {
+		t.Fatalf("taken branch: out = %v, want fall line 20", out)
+	}
+	// Followed not-taken: prefetch the taken-path line.
+	out = p.OnBranch(100, 20, false, nil)
+	if len(out) != 1 || out[0] != 100 {
+		t.Fatalf("not-taken branch: out = %v, want taken line 100", out)
+	}
+}
+
+func TestWrongPathSequentialBase(t *testing.T) {
+	p := NewWrongPath()
+	out := p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	if len(out) != 1 || out[0] != 11 {
+		t.Fatalf("sequential base: out = %v", out)
+	}
+	if out := p.OnFetch(Event{Line: 10}, nil); len(out) != 0 {
+		t.Fatalf("hit fired sequential base: %v", out)
+	}
+}
+
+func TestWrongPathImplementsBranchObserver(t *testing.T) {
+	var p Prefetcher = NewWrongPath()
+	if _, ok := p.(BranchObserver); !ok {
+		t.Fatal("WrongPath must implement BranchObserver")
+	}
+	// Plain schemes must not.
+	var q Prefetcher = NewNextLineTagged()
+	if _, ok := q.(BranchObserver); ok {
+		t.Fatal("NextN unexpectedly implements BranchObserver")
+	}
+}
+
+func TestRelatedSchemesRegistered(t *testing.T) {
+	for _, name := range []string{"markov", "wrong-path"} {
+		if _, err := New(name); err != nil {
+			t.Errorf("scheme %q not registered: %v", name, err)
+		}
+	}
+}
+
+func TestStreamsAllocatesAndAdvances(t *testing.T) {
+	p := NewStreams(2, 4)
+	// First miss allocates a stream prefetching 11..14.
+	out := p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	if len(out) != 4 || out[0] != 11 || out[3] != 14 {
+		t.Fatalf("allocation candidates = %v", out)
+	}
+	if p.ActiveStreams() != 1 {
+		t.Fatalf("streams = %d", p.ActiveStreams())
+	}
+	// A tagged hit on 12 extends the same stream up to 16.
+	out = p.OnFetch(Event{Line: 12, PrefetchHit: true}, nil)
+	if len(out) == 0 || out[len(out)-1] != 16 {
+		t.Fatalf("advance candidates = %v", out)
+	}
+	if p.ActiveStreams() != 1 {
+		t.Fatalf("advance allocated a new stream")
+	}
+}
+
+func TestStreamsConcurrentStreams(t *testing.T) {
+	p := NewStreams(2, 2)
+	p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	p.OnFetch(Event{Line: 1000, Miss: true}, nil)
+	if p.ActiveStreams() != 2 {
+		t.Fatalf("streams = %d", p.ActiveStreams())
+	}
+	// Both streams stay live while interleaved.
+	p.OnFetch(Event{Line: 11, PrefetchHit: true}, nil)
+	p.OnFetch(Event{Line: 1001, PrefetchHit: true}, nil)
+	if p.ActiveStreams() != 2 {
+		t.Fatal("interleaving killed a stream")
+	}
+	// A third distant miss steals the least-recently-advanced stream.
+	p.OnFetch(Event{Line: 5000, Miss: true}, nil)
+	if p.ActiveStreams() != 2 {
+		t.Fatalf("steal changed stream count: %d", p.ActiveStreams())
+	}
+}
+
+func TestStreamsHitsDoNotTrigger(t *testing.T) {
+	p := NewStreams(2, 2)
+	if out := p.OnFetch(Event{Line: 10}, nil); len(out) != 0 {
+		t.Fatalf("plain hit triggered: %v", out)
+	}
+}
+
+func TestStreamsReset(t *testing.T) {
+	p := NewStreams(2, 2)
+	p.OnFetch(Event{Line: 10, Miss: true}, nil)
+	p.Reset()
+	if p.ActiveStreams() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestStreamsPanics(t *testing.T) {
+	for _, f := range []func(){func() { NewStreams(0, 2) }, func() { NewStreams(2, 0) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConfidenceFilterSuppressesAndRecovers(t *testing.T) {
+	cfg := DefaultDiscontinuityConfig()
+	cfg.ConfidenceFilter = true
+	cfg.ConfidenceThreshold = 2
+	cfg.ConfidenceMax = 7
+	p := NewDiscontinuity(cfg)
+
+	p.OnDiscontinuity(100, 1000, true)
+	// Fresh entries start at the threshold: prediction allowed.
+	out := p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	if !containsLine(out, 1000) {
+		t.Fatalf("fresh entry suppressed: %v", out)
+	}
+	// Two ineffective prefetches (evicted unused) drop confidence below
+	// the threshold.
+	p.OnL1Eviction(1000, false)
+	p.OnFetch(Event{Line: 100, Miss: true}, nil) // re-record credit
+	p.OnL1Eviction(1000, false)
+	before := p.Suppressed()
+	out = p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	if containsLine(out, 1000) {
+		t.Fatalf("low-confidence entry predicted: %v", out)
+	}
+	if p.Suppressed() != before+1 {
+		t.Fatalf("suppressed = %d", p.Suppressed())
+	}
+	// Used evictions restore confidence.
+	p.OnL1Eviction(1000, true)
+	p.OnL1Eviction(1000, true)
+	out = p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	if !containsLine(out, 1000) {
+		t.Fatalf("recovered entry still suppressed: %v", out)
+	}
+}
+
+func TestConfidenceFilterOffIgnoresEvictions(t *testing.T) {
+	p := NewDiscontinuity(DefaultDiscontinuityConfig())
+	p.OnDiscontinuity(100, 1000, true)
+	p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	p.OnL1Eviction(1000, false) // must be a no-op
+	out := p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	if !containsLine(out, 1000) {
+		t.Fatalf("eviction affected unfiltered predictor: %v", out)
+	}
+	if p.Suppressed() != 0 {
+		t.Fatal("suppression counted without filter")
+	}
+}
+
+func TestDiscontinuityImplementsEvictionObserver(t *testing.T) {
+	var p Prefetcher = NewDiscontinuity(DefaultDiscontinuityConfig())
+	if _, ok := p.(EvictionObserver); !ok {
+		t.Fatal("Discontinuity must implement EvictionObserver")
+	}
+}
+
+func containsLine(ls []isa.Line, want isa.Line) bool {
+	for _, l := range ls {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators and the discrete distributions the workload generators are
+// built on. Everything here is reproducible from a single uint64 seed so
+// that simulations (and therefore experiments) are bit-for-bit repeatable
+// across runs and machines, which math/rand does not guarantee across Go
+// releases.
+package rng
+
+import "math"
+
+// SplitMix64 is the seeding generator recommended by Vigna for
+// initialising other generators. It is also a perfectly good generator in
+// its own right for simulation workloads: 2^64 period, passes BigCrush.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is the minimal interface the distributions need.
+type Source interface {
+	Uint64() uint64
+}
+
+// Rand is a xoshiro256** generator with convenience methods. The zero
+// value is not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded deterministically from seed via SplitMix64.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Uint64()
+	}
+	// xoshiro must not be seeded to the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). Panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success
+// (support {0, 1, 2, ...}, mean (1-p)/p). p must be in (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	// Avoid log(0).
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}
+
+// Fork returns an independent generator derived from this one. Forked
+// streams are used to give each simulated core / region its own sequence
+// while remaining a pure function of the root seed.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64())
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It uses the inverse-CDF over a precomputed table, which is
+// exact and fast for the table sizes used by the workload generators
+// (thousands of functions).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against FP round-off
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N()) using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Categorical samples indices with fixed, arbitrary weights.
+type Categorical struct {
+	cdf []float64
+}
+
+// NewCategorical builds a sampler over the given non-negative weights.
+// At least one weight must be positive.
+func NewCategorical(weights []float64) *Categorical {
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative categorical weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: categorical weights sum to zero")
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[len(cdf)-1] = 1
+	return &Categorical{cdf: cdf}
+}
+
+// Sample draws an index using r.
+func (c *Categorical) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(c.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

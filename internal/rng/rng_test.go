@@ -1,0 +1,286 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the canonical C implementation.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64(0) value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%97
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate = %v", got)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	const p = 0.25
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // 3.0
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricNeverNegative(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.Geometric(0.9); v < 0 {
+			t.Fatalf("Geometric returned %d", v)
+		}
+	}
+	if v := New(1).Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	root := New(5)
+	f1 := root.Fork()
+	f2 := root.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams overlap: %d/1000 identical", same)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := New(21)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	r := New(23)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("rank 0 (%d) not more popular than rank 10 (%d)", counts[0], counts[10])
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("rank 0 (%d) not more popular than rank 500 (%d)", counts[0], counts[500])
+	}
+	// For s=1, p(0)/p(1) = 2.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("p(0)/p(1) = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfSingleItem(t *testing.T) {
+	z := NewZipf(1, 1.2)
+	r := New(29)
+	for i := 0; i < 100; i++ {
+		if z.Sample(r) != 0 {
+			t.Fatal("Zipf over 1 item must always return 0")
+		}
+	}
+}
+
+func TestCategoricalWeights(t *testing.T) {
+	c := NewCategorical([]float64{1, 3, 0, 6})
+	r := New(31)
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[2])
+	}
+	for i, want := range []float64{0.1, 0.3, 0, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d rate = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for _, weights := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewCategorical(%v) did not panic", weights)
+				}
+			}()
+			NewCategorical(weights)
+		}()
+	}
+}
+
+// Property: Uint64n(n) is always < n, for any seed and any n > 0.
+func TestUint64nProperty(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return New(seed).Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same seed ⇒ same first 16 outputs (full determinism).
+func TestDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Zipf CDF sampling stays in range for arbitrary seeds.
+func TestZipfRangeProperty(t *testing.T) {
+	z := NewZipf(37, 0.8)
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 32; i++ {
+			v := z.Sample(r)
+			if v < 0 || v >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(4096, 1.0)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(r)
+	}
+}

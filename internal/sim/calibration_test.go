@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestCalibrationBands guards the workload calibration (DESIGN.md §6):
+// the synthetic applications must keep producing baseline behaviour in
+// the neighbourhood of the paper's Figures 1–3, or every downstream
+// experiment silently drifts. Bands are generous — they catch broken
+// profiles, not run-to-run noise.
+func TestCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are slow")
+	}
+	e := NewEngine(500_000, 1_000_000, 1)
+
+	l1i := map[string]float64{}
+	for _, w := range PaperWorkloads(false) {
+		r := e.baseline(w, 1)
+		total := r.Total
+		instr := total.Instructions
+
+		// Figure 1 band: 1.32-3.16 %/instr, widened for scale noise.
+		rate := 100 * total.L1I.PerInstr(instr)
+		l1i[w.Name] = rate
+		if rate < 0.8 || rate > 4.5 {
+			t.Errorf("%s: L1-I miss rate %.2f%%/instr outside [0.8, 4.5]", w.Name, rate)
+		}
+
+		// Figure 3 bands.
+		bd := total.L1IMissBreakdown
+		if f := bd.SuperFraction(isa.SuperSequential); f < 0.30 || f > 0.70 {
+			t.Errorf("%s: sequential miss share %.2f outside [0.30, 0.70]", w.Name, f)
+		}
+		if f := bd.SuperFraction(isa.SuperBranch); f < 0.15 || f > 0.45 {
+			t.Errorf("%s: branch miss share %.2f outside [0.15, 0.45]", w.Name, f)
+		}
+		if f := bd.SuperFraction(isa.SuperFunction); f < 0.10 || f > 0.40 {
+			t.Errorf("%s: function miss share %.2f outside [0.10, 0.40]", w.Name, f)
+		}
+		if f := bd.SuperFraction(isa.SuperTrap); f > 0.02 {
+			t.Errorf("%s: trap miss share %.3f above 0.02", w.Name, f)
+		}
+		// Within branches, cond-taken-forward dominates.
+		if bd.Fraction(isa.MissCondTakenFwd) <= bd.Fraction(isa.MissCondTakenBwd) {
+			t.Errorf("%s: taken-forward not dominant over taken-backward", w.Name)
+		}
+		// Within function calls, call dominates jump and return... except
+		// at L2 for steeply-skewed apps; check L1 only.
+		if bd.Fraction(isa.MissCall) <= bd.Fraction(isa.MissReturn) {
+			t.Errorf("%s: call misses (%.3f) not above return misses (%.3f)",
+				w.Name, bd.Fraction(isa.MissCall), bd.Fraction(isa.MissReturn))
+		}
+
+		// Branch predictor sanity: commercial-workload gshare territory.
+		mr := float64(total.BranchMispredicts) / float64(total.BranchPredictions)
+		if mr < 0.02 || mr > 0.40 {
+			t.Errorf("%s: mispredict rate %.2f outside [0.02, 0.40]", w.Name, mr)
+		}
+
+		// IPC sanity: a stalled commercial workload, not a broken model.
+		if ipc := total.IPC(); ipc < 0.05 || ipc > 1.5 {
+			t.Errorf("%s: baseline IPC %.3f outside [0.05, 1.5]", w.Name, ipc)
+		}
+	}
+
+	// Cross-app ordering: jApp has the highest miss rate (paper Fig 1)
+	// and TPC-W the lowest.
+	if l1i["jApp"] < l1i["TPC-W"] {
+		t.Errorf("jApp (%.2f) below TPC-W (%.2f): Figure 1 ordering broken",
+			l1i["jApp"], l1i["TPC-W"])
+	}
+
+	// Figure 2: the Mixed workload's CMP L2-I rate exceeds every
+	// homogeneous one, super-additively.
+	mix := e.baseline(Workload{Name: "Mixed", Apps: []string{"DB", "TPC-W", "jApp", "Web"}}, 4)
+	mixRate := mix.Total.L2I.PerInstr(mix.Total.Instructions)
+	var sum float64
+	for _, w := range PaperWorkloads(false) {
+		r := e.baseline(w, 4)
+		sum += r.Total.L2I.PerInstr(r.Total.Instructions)
+	}
+	if mixRate <= sum/4 {
+		t.Errorf("Mixed L2I rate %.4f not super-additive vs component mean %.4f", mixRate, sum/4)
+	}
+}
+
+// TestSPECNegativeControl verifies the paper's framing: a SPEC-like
+// compute workload has a tiny instruction working set, near-zero
+// instruction miss rates, and gains essentially nothing from the
+// discontinuity prefetcher.
+func TestSPECNegativeControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are slow")
+	}
+	e := NewEngine(300_000, 600_000, 1)
+	w := Workload{Name: "SPEC", Apps: []string{"SPEC"}}
+	base := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none"})
+	rate := 100 * base.Total.L1I.PerInstr(base.Total.Instructions)
+	if rate > 0.25 {
+		t.Errorf("SPEC-like control misses %.3f%%/instr; should be near zero", rate)
+	}
+	disc := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "discontinuity", Bypass: true})
+	speedup := disc.Total.IPC() / base.Total.IPC()
+	if speedup > 1.03 || speedup < 0.97 {
+		t.Errorf("prefetching changed SPEC-like control by %.3fx; should be ~1.0x", speedup)
+	}
+	commercial := e.baseline(Workload{Name: "jApp", Apps: []string{"jApp"}}, 1)
+	cRate := 100 * commercial.Total.L1I.PerInstr(commercial.Total.Instructions)
+	if cRate < 5*rate {
+		t.Errorf("commercial workload (%.3f%%) not clearly above control (%.3f%%)", cRate, rate)
+	}
+}

@@ -1,0 +1,361 @@
+// Package sim contains the experiment layer: run specifications, a
+// memoising engine, and one runner per figure of the paper's evaluation
+// (Figures 1–10), each producing paper-style tables.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+)
+
+// Workload identifies one column of the paper's charts: a homogeneous
+// application or the multiprogrammed Mix.
+type Workload struct {
+	// Name is the display name ("DB", ..., "Mixed").
+	Name string
+	// Apps lists the applications, cycled across cores.
+	Apps []string
+}
+
+// PaperWorkloads returns the chart columns: the four applications and,
+// when cmp is true, the Mixed workload (which only exists on the CMP).
+func PaperWorkloads(cmpMachine bool) []Workload {
+	ws := []Workload{
+		{Name: "DB", Apps: []string{"DB"}},
+		{Name: "TPC-W", Apps: []string{"TPC-W"}},
+		{Name: "jApp", Apps: []string{"jApp"}},
+		{Name: "Web", Apps: []string{"Web"}},
+	}
+	if cmpMachine {
+		ws = append(ws, Workload{Name: "Mixed", Apps: []string{"DB", "TPC-W", "jApp", "Web"}})
+	}
+	return ws
+}
+
+// RunSpec describes one simulation run. The zero value is not runnable;
+// start from the Engine's defaults via Run options.
+type RunSpec struct {
+	Workload Workload
+	Cores    int
+	// Scheme is the prefetcher registry name ("none", "nl-miss", ...).
+	Scheme string
+	// Bypass enables the Section 7 L2-bypass install policy.
+	Bypass bool
+	// Oracle eliminates miss super-categories (Figure 4).
+	Oracle [isa.NumSuperCategories]bool
+	// L1I/L2 override the default geometries when non-zero.
+	L1I cache.Config
+	L2  cache.Config
+	// TableEntries overrides the discontinuity table size when > 0
+	// (Figure 10); only meaningful with Scheme "discontinuity".
+	TableEntries int
+	// PrefetchAhead overrides the discontinuity prefetch-ahead distance
+	// when > 0 (ablation A3).
+	PrefetchAhead int
+	// NoCounter disables the discontinuity table's eviction counter
+	// (ablation A1).
+	NoCounter bool
+	// NoRecentFilter disables the recent-demand filter (ablation A2).
+	NoRecentFilter bool
+	// QueueFIFO issues prefetches oldest-first (ablation A4).
+	QueueFIFO bool
+	// L2UsefulnessFilter enables the Luk & Mowry re-prefetch filter
+	// (ablation A6).
+	L2UsefulnessFilter bool
+	// ConfidenceFilter enables the Haga et al. confidence filter on the
+	// discontinuity table and disables prefetch tag probes (ablation A7).
+	ConfidenceFilter bool
+	// OffChipGBps overrides the off-chip bandwidth when > 0 (ablation
+	// A8; defaults are 10 GB/s single-core, 20 GB/s CMP).
+	OffChipGBps float64
+	// L1IPolicy overrides the L1-I replacement policy (ablation A9).
+	L1IPolicy cache.Policy
+	// ModelWritebacks enables dirty write-back traffic (ablation A10).
+	ModelWritebacks bool
+}
+
+// key returns a memoisation key covering every field that affects the
+// simulation.
+func (s RunSpec) key() string {
+	return fmt.Sprintf("%s|%d|%s|%v|%v|%+v|%+v|%d|%d|%v|%v|%v|%v",
+		s.Workload.Name, s.Cores, s.Scheme, s.Bypass, s.Oracle, s.L1I, s.L2,
+		s.TableEntries, s.PrefetchAhead, s.NoCounter, s.NoRecentFilter, s.QueueFIFO,
+		s.L2UsefulnessFilter) + fmt.Sprintf("|%v|%g|%d|%v", s.ConfidenceFilter, s.OffChipGBps,
+		s.L1IPolicy, s.ModelWritebacks)
+}
+
+// Result carries everything the figures report from one run.
+type Result struct {
+	Spec    RunSpec
+	Total   stats.CoreStats
+	PerCore []stats.CoreStats
+	// L2InstrOccupancy is the fraction of valid L2 lines holding
+	// instructions at the end of the run (pollution diagnostics).
+	L2InstrOccupancy float64
+	// OffChipTransfers counts line transfers over the off-chip link
+	// (lifetime, including warm-up).
+	OffChipTransfers uint64
+	// Writebacks counts dirty write-back transfers (lifetime; zero
+	// unless ModelWritebacks).
+	Writebacks uint64
+}
+
+// Engine runs simulations with fixed instruction budgets and memoises
+// results, since several figures share runs (e.g. the no-prefetch
+// baseline appears in Figures 5–9).
+type Engine struct {
+	// WarmInstrs and MeasureInstrs are per-core instruction budgets.
+	WarmInstrs    uint64
+	MeasureInstrs uint64
+	// Seed drives all workload streams.
+	Seed uint64
+	// Verbose, when non-nil, receives a line per completed run.
+	Verbose func(string)
+
+	mu   sync.Mutex
+	memo map[string]Result
+}
+
+// NewEngine returns an engine with the given per-core budgets.
+func NewEngine(warm, measure uint64, seed uint64) *Engine {
+	return &Engine{
+		WarmInstrs:    warm,
+		MeasureInstrs: measure,
+		Seed:          seed,
+		memo:          make(map[string]Result),
+	}
+}
+
+// DefaultEngine returns an engine sized for interactive use: large
+// enough for stable shapes, small enough to run all figures in minutes.
+func DefaultEngine() *Engine {
+	return NewEngine(1_500_000, 3_000_000, 1)
+}
+
+// Run executes (or recalls) the simulation described by spec.
+// Individual simulations are single-threaded and deterministic;
+// concurrent Run calls with different specs are safe (see Warm).
+func (e *Engine) Run(spec RunSpec) (Result, error) {
+	e.mu.Lock()
+	if r, ok := e.memo[spec.key()]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+	cfg := cmp.DefaultConfig(spec.Cores)
+	cfg.PrefetcherName = spec.Scheme
+	cfg.FrontEnd.BypassL2 = spec.Bypass
+	cfg.FrontEnd.Oracle = spec.Oracle
+	if spec.L1I.SizeBytes > 0 {
+		cfg.FrontEnd.L1I = spec.L1I
+		// The memory system is line-addressed, so a non-default L1-I
+		// line size is applied hierarchy-wide (L1-D, L2, off-chip unit).
+		// Figure 1 reports only the I-cache miss rate, for which this is
+		// equivalent to the paper's sweep.
+		if lb := spec.L1I.LineBytes; lb != cfg.Mem.L2.LineBytes {
+			cfg.Core.L1D.LineBytes = lb
+			cfg.Mem.L2.LineBytes = lb
+			cfg.Mem.Port.LineBytes = lb
+		}
+	}
+	if spec.L2.SizeBytes > 0 {
+		cfg.Mem.L2 = spec.L2
+	}
+
+	cfg.FrontEnd.NoRecentFilter = spec.NoRecentFilter
+	cfg.FrontEnd.QueueFIFO = spec.QueueFIFO
+	cfg.FrontEnd.L2UsefulnessFilter = spec.L2UsefulnessFilter
+	cfg.FrontEnd.NoTagProbe = spec.ConfidenceFilter
+	if spec.OffChipGBps > 0 {
+		cfg.Mem.Port.BytesPerCycle = spec.OffChipGBps * 1e9 / 3e9
+	}
+	if spec.L1IPolicy != cache.LRU {
+		cfg.FrontEnd.L1I.Policy = spec.L1IPolicy
+	}
+	cfg.ModelWritebacks = spec.ModelWritebacks
+
+	var override func(int) prefetch.Prefetcher
+	if spec.TableEntries > 0 || spec.PrefetchAhead > 0 || spec.NoCounter || spec.ConfidenceFilter {
+		dcfg := prefetch.DefaultDiscontinuityConfig()
+		if spec.TableEntries > 0 {
+			dcfg.TableEntries = spec.TableEntries
+		}
+		if spec.PrefetchAhead > 0 {
+			dcfg.PrefetchAhead = spec.PrefetchAhead
+		}
+		dcfg.NoCounter = spec.NoCounter
+		dcfg.ConfidenceFilter = spec.ConfidenceFilter
+		override = func(int) prefetch.Prefetcher { return prefetch.NewDiscontinuity(dcfg) }
+	}
+
+	srcs, err := cmp.SourcesFor(spec.Workload.Apps, spec.Cores, e.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := cmp.New(cfg, srcs, override)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Run(e.WarmInstrs)
+	sys.ResetStats()
+	sys.Run(e.MeasureInstrs)
+	sys.Finalize()
+
+	res := Result{
+		Spec:             spec,
+		Total:            sys.TotalStats(),
+		L2InstrOccupancy: sys.Mem().InstrOccupancy(),
+		OffChipTransfers: sys.Mem().Port().Transfers(),
+		Writebacks:       sys.Mem().Writebacks(),
+	}
+	for i := 0; i < spec.Cores; i++ {
+		res.PerCore = append(res.PerCore, *sys.CoreStats(i))
+	}
+	e.mu.Lock()
+	e.memo[spec.key()] = res
+	e.mu.Unlock()
+	if e.Verbose != nil {
+		e.Verbose(fmt.Sprintf("ran %-6s cores=%d scheme=%-14s bypass=%-5v IPC=%.3f L1I=%.3f%%",
+			spec.Workload.Name, spec.Cores, spec.Scheme, spec.Bypass,
+			res.Total.IPC(), 100*res.Total.L1I.PerInstr(res.Total.Instructions)))
+	}
+	return res, nil
+}
+
+// MustRun is Run that panics on error (experiment code uses literal,
+// known-good specs).
+func (e *Engine) MustRun(spec RunSpec) Result {
+	r, err := e.Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Warm runs the given specs concurrently (bounded by GOMAXPROCS) and
+// memoises their results, so subsequent figure runners replay them from
+// cache. Simulations are independent and deterministic, so parallel
+// warming changes nothing but wall-clock time.
+func (e *Engine) Warm(specs []RunSpec) error {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, spec := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s RunSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := e.Run(s); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(spec)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// baseline returns the no-prefetch run for a workload/machine.
+func (e *Engine) baseline(w Workload, cores int) Result {
+	return e.MustRun(RunSpec{Workload: w, Cores: cores, Scheme: "none"})
+}
+
+// pct formats a ratio as a percentage cell.
+func pct(f float64, decimals int) string { return stats.Pct(f, decimals) }
+
+// ratio formats an "X" speedup cell.
+func ratio(f float64) string { return fmt.Sprintf("%.3fX", f) }
+
+// AllSpecs enumerates every simulation the figure and ablation runners
+// perform, so WarmAll can execute them concurrently before the (serial)
+// table construction replays them from cache. Drift between this list
+// and the runners is harmless — anything missing simply runs serially.
+func (e *Engine) AllSpecs() []RunSpec {
+	var specs []RunSpec
+	add := func(s RunSpec) { specs = append(specs, s) }
+
+	// Figure 1: geometry sweep.
+	for _, cfg := range []cache.Config{
+		{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64},
+		{SizeBytes: 32 << 10, Assoc: 1, LineBytes: 64},
+		{SizeBytes: 32 << 10, Assoc: 2, LineBytes: 64},
+		{SizeBytes: 32 << 10, Assoc: 8, LineBytes: 64},
+		{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 32},
+		{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 128},
+		{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 256},
+		{SizeBytes: 16 << 10, Assoc: 4, LineBytes: 64},
+		{SizeBytes: 64 << 10, Assoc: 4, LineBytes: 64},
+		{SizeBytes: 128 << 10, Assoc: 4, LineBytes: 64},
+	} {
+		for _, w := range PaperWorkloads(false) {
+			add(RunSpec{Workload: w, Cores: 1, Scheme: "none", L1I: cfg})
+		}
+	}
+	// Figure 2: L2 capacity sweep.
+	for _, size := range []int{1 << 20, 2 << 20, 4 << 20} {
+		for _, cores := range []int{1, 4} {
+			for _, w := range PaperWorkloads(cores > 1) {
+				add(RunSpec{Workload: w, Cores: cores, Scheme: "none",
+					L2: cache.Config{SizeBytes: size, Assoc: 4, LineBytes: 64}})
+			}
+		}
+	}
+	// Figures 3-10 + ablations: baselines, oracle combos, scheme matrix.
+	for _, cores := range []int{1, 4} {
+		for _, w := range PaperWorkloads(cores > 1) {
+			add(RunSpec{Workload: w, Cores: cores, Scheme: "none"})
+			for _, supers := range [][]isa.SuperCategory{
+				{isa.SuperSequential}, {isa.SuperBranch}, {isa.SuperFunction},
+				{isa.SuperSequential, isa.SuperBranch},
+				{isa.SuperSequential, isa.SuperFunction},
+				{isa.SuperSequential, isa.SuperBranch, isa.SuperFunction},
+			} {
+				var oracle [isa.NumSuperCategories]bool
+				for _, s := range supers {
+					oracle[s] = true
+				}
+				add(RunSpec{Workload: w, Cores: cores, Scheme: "none", Oracle: oracle})
+			}
+			for _, scheme := range paperSchemes() {
+				add(RunSpec{Workload: w, Cores: cores, Scheme: scheme})
+				add(RunSpec{Workload: w, Cores: cores, Scheme: scheme, Bypass: true})
+			}
+		}
+	}
+	for _, w := range PaperWorkloads(true) {
+		add(RunSpec{Workload: w, Cores: 4, Scheme: "discont-2nl", Bypass: true})
+		for _, size := range []int{8192, 4096, 2048, 1024, 512, 256} {
+			add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true, TableEntries: size})
+		}
+		// Ablations (the A1 counter-on case is already in the table-size
+		// sweep above).
+		add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true,
+			NoCounter: true, TableEntries: 512})
+		add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true, NoRecentFilter: true})
+		for _, n := range []int{1, 2, 4, 8} {
+			add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true, PrefetchAhead: n})
+		}
+		add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true, QueueFIFO: true})
+		for _, scheme := range []string{"target", "markov", "wrong-path"} {
+			add(RunSpec{Workload: w, Cores: 4, Scheme: scheme, Bypass: true})
+		}
+		add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true, L2UsefulnessFilter: true})
+		add(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true, ConfidenceFilter: true})
+	}
+	return specs
+}
+
+// WarmAll pre-executes every known experiment spec concurrently.
+func (e *Engine) WarmAll() error { return e.Warm(e.AllSpecs()) }

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestPaperShapes verifies the paper's qualitative claims end-to-end at
+// moderate scale — the reproduction's contract. Each subtest corresponds
+// to a claim EXPERIMENTS.md tracks. One engine is shared so baselines
+// are simulated once.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shapes are slow")
+	}
+	e := NewEngine(400_000, 800_000, 1)
+	db := Workload{Name: "DB", Apps: []string{"DB"}}
+	mix := Workload{Name: "Mixed", Apps: []string{"DB", "TPC-W", "jApp", "Web"}}
+
+	run := func(spec RunSpec) Result { return e.MustRun(spec) }
+
+	t.Run("PrefetcherOrdering", func(t *testing.T) {
+		// Figure 5: miss reduction improves monotonically with scheme
+		// aggressiveness on every workload.
+		for _, w := range PaperWorkloads(false) {
+			base := run(RunSpec{Workload: w, Cores: 1, Scheme: "none"})
+			prev := base.Total.L1I.Misses + 1
+			for _, scheme := range []string{"nl-miss", "nl-tagged", "n4l-tagged", "discontinuity"} {
+				r := run(RunSpec{Workload: w, Cores: 1, Scheme: scheme})
+				if r.Total.L1I.Misses >= prev {
+					t.Errorf("%s: %s did not improve on the previous scheme (%d >= %d)",
+						w.Name, scheme, r.Total.L1I.Misses, prev)
+				}
+				prev = r.Total.L1I.Misses
+			}
+		}
+	})
+
+	t.Run("DiscontinuityCoversMostL2Misses", func(t *testing.T) {
+		// Conclusion: miss rate reduced to a small fraction of baseline.
+		base := run(RunSpec{Workload: db, Cores: 4, Scheme: "none"})
+		disc := run(RunSpec{Workload: db, Cores: 4, Scheme: "discontinuity", Bypass: true})
+		residual := float64(disc.Total.L2I.Misses) / float64(base.Total.L2I.Misses)
+		if residual > 0.30 {
+			t.Errorf("L2I residual = %.2f, want <= 0.30 (paper: 0.10-0.16)", residual)
+		}
+	})
+
+	t.Run("PollutionAndBypass", func(t *testing.T) {
+		// Figures 7/8: conventional installs inflate L2 data misses;
+		// bypass keeps them lower and delivers at least as much speedup.
+		base := run(RunSpec{Workload: db, Cores: 4, Scheme: "none"})
+		conv := run(RunSpec{Workload: db, Cores: 4, Scheme: "discontinuity"})
+		byp := run(RunSpec{Workload: db, Cores: 4, Scheme: "discontinuity", Bypass: true})
+		if conv.Total.L2D.Misses <= base.Total.L2D.Misses {
+			t.Error("conventional installs did not pollute the L2")
+		}
+		if byp.Total.L2D.Misses >= conv.Total.L2D.Misses {
+			t.Error("bypass did not reduce pollution")
+		}
+		if byp.Total.IPC() < conv.Total.IPC()*0.995 {
+			t.Errorf("bypass slower than conventional: %.4f vs %.4f",
+				byp.Total.IPC(), conv.Total.IPC())
+		}
+		if byp.Total.IPC() <= base.Total.IPC() {
+			t.Error("prefetching with bypass did not beat the baseline")
+		}
+	})
+
+	t.Run("AccuracyOrdering", func(t *testing.T) {
+		// Figure 9(i): aggressiveness costs accuracy; 2NL recovers much
+		// of it.
+		acc := func(scheme string) float64 {
+			r := run(RunSpec{Workload: db, Cores: 4, Scheme: scheme, Bypass: true})
+			return r.Total.Prefetch.Accuracy()
+		}
+		nl := acc("nl-tagged")
+		n4l := acc("n4l-tagged")
+		d4 := acc("discontinuity")
+		d2 := acc("discont-2nl")
+		if !(nl > n4l && n4l > d4) {
+			t.Errorf("accuracy ordering broken: nl=%.2f n4l=%.2f disc=%.2f", nl, n4l, d4)
+		}
+		if d2 < d4*1.25 {
+			t.Errorf("discont-2nl accuracy %.2f not clearly above discont %.2f", d2, d4)
+		}
+	})
+
+	t.Run("SmallTablesSuffice", func(t *testing.T) {
+		// Figure 10: a 4x smaller table loses little coverage and still
+		// beats the sequential prefetcher.
+		base := run(RunSpec{Workload: db, Cores: 4, Scheme: "none"})
+		cov := func(spec RunSpec) float64 {
+			r := run(spec)
+			return 1 - float64(r.Total.L1I.Misses)/float64(base.Total.L1I.Misses)
+		}
+		big := cov(RunSpec{Workload: db, Cores: 4, Scheme: "discontinuity", Bypass: true, TableEntries: 8192})
+		quarter := cov(RunSpec{Workload: db, Cores: 4, Scheme: "discontinuity", Bypass: true, TableEntries: 2048})
+		seq := cov(RunSpec{Workload: db, Cores: 4, Scheme: "n4l-tagged", Bypass: true})
+		if quarter < big-0.05 {
+			t.Errorf("4x smaller table lost too much coverage: %.2f vs %.2f", quarter, big)
+		}
+		if quarter <= seq {
+			t.Errorf("2048-entry table (%.2f) does not beat next-4-lines (%.2f)", quarter, seq)
+		}
+	})
+
+	t.Run("MixIsWorstCase", func(t *testing.T) {
+		// Figure 2: the multiprogrammed mix has the highest L2
+		// instruction miss rate on the CMP.
+		mixRate := func(r Result) float64 {
+			return r.Total.L2I.PerInstr(r.Total.Instructions)
+		}
+		m := mixRate(run(RunSpec{Workload: mix, Cores: 4, Scheme: "none"}))
+		for _, w := range PaperWorkloads(false) {
+			r := mixRate(run(RunSpec{Workload: w, Cores: 4, Scheme: "none"}))
+			if r >= m {
+				t.Errorf("%s L2I rate %.4f not below Mixed %.4f", w.Name, r, m)
+			}
+		}
+	})
+
+	t.Run("PrefetchAccountingIdentity", func(t *testing.T) {
+		// Every generated candidate is accounted for exactly once.
+		r := run(RunSpec{Workload: db, Cores: 4, Scheme: "discontinuity", Bypass: true})
+		for i, cs := range r.PerCore {
+			p := cs.Prefetch
+			accounted := p.FilteredRecent + p.FilteredDup + p.FilteredUseless + p.Issued +
+				p.ProbedInCache + p.DroppedOverflow + p.Invalidated + p.Hoisted
+			// Candidates still waiting at run end (under-accounted) and
+			// warm-up-era entries resolved during the window
+			// (over-accounted) bound the gap by the queue size.
+			diff := int64(p.Generated) - int64(accounted)
+			if diff > 32 || diff < -32 {
+				t.Errorf("core %d: generated %d but accounted %d", i, p.Generated, accounted)
+			}
+			if p.Useful > p.Issued {
+				t.Errorf("core %d: useful %d > issued %d", i, p.Useful, p.Issued)
+			}
+		}
+	})
+}

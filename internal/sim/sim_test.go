@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// smallEngine keeps experiment tests fast; shapes at this scale are
+// noisier than the defaults but the structural assertions below hold.
+func smallEngine() *Engine {
+	return NewEngine(150_000, 300_000, 1)
+}
+
+func TestEngineMemoisation(t *testing.T) {
+	e := smallEngine()
+	runs := 0
+	e.Verbose = func(string) { runs++ }
+	spec := RunSpec{Workload: Workload{Name: "Web", Apps: []string{"Web"}}, Cores: 1, Scheme: "none"}
+	r1 := e.MustRun(spec)
+	r2 := e.MustRun(spec)
+	if runs != 1 {
+		t.Fatalf("memoisation failed: %d runs", runs)
+	}
+	if r1.Total.Cycles != r2.Total.Cycles {
+		t.Fatal("memoised result differs")
+	}
+}
+
+func TestEngineDistinctSpecsDistinctRuns(t *testing.T) {
+	e := smallEngine()
+	w := Workload{Name: "Web", Apps: []string{"Web"}}
+	a := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none"})
+	b := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "n4l-tagged"})
+	if a.Total.L1I.Misses == b.Total.L1I.Misses {
+		t.Fatal("different schemes produced identical miss counts")
+	}
+}
+
+func TestEngineRejectsUnknownScheme(t *testing.T) {
+	e := smallEngine()
+	_, err := e.Run(RunSpec{Workload: Workload{Name: "Web", Apps: []string{"Web"}}, Cores: 1, Scheme: "zzz"})
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestEngineRejectsUnknownApp(t *testing.T) {
+	e := smallEngine()
+	_, err := e.Run(RunSpec{Workload: Workload{Name: "X", Apps: []string{"X"}}, Cores: 1, Scheme: "none"})
+	if err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestPaperWorkloads(t *testing.T) {
+	single := PaperWorkloads(false)
+	if len(single) != 4 {
+		t.Fatalf("single-core workloads = %d", len(single))
+	}
+	cmpW := PaperWorkloads(true)
+	if len(cmpW) != 5 || cmpW[4].Name != "Mixed" || len(cmpW[4].Apps) != 4 {
+		t.Fatalf("CMP workloads = %+v", cmpW)
+	}
+}
+
+func TestLineSizeOverridePropagates(t *testing.T) {
+	e := smallEngine()
+	w := Workload{Name: "Web", Apps: []string{"Web"}}
+	r := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none",
+		L1I: cache.Config{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 128}})
+	// Smoke: the run completes and reports sane metrics; line-size
+	// mismatch between levels would corrupt line numbering and show up
+	// as absurd miss ratios.
+	ratio := r.Total.L1I.MissRatio()
+	if ratio <= 0 || ratio > 0.5 {
+		t.Fatalf("L1I miss ratio with 128B lines = %v", ratio)
+	}
+}
+
+func TestOracleSpeedsUp(t *testing.T) {
+	e := smallEngine()
+	w := Workload{Name: "jApp", Apps: []string{"jApp"}}
+	base := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none"})
+	var oracle [isa.NumSuperCategories]bool
+	oracle[isa.SuperSequential] = true
+	oracle[isa.SuperBranch] = true
+	oracle[isa.SuperFunction] = true
+	all := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none", Oracle: oracle})
+	if all.Total.IPC() <= base.Total.IPC()*1.05 {
+		t.Fatalf("oracle gained only %vx", all.Total.IPC()/base.Total.IPC())
+	}
+}
+
+func TestPrefetchBeatsBaseline(t *testing.T) {
+	e := smallEngine()
+	w := Workload{Name: "DB", Apps: []string{"DB"}}
+	base := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none"})
+	disc := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "discontinuity", Bypass: true})
+	if disc.Total.L1I.Misses >= base.Total.L1I.Misses {
+		t.Fatal("discontinuity did not reduce L1I misses")
+	}
+	if disc.Total.IPC() <= base.Total.IPC() {
+		t.Fatal("discontinuity did not improve IPC")
+	}
+}
+
+func TestFigureRunnersProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	e := smallEngine()
+	for _, fig := range e.Figures() {
+		tables := fig.Run()
+		if len(tables) == 0 {
+			t.Fatalf("figure %s produced no tables", fig.ID)
+		}
+		for _, tb := range tables {
+			out := tb.String()
+			if !strings.Contains(out, "DB") {
+				t.Fatalf("figure %s table missing workload columns:\n%s", fig.ID, out)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("figure %s produced an empty table", fig.ID)
+			}
+			for _, row := range tb.Rows {
+				for _, cell := range row {
+					if cell == "NaN" || strings.Contains(cell, "Inf") {
+						t.Fatalf("figure %s has non-finite cell %q", fig.ID, cell)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAblationRunnersProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs are slow")
+	}
+	e := smallEngine()
+	for _, abl := range e.Ablations() {
+		tables := abl.Run()
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Fatalf("ablation %s empty", abl.ID)
+		}
+	}
+}
+
+func TestRunSpecKeyDistinguishesFields(t *testing.T) {
+	w := Workload{Name: "DB", Apps: []string{"DB"}}
+	base := RunSpec{Workload: w, Cores: 1, Scheme: "none"}
+	variants := []RunSpec{
+		{Workload: Workload{Name: "Web", Apps: []string{"Web"}}, Cores: 1, Scheme: "none"},
+		{Workload: w, Cores: 4, Scheme: "none"},
+		{Workload: w, Cores: 1, Scheme: "nl-miss"},
+		{Workload: w, Cores: 1, Scheme: "none", Bypass: true},
+		{Workload: w, Cores: 1, Scheme: "none", TableEntries: 256},
+		{Workload: w, Cores: 1, Scheme: "none", PrefetchAhead: 2},
+		{Workload: w, Cores: 1, Scheme: "none", NoCounter: true},
+		{Workload: w, Cores: 1, Scheme: "none", NoRecentFilter: true},
+		{Workload: w, Cores: 1, Scheme: "none", QueueFIFO: true},
+		{Workload: w, Cores: 1, Scheme: "none", L2: cache.Config{SizeBytes: 1 << 20, Assoc: 4, LineBytes: 64}},
+	}
+	seen := map[string]bool{base.key(): true}
+	for i, v := range variants {
+		k := v.key()
+		if seen[k] {
+			t.Fatalf("variant %d collides with an earlier key", i)
+		}
+		seen[k] = true
+	}
+	var oracle [isa.NumSuperCategories]bool
+	oracle[isa.SuperBranch] = true
+	if (RunSpec{Workload: w, Cores: 1, Scheme: "none", Oracle: oracle}).key() == base.key() {
+		t.Fatal("oracle not in key")
+	}
+}
+
+func TestWarmConcurrent(t *testing.T) {
+	e := smallEngine()
+	w1 := Workload{Name: "Web", Apps: []string{"Web"}}
+	w2 := Workload{Name: "DB", Apps: []string{"DB"}}
+	specs := []RunSpec{
+		{Workload: w1, Cores: 1, Scheme: "none"},
+		{Workload: w1, Cores: 1, Scheme: "n4l-tagged"},
+		{Workload: w2, Cores: 1, Scheme: "none"},
+		{Workload: w2, Cores: 1, Scheme: "discontinuity", Bypass: true},
+	}
+	if err := e.Warm(specs); err != nil {
+		t.Fatal(err)
+	}
+	// Everything warmed: subsequent runs are cache hits.
+	runs := 0
+	e.Verbose = func(string) { runs++ }
+	for _, s := range specs {
+		e.MustRun(s)
+	}
+	if runs != 0 {
+		t.Fatalf("%d specs re-ran after warm", runs)
+	}
+	// Warm surfaces spec errors.
+	if err := e.Warm([]RunSpec{{Workload: w1, Cores: 1, Scheme: "bogus"}}); err == nil {
+		t.Fatal("bad spec warmed without error")
+	}
+}
+
+func TestAllSpecsValid(t *testing.T) {
+	e := smallEngine()
+	specs := e.AllSpecs()
+	if len(specs) < 150 {
+		t.Fatalf("suspiciously few specs: %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.key()] {
+			t.Errorf("duplicate spec: %s", s.key())
+		}
+		seen[s.key()] = true
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats collects the counters the experiments report: per-level
+// miss rates, miss-category breakdowns, prefetch coverage/accuracy and
+// cycle accounting. It also contains the table formatter used by
+// cmd/experiments to print paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"repro/internal/isa"
+)
+
+// MissBreakdown counts instruction misses by the Figure 3 categories.
+type MissBreakdown struct {
+	ByCategory [isa.NumMissCategories]uint64
+}
+
+// Add records one miss of the given category.
+func (m *MissBreakdown) Add(c isa.MissCategory) {
+	m.ByCategory[c]++
+}
+
+// Total returns the total number of misses.
+func (m *MissBreakdown) Total() uint64 {
+	var t uint64
+	for _, v := range m.ByCategory {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns the share of misses in category c, or 0 when there
+// are no misses.
+func (m *MissBreakdown) Fraction(c isa.MissCategory) float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.ByCategory[c]) / float64(t)
+}
+
+// SuperTotals aggregates into the limits-study super-categories.
+func (m *MissBreakdown) SuperTotals() [isa.NumSuperCategories]uint64 {
+	var out [isa.NumSuperCategories]uint64
+	for c, v := range m.ByCategory {
+		out[isa.SuperOf(isa.MissCategory(c))] += v
+	}
+	return out
+}
+
+// SuperFraction returns the share of misses in super-category s.
+func (m *MissBreakdown) SuperFraction(s isa.SuperCategory) float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.SuperTotals()[s]) / float64(t)
+}
+
+// Merge adds other's counts into m.
+func (m *MissBreakdown) Merge(other *MissBreakdown) {
+	for i, v := range other.ByCategory {
+		m.ByCategory[i] += v
+	}
+}
+
+// CacheStats counts accesses and misses for one cache (or one side —
+// instruction vs data — of a unified cache).
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRatio returns misses/accesses, or 0 when there were no accesses.
+func (c CacheStats) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// PerInstr returns misses per retired instruction (the paper's metric),
+// or 0 when instructions is zero.
+func (c CacheStats) PerInstr(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(instructions)
+}
+
+// PrefetchStats counts prefetcher activity for coverage/accuracy
+// (Figures 9 and 10).
+type PrefetchStats struct {
+	// Generated is the number of prefetch candidates the predictor
+	// produced, before filtering.
+	Generated uint64
+	// FilteredRecent were dropped by the recent-demand-fetch filter.
+	FilteredRecent uint64
+	// FilteredDup were dropped as duplicates of queued/issued entries.
+	FilteredDup uint64
+	// FilteredUseless were dropped by the L2 usefulness filter (lines
+	// whose previous prefetch went unused).
+	FilteredUseless uint64
+	// DroppedOverflow were pushed out of the finite prefetch queue.
+	DroppedOverflow uint64
+	// Invalidated were matched by a demand fetch while still queued.
+	Invalidated uint64
+	// Hoisted candidates matched an already-waiting entry and promoted
+	// it instead of enqueueing a duplicate.
+	Hoisted uint64
+	// ProbedInCache reached the tag probe but the line was already
+	// present, so no prefetch was issued.
+	ProbedInCache uint64
+	// Issued prefetches actually initiated a fill.
+	Issued uint64
+	// Useful issued prefetches whose line was demand-referenced before
+	// eviction.
+	Useful uint64
+	// LatePartial counts demand fetches that hit a still-in-flight
+	// prefetch (coverage gained, but only partial latency hidden).
+	LatePartial uint64
+}
+
+// Accuracy returns Useful/Issued, or 0 when nothing was issued.
+func (p PrefetchStats) Accuracy() float64 {
+	if p.Issued == 0 {
+		return 0
+	}
+	return float64(p.Useful) / float64(p.Issued)
+}
+
+// Merge adds other's counts into p.
+func (p *PrefetchStats) Merge(other PrefetchStats) {
+	p.Generated += other.Generated
+	p.FilteredRecent += other.FilteredRecent
+	p.FilteredDup += other.FilteredDup
+	p.FilteredUseless += other.FilteredUseless
+	p.DroppedOverflow += other.DroppedOverflow
+	p.Invalidated += other.Invalidated
+	p.Hoisted += other.Hoisted
+	p.ProbedInCache += other.ProbedInCache
+	p.Issued += other.Issued
+	p.Useful += other.Useful
+	p.LatePartial += other.LatePartial
+}
+
+// CoreStats aggregates everything measured for one core in one run.
+type CoreStats struct {
+	Instructions uint64
+	Cycles       uint64
+
+	L1I CacheStats // demand instruction fetches at L1-I
+	L1D CacheStats // demand data accesses at L1-D
+	L2I CacheStats // instruction-side L2 accesses (L1-I miss path)
+	L2D CacheStats // data-side L2 accesses (L1-D miss path)
+
+	L1IMissBreakdown MissBreakdown
+	L2IMissBreakdown MissBreakdown
+
+	BranchPredictions uint64
+	BranchMispredicts uint64
+
+	Prefetch PrefetchStats
+
+	// Stall-cycle attribution (approximate, for diagnostics).
+	FetchStallCycles uint64
+	DataStallCycles  uint64
+	BpredStallCycles uint64
+}
+
+// IPC returns instructions per cycle, or 0 when no cycles elapsed.
+func (c *CoreStats) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Merge accumulates other into c (used to total the cores of a CMP).
+// Cycles are taken as the max across cores, since the cores run
+// concurrently; everything else sums.
+func (c *CoreStats) Merge(other *CoreStats) {
+	c.Instructions += other.Instructions
+	if other.Cycles > c.Cycles {
+		c.Cycles = other.Cycles
+	}
+	c.L1I.Accesses += other.L1I.Accesses
+	c.L1I.Misses += other.L1I.Misses
+	c.L1D.Accesses += other.L1D.Accesses
+	c.L1D.Misses += other.L1D.Misses
+	c.L2I.Accesses += other.L2I.Accesses
+	c.L2I.Misses += other.L2I.Misses
+	c.L2D.Accesses += other.L2D.Accesses
+	c.L2D.Misses += other.L2D.Misses
+	c.L1IMissBreakdown.Merge(&other.L1IMissBreakdown)
+	c.L2IMissBreakdown.Merge(&other.L2IMissBreakdown)
+	c.BranchPredictions += other.BranchPredictions
+	c.BranchMispredicts += other.BranchMispredicts
+	c.Prefetch.Merge(other.Prefetch)
+	c.FetchStallCycles += other.FetchStallCycles
+	c.DataStallCycles += other.DataStallCycles
+	c.BpredStallCycles += other.BpredStallCycles
+}
+
+// Pct formats a fraction as a percentage string with the given decimals.
+func Pct(f float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, f*100)
+}

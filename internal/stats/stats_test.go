@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestMissBreakdownTotals(t *testing.T) {
+	var m MissBreakdown
+	m.Add(isa.MissSequential)
+	m.Add(isa.MissSequential)
+	m.Add(isa.MissCall)
+	m.Add(isa.MissCondTakenFwd)
+	if got := m.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+	if f := m.Fraction(isa.MissSequential); f != 0.5 {
+		t.Fatalf("Fraction(seq) = %v, want 0.5", f)
+	}
+	st := m.SuperTotals()
+	if st[isa.SuperSequential] != 2 || st[isa.SuperBranch] != 1 || st[isa.SuperFunction] != 1 || st[isa.SuperTrap] != 0 {
+		t.Fatalf("SuperTotals = %v", st)
+	}
+	if f := m.SuperFraction(isa.SuperBranch); f != 0.25 {
+		t.Fatalf("SuperFraction(branch) = %v", f)
+	}
+}
+
+func TestMissBreakdownEmpty(t *testing.T) {
+	var m MissBreakdown
+	if m.Fraction(isa.MissCall) != 0 || m.SuperFraction(isa.SuperBranch) != 0 {
+		t.Fatal("empty breakdown must report zero fractions, not NaN")
+	}
+}
+
+func TestMissBreakdownMerge(t *testing.T) {
+	var a, b MissBreakdown
+	a.Add(isa.MissCall)
+	b.Add(isa.MissCall)
+	b.Add(isa.MissTrap)
+	a.Merge(&b)
+	if a.ByCategory[isa.MissCall] != 2 || a.ByCategory[isa.MissTrap] != 1 {
+		t.Fatalf("merge wrong: %v", a.ByCategory)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := CacheStats{Accesses: 200, Misses: 30}
+	if got := c.MissRatio(); got != 0.15 {
+		t.Fatalf("MissRatio = %v", got)
+	}
+	if got := c.PerInstr(1000); got != 0.03 {
+		t.Fatalf("PerInstr = %v", got)
+	}
+	var zero CacheStats
+	if zero.MissRatio() != 0 || zero.PerInstr(0) != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+}
+
+func TestPrefetchAccuracy(t *testing.T) {
+	p := PrefetchStats{Issued: 100, Useful: 40}
+	if p.Accuracy() != 0.4 {
+		t.Fatalf("Accuracy = %v", p.Accuracy())
+	}
+	var zero PrefetchStats
+	if zero.Accuracy() != 0 {
+		t.Fatal("zero prefetch stats must report 0 accuracy")
+	}
+}
+
+func TestPrefetchMerge(t *testing.T) {
+	a := PrefetchStats{Generated: 1, Issued: 2, Useful: 1, FilteredRecent: 3}
+	b := PrefetchStats{Generated: 10, Issued: 20, Useful: 5, DroppedOverflow: 7, LatePartial: 2}
+	a.Merge(b)
+	if a.Generated != 11 || a.Issued != 22 || a.Useful != 6 || a.FilteredRecent != 3 || a.DroppedOverflow != 7 || a.LatePartial != 2 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestCoreStatsIPCAndMerge(t *testing.T) {
+	a := &CoreStats{Instructions: 1000, Cycles: 500}
+	if a.IPC() != 2 {
+		t.Fatalf("IPC = %v", a.IPC())
+	}
+	b := &CoreStats{Instructions: 1000, Cycles: 800}
+	b.L1I = CacheStats{Accesses: 10, Misses: 2}
+	a.Merge(b)
+	if a.Instructions != 2000 {
+		t.Fatalf("merged instructions = %d", a.Instructions)
+	}
+	if a.Cycles != 800 {
+		t.Fatalf("merged cycles = %d, want max(500,800)", a.Cycles)
+	}
+	if a.L1I.Misses != 2 {
+		t.Fatalf("merged L1I misses = %d", a.L1I.Misses)
+	}
+	var zero CoreStats
+	if zero.IPC() != 0 {
+		t.Fatal("zero CoreStats IPC should be 0")
+	}
+}
+
+// Property: Total equals the sum over categories and fractions sum to ~1
+// when nonempty.
+func TestBreakdownFractionProperty(t *testing.T) {
+	f := func(counts [isa.NumMissCategories]uint8) bool {
+		var m MissBreakdown
+		var total uint64
+		for c, n := range counts {
+			for i := uint8(0); i < n; i++ {
+				m.Add(isa.MissCategory(c))
+			}
+			total += uint64(n)
+		}
+		if m.Total() != total {
+			return false
+		}
+		if total == 0 {
+			return true
+		}
+		sum := 0.0
+		for c := 0; c < isa.NumMissCategories; c++ {
+			sum += m.Fraction(isa.MissCategory(c))
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "app", "rate")
+	tb.AddRow("DB", "2.31%")
+	tb.AddRow("jApp", "3.10%")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "app") || !strings.Contains(out, "jApp") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("1", "2", "3") // longer than header
+	tb.AddRow("x")           // shorter than (now extended) header
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extended column lost:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "name", "val", "n")
+	tb.AddRowf("x", 0.123456, 42)
+	out := tb.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Fatalf("float not formatted to 4 places:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("int missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", "z\"q")
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Fatalf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, "\"z\"\"q\"") {
+		t.Fatalf("quote cell not escaped: %q", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234, 2); got != "12.34%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "100%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("cap", "a", "b")
+	tb.AddRow("x|y", "2")
+	var sb strings.Builder
+	tb.Markdown(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "**cap**") {
+		t.Fatalf("missing caption: %s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("missing separator: %s", out)
+	}
+	if !strings.Contains(out, "x\\|y") {
+		t.Fatalf("pipe not escaped: %s", out)
+	}
+}

@@ -1,0 +1,183 @@
+// Package tlb models the translation hierarchy of the simulated machine
+// (paper Section 5): 128-entry 2-way set-associative primary instruction
+// and data TLBs backed by a 2K-entry unified secondary TLB. A primary
+// miss that hits in the secondary costs a small refill; a secondary miss
+// costs a software table walk. The timing model charges those penalties;
+// this package only tracks hit/miss state.
+package tlb
+
+import "repro/internal/isa"
+
+// PageBits is log2 of the page size. SPARC solaris uses 8 KB base pages.
+const PageBits = 13
+
+// Page is a virtual page number.
+type Page uint64
+
+// PageOf returns the page containing addr.
+func PageOf(addr isa.Addr) Page {
+	return Page(uint64(addr) >> PageBits)
+}
+
+// Config sizes one TLB.
+type Config struct {
+	Entries int
+	Assoc   int
+}
+
+// TLB is one translation buffer with LRU replacement. Not safe for
+// concurrent use.
+type TLB struct {
+	sets     [][]entry
+	setMask  uint64
+	accesses uint64
+	misses   uint64
+}
+
+type entry struct {
+	page  Page
+	valid bool
+}
+
+// New builds a TLB, panicking on invalid sizing.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Assoc <= 0 || cfg.Entries%cfg.Assoc != 0 {
+		panic("tlb: entries must be a positive multiple of associativity")
+	}
+	n := cfg.Entries / cfg.Assoc
+	if n&(n-1) != 0 {
+		panic("tlb: number of sets must be a power of two")
+	}
+	sets := make([][]entry, n)
+	backing := make([]entry, cfg.Entries)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &TLB{sets: sets, setMask: uint64(n - 1)}
+}
+
+// Access looks up page p, filling on miss, and reports whether it hit.
+func (t *TLB) Access(p Page) bool {
+	t.accesses++
+	set := t.sets[uint64(p)&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].page == p {
+			// Promote to MRU.
+			e := set[i]
+			copy(set[1:i+1], set[0:i])
+			set[0] = e
+			return true
+		}
+	}
+	t.misses++
+	// Fill, evicting LRU (last slot).
+	copy(set[1:], set[:len(set)-1])
+	set[0] = entry{page: p, valid: true}
+	return false
+}
+
+// Probe reports whether page p is present without side effects.
+func (t *TLB) Probe(p Page) bool {
+	set := t.sets[uint64(p)&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].page == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Accesses returns the number of lookups performed.
+func (t *TLB) Accesses() uint64 { return t.accesses }
+
+// Misses returns the number of lookups that missed.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = entry{}
+		}
+	}
+	t.accesses = 0
+	t.misses = 0
+}
+
+// HierarchyConfig sizes the full translation hierarchy.
+type HierarchyConfig struct {
+	ITLB    Config
+	DTLB    Config
+	Unified Config
+	// RefillCycles is charged for a primary miss that hits in the
+	// secondary; WalkCycles for a secondary miss.
+	RefillCycles uint64
+	WalkCycles   uint64
+}
+
+// DefaultHierarchyConfig returns the paper's configuration with typical
+// penalty choices.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		ITLB:         Config{Entries: 128, Assoc: 2},
+		DTLB:         Config{Entries: 128, Assoc: 2},
+		Unified:      Config{Entries: 2048, Assoc: 4},
+		RefillCycles: 10,
+		WalkCycles:   120,
+	}
+}
+
+// Hierarchy is the two-level translation system of one core.
+type Hierarchy struct {
+	itlb, dtlb, l2 *TLB
+	refill, walk   uint64
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		itlb:   New(cfg.ITLB),
+		dtlb:   New(cfg.DTLB),
+		l2:     New(cfg.Unified),
+		refill: cfg.RefillCycles,
+		walk:   cfg.WalkCycles,
+	}
+}
+
+// TranslateI performs an instruction-side translation of addr and returns
+// the cycle penalty (0 on a primary hit).
+func (h *Hierarchy) TranslateI(addr isa.Addr) uint64 {
+	return h.translate(h.itlb, PageOf(addr))
+}
+
+// TranslateD performs a data-side translation of addr and returns the
+// cycle penalty.
+func (h *Hierarchy) TranslateD(addr isa.Addr) uint64 {
+	return h.translate(h.dtlb, PageOf(addr))
+}
+
+func (h *Hierarchy) translate(primary *TLB, p Page) uint64 {
+	if primary.Access(p) {
+		return 0
+	}
+	if h.l2.Access(p) {
+		return h.refill
+	}
+	return h.walk
+}
+
+// ITLB returns the primary instruction TLB (stats access).
+func (h *Hierarchy) ITLB() *TLB { return h.itlb }
+
+// DTLB returns the primary data TLB.
+func (h *Hierarchy) DTLB() *TLB { return h.dtlb }
+
+// Unified returns the secondary TLB.
+func (h *Hierarchy) Unified() *TLB { return h.l2 }
+
+// Reset clears all three TLBs.
+func (h *Hierarchy) Reset() {
+	h.itlb.Reset()
+	h.dtlb.Reset()
+	h.l2.Reset()
+}

@@ -1,0 +1,94 @@
+// Command calibrate is an internal tuning aid: it runs quick simulations
+// of the built-in application profiles (optionally sweeping a parameter)
+// and prints the calibration metrics DESIGN.md targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/cmp"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+var (
+	sweep   = flag.String("sweep", "", "sweep PopularityS over comma list, e.g. 0.6,0.7,0.8")
+	sweepC  = flag.String("sweepCallee", "", "sweep CalleeS over comma list")
+	instrs  = flag.Uint64("n", 4_000_000, "measured instructions")
+	warm    = flag.Uint64("warm", 2_000_000, "warm-up instructions")
+	cmpMode = flag.Bool("cmp", false, "also run 4-way CMP")
+)
+
+func runOne(prof workload.Profile, cores int) {
+	cfg := cmp.DefaultConfig(cores)
+	prog := workload.MustBuildProgram(prof, 0)
+	srcs := make([]workload.Source, cores)
+	for i := 0; i < cores; i++ {
+		srcs[i] = workload.NewGeneratorThread(prog, uint64(i)*7777+1, i)
+	}
+	t0 := time.Now()
+	sys := cmp.MustNew(cfg, srcs, nil)
+	sys.Run(*warm / uint64(cores))
+	sys.ResetStats()
+	sys.Run(*instrs / uint64(cores))
+	sys.Finalize()
+	cs := sys.TotalStats()
+	fmt.Printf("%-6s s=%.2f/%.2f %dcore: IPC=%.3f L1I=%.3f%% L2I=%.4f%% L1D=%.3f%% L2D=%.4f%% bpMR=%.3f stall(f/d/b)=%.2f/%.2f/%.2f dt=%s\n",
+		prof.Name, prof.PopularityS, prof.CalleeS, cores, cs.IPC(), 100*cs.L1I.PerInstr(cs.Instructions),
+		100*cs.L2I.PerInstr(cs.Instructions), 100*cs.L1D.PerInstr(cs.Instructions),
+		100*cs.L2D.PerInstr(cs.Instructions),
+		float64(cs.BranchMispredicts)/float64(cs.BranchPredictions),
+		float64(cs.FetchStallCycles)/float64(cs.Instructions),
+		float64(cs.DataStallCycles)/float64(cs.Instructions),
+		float64(cs.BpredStallCycles)/float64(cs.Instructions),
+		time.Since(t0).Round(time.Millisecond))
+	bd := cs.L1IMissBreakdown
+	fmt.Printf("       L1I bd: seq=%.2f br=%.2f fn=%.2f trap=%.3f (tf=%.2f tb=%.2f nt=%.2f un=%.2f call=%.2f jmp=%.2f ret=%.2f)\n",
+		bd.SuperFraction(isa.SuperSequential), bd.SuperFraction(isa.SuperBranch), bd.SuperFraction(isa.SuperFunction), bd.SuperFraction(isa.SuperTrap),
+		bd.Fraction(isa.MissCondTakenFwd), bd.Fraction(isa.MissCondTakenBwd), bd.Fraction(isa.MissCondNotTaken), bd.Fraction(isa.MissUncondBranch),
+		bd.Fraction(isa.MissCall), bd.Fraction(isa.MissJump), bd.Fraction(isa.MissReturn))
+}
+
+func main() {
+	flag.Parse()
+	for _, prof := range workload.Profiles() {
+		if *sweep != "" {
+			for _, tok := range splitComma(*sweep) {
+				var v float64
+				fmt.Sscanf(tok, "%g", &v)
+				p := prof
+				p.PopularityS = v
+				runOne(p, 1)
+			}
+		} else if *sweepC != "" {
+			for _, tok := range splitComma(*sweepC) {
+				var v float64
+				fmt.Sscanf(tok, "%g", &v)
+				p := prof
+				p.CalleeS = v
+				runOne(p, 1)
+			}
+		} else {
+			runOne(prof, 1)
+			if *cmpMode {
+				runOne(prof, 4)
+			}
+		}
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

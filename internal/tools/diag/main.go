@@ -1,0 +1,41 @@
+// Command diag prints residual-miss diagnostics for the discontinuity
+// prefetcher.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cmp"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+func main() {
+	multiTargetStats()
+	for _, app := range []string{"DB", "TPC-W", "jApp", "Web"} {
+		cfg := cmp.DefaultConfig(1)
+		cfg.PrefetcherName = "discontinuity"
+		cfg.FrontEnd.BypassL2 = true
+		srcs, _ := cmp.SourcesFor([]string{app}, 1, 1)
+		var d *prefetch.Discontinuity
+		sys := cmp.MustNew(cfg, srcs, func(int) prefetch.Prefetcher {
+			d = prefetch.NewDiscontinuity(prefetch.DefaultDiscontinuityConfig())
+			return d
+		})
+		sys.Run(1_200_000)
+		sys.ResetStats()
+		sys.Run(2_500_000)
+		sys.Finalize()
+		cs := sys.TotalStats()
+		bd := cs.L1IMissBreakdown
+		fmt.Printf("%-6s L1Imiss=%6d  seq=%.2f tf=%.2f tb=%.2f nt=%.2f un=%.2f call=%.2f jmp=%.2f ret=%.2f\n",
+			app, cs.L1I.Misses,
+			bd.Fraction(isa.MissSequential), bd.Fraction(isa.MissCondTakenFwd), bd.Fraction(isa.MissCondTakenBwd),
+			bd.Fraction(isa.MissCondNotTaken), bd.Fraction(isa.MissUncondBranch),
+			bd.Fraction(isa.MissCall), bd.Fraction(isa.MissJump), bd.Fraction(isa.MissReturn))
+		fmt.Printf("       table: occ=%d/8192 alloc=%d repl=%d probeHitRate=%.4f | gen=%d fRec=%d fDup=%d drop=%d probedIn=%d issued=%d useful=%d late=%d\n",
+			d.Occupancy(), d.Allocations(), d.Replacements(), d.ProbeHitRate(),
+			cs.Prefetch.Generated, cs.Prefetch.FilteredRecent, cs.Prefetch.FilteredDup, cs.Prefetch.DroppedOverflow,
+			cs.Prefetch.ProbedInCache, cs.Prefetch.Issued, cs.Prefetch.Useful, cs.Prefetch.LatePartial)
+	}
+}

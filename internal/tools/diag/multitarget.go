@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// multiTargetStats counts, per trigger cache line, how many distinct
+// static discontinuity targets (beyond the 4-line sequential window)
+// exist in the program image.
+func multiTargetStats() {
+	for _, prof := range workload.Profiles() {
+		prog := workload.MustBuildProgram(prof, 0)
+		targets := map[isa.Line]map[isa.Line]bool{}
+		add := func(trigger isa.Addr, target isa.Addr) {
+			tl := isa.LineOf(trigger, 64)
+			gl := isa.LineOf(target, 64)
+			if gl > tl && gl <= tl+4 {
+				return // sequential window
+			}
+			if gl == tl {
+				return
+			}
+			m := targets[tl]
+			if m == nil {
+				m = map[isa.Line]bool{}
+				targets[tl] = m
+			}
+			m[gl] = true
+		}
+		for fi := range prog.Funcs {
+			f := &prog.Funcs[fi]
+			for bi := range f.Blocks {
+				b := &f.Blocks[bi]
+				end := b.PC + isa.Addr((b.NumInstrs-1)*isa.InstrBytes)
+				switch b.Term {
+				case workload.TermCall, workload.TermTrap:
+					add(end, prog.Funcs[b.Callee].Entry)
+				case workload.TermJump:
+					for _, t := range b.JumpTargets {
+						add(end, prog.Funcs[t].Entry)
+					}
+				case workload.TermCond, workload.TermUncond:
+					add(end, f.Blocks[b.Target].PC)
+				}
+			}
+		}
+		single, multi, total := 0, 0, 0
+		histo := map[int]int{}
+		for _, m := range targets {
+			total++
+			histo[len(m)]++
+			if len(m) == 1 {
+				single++
+			} else {
+				multi++
+			}
+		}
+		fmt.Printf("%-6s trigger lines=%d single-target=%.1f%% multi=%.1f%% (2:%d 3:%d 4+:%d)\n",
+			prof.Name, total, 100*float64(single)/float64(total), 100*float64(multi)/float64(total),
+			histo[2], histo[3], total-single-histo[2]-histo[3])
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Loop replays an in-memory recorded trace as an endless block stream,
+// rewinding at end of trace. It implements workload.Source, so a
+// captured trace can drive the simulator exactly like a live generator —
+// the library's equivalent of the paper's trace-driven methodology.
+type Loop struct {
+	data   []byte
+	r      *Reader
+	name   string
+	asid   uint64
+	blocks uint64 // blocks per pass, learned on the first pass
+	passes uint64
+}
+
+// NewLoop validates the trace header and returns a looping source. The
+// trace must contain at least one block.
+func NewLoop(data []byte) (*Loop, error) {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loop{data: data, r: r, name: r.Name(), asid: r.ASID()}
+	// Probe one block so an empty trace fails fast.
+	var b isa.Block
+	if err := r.Read(&b); err != nil {
+		return nil, fmt.Errorf("trace: empty or corrupt trace: %w", err)
+	}
+	// Restart so the stream begins at block zero.
+	if err := l.rewind(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Name returns the workload name from the trace header.
+func (l *Loop) Name() string { return l.name }
+
+// ASID returns the address-space id from the trace header.
+func (l *Loop) ASID() uint64 { return l.asid }
+
+// Passes returns how many times the trace has wrapped around.
+func (l *Loop) Passes() uint64 { return l.passes }
+
+func (l *Loop) rewind() error {
+	r, err := NewReader(bytes.NewReader(l.data))
+	if err != nil {
+		return err
+	}
+	l.r = r
+	return nil
+}
+
+// Next implements workload.Source. A corrupt mid-stream record panics:
+// NewLoop validated the header, and replay corruption indicates memory
+// corruption rather than recoverable input error.
+func (l *Loop) Next(b *isa.Block) {
+	err := l.r.Read(b)
+	if err == io.EOF {
+		if l.blocks == 0 {
+			l.blocks = l.r.Blocks()
+		}
+		l.passes++
+		if err := l.rewind(); err != nil {
+			panic(fmt.Sprintf("trace: rewind failed: %v", err))
+		}
+		err = l.r.Read(b)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("trace: replay failed: %v", err))
+	}
+}

@@ -1,0 +1,234 @@
+// Package trace defines a compact binary format for recorded basic-block
+// streams, mirroring the paper's trace-driven methodology. The simulator
+// normally consumes workload generators directly (they are deterministic,
+// so a trace adds nothing), but traces allow capturing a stream once and
+// replaying it across many configurations, exchanging streams between
+// tools, and validating stream statistics offline with cmd/tracegen.
+//
+// Format (little-endian, after an 8-byte magic):
+//
+//	header:  magic "IPFTRC01" | name len varint | name bytes | asid varint
+//	record:  pcDelta zigzag-varint (from previous block's NextPC)
+//	         numInstrs varint
+//	         cti byte
+//	         targetDelta zigzag-varint (from block end; flow-changing CTIs only)
+//	         numMemOps varint
+//	         per memop: addrDelta zigzag-varint (from previous memop) | kind byte
+//
+// Deltas make hot-loop records 3-6 bytes each.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+const magic = "IPFTRC01"
+
+// ErrBadMagic is returned when the input is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// Writer encodes a block stream.
+type Writer struct {
+	w        *bufio.Writer
+	prevNext isa.Addr
+	buf      []byte
+	blocks   uint64
+}
+
+// NewWriter writes a trace header for the given workload name and
+// address-space id, returning the writer.
+func NewWriter(w io.Writer, name string, asid uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	tw := &Writer{w: bw, buf: make([]byte, binary.MaxVarintLen64)}
+	tw.uvarint(uint64(len(name)))
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	tw.uvarint(asid)
+	return tw, nil
+}
+
+func (t *Writer) uvarint(v uint64) {
+	n := binary.PutUvarint(t.buf, v)
+	t.w.Write(t.buf[:n])
+}
+
+func (t *Writer) svarint(v int64) {
+	n := binary.PutVarint(t.buf, v)
+	t.w.Write(t.buf[:n])
+}
+
+// Write appends one block to the trace.
+func (t *Writer) Write(b *isa.Block) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	t.svarint(int64(b.PC) - int64(t.prevNext))
+	t.uvarint(uint64(b.NumInstrs))
+	t.w.WriteByte(byte(b.CTI))
+	if b.CTI.ChangesFlow() {
+		t.svarint(int64(b.Target) - int64(b.End()))
+	}
+	t.uvarint(uint64(len(b.MemOps)))
+	prev := b.PC
+	for _, m := range b.MemOps {
+		t.svarint(int64(m.Addr) - int64(prev))
+		t.w.WriteByte(byte(m.Kind))
+		prev = m.Addr
+	}
+	t.prevNext = b.NextPC()
+	t.blocks++
+	return nil
+}
+
+// Blocks returns the number of blocks written.
+func (t *Writer) Blocks() uint64 { return t.blocks }
+
+// Flush flushes buffered output; call it before closing the underlying
+// writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader decodes a block stream.
+type Reader struct {
+	r        *bufio.Reader
+	name     string
+	asid     uint64
+	prevNext isa.Addr
+	blocks   uint64
+}
+
+// NewReader validates the header and returns a reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	tr := &Reader{r: br}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	tr.name = string(nameBuf)
+	if tr.asid, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("trace: reading asid: %w", err)
+	}
+	return tr, nil
+}
+
+// Name returns the workload name recorded in the header.
+func (t *Reader) Name() string { return t.name }
+
+// ASID returns the address-space id recorded in the header.
+func (t *Reader) ASID() uint64 { return t.asid }
+
+// Blocks returns the number of blocks read so far.
+func (t *Reader) Blocks() uint64 { return t.blocks }
+
+// Read decodes the next block into *b (reusing MemOps capacity). It
+// returns io.EOF at a clean end of stream.
+func (t *Reader) Read(b *isa.Block) error {
+	pcDelta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: block %d: %w", t.blocks, err)
+	}
+	b.PC = isa.Addr(int64(t.prevNext) + pcDelta)
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return t.corrupt(err)
+	}
+	b.NumInstrs = int(n)
+	ctiByte, err := t.r.ReadByte()
+	if err != nil {
+		return t.corrupt(err)
+	}
+	b.CTI = isa.CTIKind(ctiByte)
+	if int(b.CTI) >= isa.NumCTIKinds {
+		return fmt.Errorf("trace: block %d: invalid CTI %d", t.blocks, ctiByte)
+	}
+	b.Target = 0
+	if b.CTI.ChangesFlow() {
+		d, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return t.corrupt(err)
+		}
+		b.Target = isa.Addr(int64(b.End()) + d)
+	}
+	nOps, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return t.corrupt(err)
+	}
+	if nOps > 1<<16 {
+		return fmt.Errorf("trace: block %d: implausible memop count %d", t.blocks, nOps)
+	}
+	b.MemOps = b.MemOps[:0]
+	prev := b.PC
+	for i := uint64(0); i < nOps; i++ {
+		d, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return t.corrupt(err)
+		}
+		kindByte, err := t.r.ReadByte()
+		if err != nil {
+			return t.corrupt(err)
+		}
+		if kindByte > byte(isa.MemStore) {
+			return fmt.Errorf("trace: block %d: invalid memop kind %d", t.blocks, kindByte)
+		}
+		addr := isa.Addr(int64(prev) + d)
+		b.MemOps = append(b.MemOps, isa.MemOp{Addr: addr, Kind: isa.MemKind(kindByte)})
+		prev = addr
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("trace: block %d: %w", t.blocks, err)
+	}
+	t.prevNext = b.NextPC()
+	t.blocks++
+	return nil
+}
+
+func (t *Reader) corrupt(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("trace: block %d truncated: %w", t.blocks, err)
+}
+
+// Record captures n blocks from src into w.
+func Record(w io.Writer, name string, asid uint64, src interface{ Next(*isa.Block) }, n uint64) error {
+	tw, err := NewWriter(w, name, asid)
+	if err != nil {
+		return err
+	}
+	var b isa.Block
+	for i := uint64(0); i < n; i++ {
+		src.Next(&b)
+		if err := tw.Write(&b); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

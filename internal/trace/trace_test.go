@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func sampleBlocks() []isa.Block {
+	return []isa.Block{
+		{PC: 0x1000, NumInstrs: 4, CTI: isa.CTINone},
+		{PC: 0x1010, NumInstrs: 8, CTI: isa.CTICondTakenFwd, Target: 0x1100,
+			MemOps: []isa.MemOp{{Addr: 0x20000, Kind: isa.MemLoad}, {Addr: 0x20040, Kind: isa.MemStore}}},
+		{PC: 0x1100, NumInstrs: 2, CTI: isa.CTICall, Target: 0x8000},
+		{PC: 0x8000, NumInstrs: 16, CTI: isa.CTIReturn, Target: 0x1108,
+			MemOps: []isa.MemOp{{Addr: 0x30000, Kind: isa.MemLoad}}},
+		{PC: 0x1108, NumInstrs: 3, CTI: isa.CTICondNotTaken},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "unit", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sampleBlocks()
+	for i := range in {
+		if err := w.Write(&in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Blocks() != uint64(len(in)) {
+		t.Fatalf("writer blocks = %d", w.Blocks())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "unit" || r.ASID() != 7 {
+		t.Fatalf("header = %q/%d", r.Name(), r.ASID())
+	}
+	var b isa.Block
+	for i := range in {
+		if err := r.Read(&b); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if b.PC != in[i].PC || b.NumInstrs != in[i].NumInstrs || b.CTI != in[i].CTI {
+			t.Fatalf("block %d mismatch: got %+v want %+v", i, b, in[i])
+		}
+		if in[i].CTI.ChangesFlow() && b.Target != in[i].Target {
+			t.Fatalf("block %d target %#x want %#x", i, uint64(b.Target), uint64(in[i].Target))
+		}
+		if len(b.MemOps) != len(in[i].MemOps) {
+			t.Fatalf("block %d memops %d want %d", i, len(b.MemOps), len(in[i].MemOps))
+		}
+		for j := range b.MemOps {
+			if b.MemOps[j] != in[i].MemOps[j] {
+				t.Fatalf("block %d memop %d mismatch", i, j)
+			}
+		}
+	}
+	if err := r.Read(&b); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestGeneratorRoundTrip(t *testing.T) {
+	prog := workload.MustBuildProgram(workload.Web(), 3)
+	const n = 20000
+
+	var buf bytes.Buffer
+	if err := Record(&buf, "Web", 3, workload.NewGenerator(prog, 9), n); err != nil {
+		t.Fatal(err)
+	}
+	sizePerBlock := float64(buf.Len()) / n
+	if sizePerBlock > 32 {
+		t.Errorf("trace too fat: %.1f bytes/block", sizePerBlock)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.NewGenerator(prog, 9)
+	var got, want isa.Block
+	for i := 0; i < n; i++ {
+		ref.Next(&want)
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if got.PC != want.PC || got.CTI != want.CTI || got.NumInstrs != want.NumInstrs {
+			t.Fatalf("block %d mismatch", i)
+		}
+		if got.CTI.ChangesFlow() && got.Target != want.Target {
+			t.Fatalf("block %d target mismatch", i)
+		}
+		if len(got.MemOps) != len(want.MemOps) {
+			t.Fatalf("block %d memop count mismatch", i)
+		}
+	}
+	if r.Blocks() != n {
+		t.Fatalf("reader blocks = %d", r.Blocks())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOTATRACEFILE")))
+	if err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("IPF")))
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 0)
+	b := sampleBlocks()[1]
+	w.Write(&b)
+	w.Flush()
+	raw := buf.Bytes()
+	// Chop mid-record (keep header + a few bytes).
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out isa.Block
+	if err := r.Read(&out); err == nil {
+		t.Fatal("truncated record accepted")
+	} else if err == io.EOF {
+		t.Fatal("truncation reported as clean EOF")
+	}
+}
+
+func TestInvalidCTIRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 0)
+	w.Flush()
+	// Hand-craft a record with CTI byte 0xEE.
+	buf.WriteByte(0x00) // pcDelta 0
+	buf.WriteByte(0x04) // numInstrs 4
+	buf.WriteByte(0xEE) // bad CTI
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b isa.Block
+	if err := r.Read(&b); err == nil {
+		t.Fatal("invalid CTI accepted")
+	}
+}
+
+func TestWriterRejectsInvalidBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 0)
+	bad := isa.Block{PC: 0x100, NumInstrs: 0, CTI: isa.CTINone}
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("invalid block accepted")
+	}
+}
+
+func TestMemOpsBufferReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 0)
+	blocks := sampleBlocks()
+	for i := range blocks {
+		w.Write(&blocks[i])
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	var b isa.Block
+	b.MemOps = make([]isa.MemOp, 0, 64)
+	backing := &b.MemOps[:1][0] // capture backing array identity via first slot
+	_ = backing
+	for i := 0; i < len(blocks); i++ {
+		if err := r.Read(&b); err != nil {
+			t.Fatal(err)
+		}
+		if cap(b.MemOps) < 64 {
+			t.Fatal("reader reallocated the memops buffer")
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	g := workload.NewGenerator(prog, 1)
+	var blk isa.Block
+	w, _ := NewWriter(io.Discard, "DB", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&blk)
+		w.Write(&blk)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	var buf bytes.Buffer
+	Record(&buf, "DB", 0, workload.NewGenerator(prog, 1), 100000)
+	raw := buf.Bytes()
+	b.ResetTimer()
+	var r *Reader
+	var blk isa.Block
+	for i := 0; i < b.N; i++ {
+		if r == nil {
+			r, _ = NewReader(bytes.NewReader(raw))
+		}
+		if err := r.Read(&blk); err != nil {
+			r = nil
+			i--
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Source produces a stream of dynamic basic blocks. Next fills *b
+// (reusing its MemOps capacity) so steady-state generation is
+// allocation-free. Implementations: *Generator (synthetic execution) and
+// trace.Reader (recorded streams).
+type Source interface {
+	Next(b *isa.Block)
+}
+
+// frame is one call-stack entry: where execution resumes after a return.
+type frame struct {
+	fn  int32
+	blk int32
+}
+
+// Generator walks a Program's call graph, emitting the dynamic
+// basic-block stream of one simulated thread. It is deterministic given
+// (program, seed, tid) and runs forever (commercial server workloads are
+// steady-state transaction loops). Not safe for concurrent use.
+//
+// Threads of the same program share its code and its hot/cold data
+// regions (one server process, one buffer pool) but have private stack
+// and near (per-transaction) data regions — which is what makes the
+// homogeneous 4-way CMP behave like the paper's: code is shared in the
+// L2 while per-thread data multiplies.
+type Generator struct {
+	prog  *Program
+	r     *rng.Rand
+	stack []frame
+	cur   frame
+
+	nearZipf *rng.Zipf
+	farZipf  *rng.Zipf
+
+	// base is the address-space base of this process; tidStackOff and
+	// tidNearOff displace this thread's private regions.
+	base        isa.Addr
+	tidStackOff isa.Addr
+	tidNearOff  isa.Addr
+
+	instrs  uint64
+	txStart uint64
+	blocks  uint64
+}
+
+// NewGenerator creates an execution engine over prog as thread 0.
+func NewGenerator(prog *Program, seed uint64) *Generator {
+	return NewGeneratorThread(prog, seed, 0)
+}
+
+// NewGeneratorThread creates thread tid of the process: an independent
+// control-flow walk (seeded separately) over the shared program image,
+// with private stack and near-data regions.
+func NewGeneratorThread(prog *Program, seed uint64, tid int) *Generator {
+	g := &Generator{
+		prog:     prog,
+		r:        rng.New(seed ^ prog.Profile.Seed ^ (prog.ASID * 0x9e3779b9)),
+		stack:    make([]frame, 0, prog.Profile.MaxCallDepth+4),
+		nearZipf: rng.NewZipf(prog.Profile.NearDataBytes/64, prog.Profile.NearZipfS),
+		farZipf:  rng.NewZipf(prog.Profile.HotDataBytes/64, prog.Profile.DataZipfS),
+		base:     SpaceBase(prog.ASID),
+	}
+	g.r = rng.New(seed ^ prog.Profile.Seed ^ (prog.ASID * 0x9e3779b9) ^ (uint64(tid) << 32))
+	g.tidStackOff = isa.Addr(tid) * threadStackStride
+	g.tidNearOff = isa.Addr(tid) * threadNearStride
+	g.cur = frame{fn: int32(g.dispatch()), blk: 0}
+	return g
+}
+
+// dispatch picks the next top-level function (transaction entry point)
+// by popularity.
+func (g *Generator) dispatch() int {
+	return g.prog.topZipf.Sample(g.r)
+}
+
+// Instructions returns the number of instructions emitted so far.
+func (g *Generator) Instructions() uint64 { return g.instrs }
+
+// Blocks returns the number of blocks emitted so far.
+func (g *Generator) Blocks() uint64 { return g.blocks }
+
+// Depth returns the current call-stack depth (tests/diagnostics).
+func (g *Generator) Depth() int { return len(g.stack) }
+
+// Next emits the next dynamic basic block into *b. b.MemOps is reused.
+func (g *Generator) Next(b *isa.Block) {
+	p := &g.prog.Profile
+	fn := &g.prog.Funcs[g.cur.fn]
+	sb := &fn.Blocks[g.cur.blk]
+
+	b.PC = sb.PC
+	b.NumInstrs = sb.NumInstrs
+	b.MemOps = g.genMemOps(b.MemOps[:0], sb.NumInstrs)
+	g.instrs += uint64(sb.NumInstrs)
+	g.blocks++
+
+	term := sb.Term
+	// A call at the depth bound degrades to a fall-through; the static
+	// image guarantees a fall-through successor exists (calls are never
+	// the last block).
+	if term == TermCall && len(g.stack) >= p.MaxCallDepth {
+		term = TermFall
+	}
+	if term == TermTrap && len(g.stack) >= p.MaxCallDepth {
+		term = TermFall
+	}
+
+	switch term {
+	case TermFall:
+		b.CTI = isa.CTINone
+		b.Target = 0
+		g.cur.blk++
+
+	case TermCond:
+		taken := g.r.Bool(sb.TakenProb)
+		if !taken {
+			b.CTI = isa.CTICondNotTaken
+			b.Target = 0
+			g.cur.blk++
+			break
+		}
+		if sb.Backward {
+			b.CTI = isa.CTICondTakenBwd
+		} else {
+			b.CTI = isa.CTICondTakenFwd
+		}
+		b.Target = fn.Blocks[sb.Target].PC
+		g.cur.blk = sb.Target
+
+	case TermUncond:
+		b.CTI = isa.CTIUncondBranch
+		b.Target = fn.Blocks[sb.Target].PC
+		g.cur.blk = sb.Target
+
+	case TermCall:
+		b.CTI = isa.CTICall
+		g.stack = append(g.stack, frame{fn: g.cur.fn, blk: g.cur.blk + 1})
+		g.cur = frame{fn: sb.Callee, blk: 0}
+		b.Target = g.prog.Funcs[sb.Callee].Entry
+
+	case TermJump:
+		// Indirect tail call: replace the current frame; the eventual
+		// return unwinds to the original caller.
+		b.CTI = isa.CTIJump
+		tgt := sb.JumpTargets[g.r.Intn(len(sb.JumpTargets))]
+		g.cur = frame{fn: tgt, blk: 0}
+		b.Target = g.prog.Funcs[tgt].Entry
+
+	case TermRet:
+		b.CTI = isa.CTIReturn
+		if g.instrs-g.txStart >= uint64(p.TransactionInstrs) {
+			// Transaction budget spent: unwind to the dispatch loop and
+			// begin a fresh transaction at a fresh entry point. Without
+			// this renewal a supercritical call graph would pin the
+			// stack at MaxCallDepth and freeze the working set.
+			g.stack = g.stack[:0]
+			g.txStart = g.instrs
+			g.cur = frame{fn: int32(g.dispatch()), blk: 0}
+			b.Target = g.prog.Funcs[g.cur.fn].Entry
+			break
+		}
+		if n := len(g.stack); n > 0 {
+			g.cur = g.stack[n-1]
+			g.stack = g.stack[:n-1]
+			b.Target = g.prog.Funcs[g.cur.fn].Blocks[g.cur.blk].PC
+		} else {
+			// Top-level return: the dispatch loop starts the next
+			// transaction.
+			g.txStart = g.instrs
+			g.cur = frame{fn: int32(g.dispatch()), blk: 0}
+			b.Target = g.prog.Funcs[g.cur.fn].Entry
+		}
+
+	case TermTrap:
+		b.CTI = isa.CTITrap
+		g.stack = append(g.stack, frame{fn: g.cur.fn, blk: g.cur.blk + 1})
+		g.cur = frame{fn: sb.Callee, blk: 0}
+		b.Target = g.prog.Funcs[sb.Callee].Entry
+	}
+}
+
+// genMemOps appends this block's data accesses to dst and returns it.
+func (g *Generator) genMemOps(dst []isa.MemOp, numInstrs int) []isa.MemOp {
+	p := &g.prog.Profile
+	for i := 0; i < numInstrs; i++ {
+		if g.r.Bool(p.LoadsPerInstr) {
+			dst = append(dst, isa.MemOp{Addr: g.dataAddr(), Kind: isa.MemLoad})
+		}
+		if g.r.Bool(p.StoresPerInstr) {
+			dst = append(dst, isa.MemOp{Addr: g.dataAddr(), Kind: isa.MemStore})
+		}
+	}
+	return dst
+}
+
+// dataAddr draws one data address from the profile's four-region model:
+// stack (L1-resident), near (per-transaction working set, roughly
+// L1-sized), hot (L2-resident heap/globals — the region that suffers
+// from L2 pollution), and cold (streaming, always misses).
+func (g *Generator) dataAddr() isa.Addr {
+	p := &g.prog.Profile
+	u := g.r.Float64()
+	switch {
+	case u < p.PStack:
+		// Stack frame region scales with call depth; accesses cluster
+		// near the current frame.
+		off := uint64(len(g.stack))*192 + uint64(g.r.Intn(192))
+		return g.base + stackBase + g.tidStackOff + isa.Addr(off%uint64(p.StackBytes))&^7
+	case u < p.PStack+p.PNear:
+		line := uint64(g.nearZipf.Sample(g.r))
+		return g.base + nearBase + g.tidNearOff + isa.Addr(line*64+uint64(g.r.Intn(8))*8)
+	case u < p.PStack+p.PNear+p.PFar:
+		line := uint64(g.farZipf.Sample(g.r))
+		return g.base + hotBase + isa.Addr(line*64+uint64(g.r.Intn(8))*8)
+	default:
+		off := g.r.Uint64n(uint64(p.ColdDataBytes)) &^ 7
+		return g.base + coldBase + isa.Addr(off)
+	}
+}

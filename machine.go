@@ -1,0 +1,264 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cmp"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Prefetcher names accepted by MachineConfig.Prefetcher.
+const (
+	PrefetcherNone           = "none"
+	PrefetcherNextLineAlways = "nl-always"
+	PrefetcherNextLineOnMiss = "nl-miss"
+	PrefetcherNextLineTagged = "nl-tagged"
+	PrefetcherNext2Tagged    = "n2l-tagged"
+	PrefetcherNext4Tagged    = "n4l-tagged"
+	PrefetcherNext8Tagged    = "n8l-tagged"
+	PrefetcherLookahead4     = "lookahead4"
+	PrefetcherTarget         = "target"
+	PrefetcherMarkov         = "markov"
+	PrefetcherWrongPath      = "wrong-path"
+	PrefetcherStreams        = "streams"
+	PrefetcherDiscontinuity  = "discontinuity"
+	PrefetcherDiscont2NL     = "discont-2nl"
+)
+
+// Prefetchers returns every registered prefetch-scheme name.
+func Prefetchers() []string { return prefetch.SchemeNames() }
+
+// WorkloadNames returns the built-in application names ("DB", "TPC-W",
+// "jApp", "Web").
+func WorkloadNames() []string { return workload.Names() }
+
+// CacheGeometry describes one cache level.
+type CacheGeometry struct {
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+}
+
+func (g CacheGeometry) internal() cache.Config {
+	return cache.Config{SizeBytes: g.SizeBytes, Assoc: g.Assoc, LineBytes: g.LineBytes}
+}
+
+// MachineConfig describes a simulated machine. Zero-valued fields take
+// the paper's defaults (Section 5).
+type MachineConfig struct {
+	// Cores is the number of cores (1 = single-core with private L2;
+	// >1 = CMP sharing the L2). Default 1.
+	Cores int
+	// Workloads names the applications to run, cycled across cores.
+	// One name gives a homogeneous machine (cores are threads of one
+	// process); several give a multiprogrammed mix. Default {"DB"}.
+	Workloads []string
+	// Prefetcher selects the instruction-prefetch scheme (see the
+	// Prefetcher* constants). Default PrefetcherNone.
+	Prefetcher string
+	// BypassL2 enables the paper's Section 7 install policy: prefetches
+	// skip the shared L2 until proven useful.
+	BypassL2 bool
+	// L1I and L2 override cache geometries when non-zero.
+	L1I CacheGeometry
+	L2  CacheGeometry
+	// DiscontinuityTableEntries overrides the prediction-table size of
+	// the discontinuity prefetcher (default 8192).
+	DiscontinuityTableEntries int
+	// ModelWritebacks makes stores dirty cache lines and charges
+	// off-chip bandwidth for dirty evictions (off by default, matching
+	// the paper's read-side bandwidth accounting).
+	ModelWritebacks bool
+	// Seed makes runs reproducible; runs with equal configs and seeds
+	// are bit-identical. Default 1.
+	Seed uint64
+}
+
+// Machine is a runnable simulated system.
+type Machine struct {
+	sys *cmp.System
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("repro: invalid core count %d", cfg.Cores)
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"DB"}
+	}
+	if cfg.Prefetcher == "" {
+		cfg.Prefetcher = PrefetcherNone
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sysCfg := cmp.DefaultConfig(cfg.Cores)
+	sysCfg.PrefetcherName = cfg.Prefetcher
+	sysCfg.FrontEnd.BypassL2 = cfg.BypassL2
+	sysCfg.ModelWritebacks = cfg.ModelWritebacks
+	if cfg.L1I.SizeBytes > 0 {
+		sysCfg.FrontEnd.L1I = cfg.L1I.internal()
+	}
+	if cfg.L2.SizeBytes > 0 {
+		sysCfg.Mem.L2 = cfg.L2.internal()
+	}
+	srcs, err := cmp.SourcesFor(cfg.Workloads, cfg.Cores, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	override := overrideFor(cfg)
+	sys, err := cmp.New(sysCfg, srcs, override)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sys: sys}, nil
+}
+
+// Run executes until every core has retired at least n more
+// instructions.
+func (m *Machine) Run(n uint64) { m.sys.Run(n) }
+
+// ResetStats starts a fresh measurement window (typically after a
+// warm-up run), preserving caches and predictor state.
+func (m *Machine) ResetStats() { m.sys.ResetStats() }
+
+// Metrics summarises the current measurement window.
+type Metrics struct {
+	// Instructions retired across all cores.
+	Instructions uint64
+	// Cycles of the slowest core (wall-clock of the chip).
+	Cycles uint64
+	// IPC is aggregate instructions per cycle.
+	IPC float64
+	// L1IMissPerInstr is instruction-cache misses per instruction.
+	L1IMissPerInstr float64
+	// L2IMissPerInstr is L2 instruction misses per instruction.
+	L2IMissPerInstr float64
+	// L2DMissPerInstr is L2 data misses per instruction.
+	L2DMissPerInstr float64
+	// PrefetchIssued counts initiated prefetch fills.
+	PrefetchIssued uint64
+	// PrefetchUseful counts prefetched lines demand-used before
+	// eviction.
+	PrefetchUseful uint64
+	// PrefetchAccuracy is Useful/Issued.
+	PrefetchAccuracy float64
+	// BranchMispredictRate is wrong predictions over all predictions.
+	BranchMispredictRate float64
+	// FetchStallCPI, DataStallCPI and BpredStallCPI attribute cycles per
+	// instruction to instruction-fetch stalls, data-miss stalls and
+	// branch-mispredict refills (approximate; the remainder is issue
+	// bandwidth and TLB/trap overhead).
+	FetchStallCPI float64
+	DataStallCPI  float64
+	BpredStallCPI float64
+	// MissBreakdown gives the share of L1-I misses per category name
+	// (sequential, cond-taken-fwd, ..., trap).
+	MissBreakdown map[string]float64
+}
+
+// Metrics returns the chip-level metrics for the current window.
+func (m *Machine) Metrics() Metrics {
+	m.sys.Finalize()
+	t := m.sys.TotalStats()
+	return metricsFrom(&t)
+}
+
+// CoreMetrics returns the metrics of a single core.
+func (m *Machine) CoreMetrics(core int) (Metrics, error) {
+	if core < 0 || core >= len(m.sys.Cores()) {
+		return Metrics{}, fmt.Errorf("repro: core %d out of range", core)
+	}
+	m.sys.Finalize()
+	cs := m.sys.CoreStats(core)
+	return metricsFrom(cs), nil
+}
+
+func metricsFrom(t *stats.CoreStats) Metrics {
+	out := Metrics{
+		Instructions:     t.Instructions,
+		Cycles:           t.Cycles,
+		IPC:              t.IPC(),
+		L1IMissPerInstr:  t.L1I.PerInstr(t.Instructions),
+		L2IMissPerInstr:  t.L2I.PerInstr(t.Instructions),
+		L2DMissPerInstr:  t.L2D.PerInstr(t.Instructions),
+		PrefetchIssued:   t.Prefetch.Issued,
+		PrefetchUseful:   t.Prefetch.Useful,
+		PrefetchAccuracy: t.Prefetch.Accuracy(),
+		MissBreakdown:    map[string]float64{},
+	}
+	if t.BranchPredictions > 0 {
+		out.BranchMispredictRate = float64(t.BranchMispredicts) / float64(t.BranchPredictions)
+	}
+	if t.Instructions > 0 {
+		out.FetchStallCPI = float64(t.FetchStallCycles) / float64(t.Instructions)
+		out.DataStallCPI = float64(t.DataStallCycles) / float64(t.Instructions)
+		out.BpredStallCPI = float64(t.BpredStallCycles) / float64(t.Instructions)
+	}
+	for c := 0; c < isa.NumMissCategories; c++ {
+		cat := isa.MissCategory(c)
+		out.MissBreakdown[cat.String()] = t.L1IMissBreakdown.Fraction(cat)
+	}
+	return out
+}
+
+// overrideFor returns a per-core prefetcher constructor when the config
+// requires a non-registry variant, or nil.
+func overrideFor(cfg MachineConfig) func(int) prefetch.Prefetcher {
+	if cfg.DiscontinuityTableEntries <= 0 {
+		return nil
+	}
+	dcfg := prefetch.DefaultDiscontinuityConfig()
+	dcfg.TableEntries = cfg.DiscontinuityTableEntries
+	if cfg.Prefetcher == PrefetcherDiscont2NL {
+		dcfg.PrefetchAhead = 2
+	}
+	return func(int) prefetch.Prefetcher { return prefetch.NewDiscontinuity(dcfg) }
+}
+
+// NewMachineFromTrace builds a machine whose cores replay recorded
+// traces (looping at end of trace) instead of running the synthetic
+// generators — the library's equivalent of the paper's trace-driven
+// methodology. One trace per core; cfg.Workloads is ignored.
+func NewMachineFromTrace(cfg MachineConfig, traces [][]byte) (*Machine, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = len(traces)
+	}
+	if cfg.Cores != len(traces) {
+		return nil, fmt.Errorf("repro: %d traces for %d cores", len(traces), cfg.Cores)
+	}
+	if cfg.Prefetcher == "" {
+		cfg.Prefetcher = PrefetcherNone
+	}
+	srcs := make([]workload.Source, len(traces))
+	for i, data := range traces {
+		loop, err := trace.NewLoop(data)
+		if err != nil {
+			return nil, fmt.Errorf("repro: trace %d: %w", i, err)
+		}
+		srcs[i] = loop
+	}
+	sysCfg := cmp.DefaultConfig(cfg.Cores)
+	sysCfg.PrefetcherName = cfg.Prefetcher
+	sysCfg.FrontEnd.BypassL2 = cfg.BypassL2
+	if cfg.L1I.SizeBytes > 0 {
+		sysCfg.FrontEnd.L1I = cfg.L1I.internal()
+	}
+	if cfg.L2.SizeBytes > 0 {
+		sysCfg.Mem.L2 = cfg.L2.internal()
+	}
+	sys, err := cmp.New(sysCfg, srcs, overrideFor(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sys: sys}, nil
+}

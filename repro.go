@@ -1,0 +1,48 @@
+// Package repro is a library reproduction of "Effective Instruction
+// Prefetching in Chip Multiprocessors for Modern Commercial
+// Applications" (Spracklen, Chou & Abraham, HPCA 2005).
+//
+// It bundles, behind one public API:
+//
+//   - synthetic commercial workloads (an OLTP database, TPC-W,
+//     SPECjAppServer2002 and SPECweb99 stand-ins) with calibrated
+//     instruction-footprint, control-flow and data-locality behaviour;
+//   - a timing simulator for a single-core processor or a 4-way CMP with
+//     private L1s, a shared unified L2, finite off-chip bandwidth,
+//     branch predictors and TLBs;
+//   - the paper's hardware instruction prefetchers: the sequential
+//     family (next-line always/on-miss/tagged, next-N-line, lookahead),
+//     a history-based target prefetcher, and the paper's contribution —
+//     the discontinuity prefetcher with prefetch filtering and the
+//     L2-bypass install policy;
+//   - experiment runners that regenerate every figure of the paper's
+//     evaluation as a table.
+//
+// # Quick start
+//
+//	m, _ := repro.NewMachine(repro.MachineConfig{
+//	    Cores:      4,
+//	    Workloads:  []string{"DB"},
+//	    Prefetcher: repro.PrefetcherDiscontinuity,
+//	    BypassL2:   true,
+//	})
+//	m.Run(1_000_000) // warm up
+//	m.ResetStats()
+//	m.Run(2_000_000)
+//	fmt.Println(m.Metrics().IPC)
+//
+// # Reproducing the paper
+//
+//	eng := repro.NewExperiments(repro.ExperimentConfig{})
+//	for _, fig := range eng.Figures() {
+//	    for _, table := range fig.Run() {
+//	        fmt.Println(table)
+//	    }
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro
+
+// Version identifies the library release.
+const Version = "1.0.0"
