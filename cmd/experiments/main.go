@@ -5,17 +5,23 @@
 //
 //	experiments [-figure 1|2|...|10|a1..a10|all] [-n instrs] [-warm instrs]
 //	            [-seed n] [-csv] [-md] [-o dir] [-v] [-parallel=false]
+//	            [-timeout duration]
 //
 // Instruction budgets are per core. The defaults run every figure in a
-// few minutes on a laptop; raise -n for tighter numbers.
+// few minutes on a laptop; raise -n for tighter numbers. -timeout bounds
+// the whole regeneration (in-flight simulations are cancelled when it
+// expires), and Ctrl-C cancels the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/sim"
@@ -32,6 +38,7 @@ var (
 	outDir   = flag.String("o", "", "also write each table as a CSV file into this directory")
 	verbose  = flag.Bool("v", false, "log each simulation run")
 	parallel = flag.Bool("parallel", true, "pre-run simulations concurrently")
+	timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 )
 
 func main() {
@@ -41,13 +48,21 @@ func main() {
 		e.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	want := strings.Split(*figure, ",")
 	matched := false
 	start := time.Now()
 	// Pre-warm the full matrix concurrently when regenerating everything;
 	// single figures warm implicitly through memoisation.
 	if *parallel && selected(want, "all") {
-		if err := e.WarmAll(); err != nil {
+		if err := e.WarmAllContext(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -58,7 +73,11 @@ func main() {
 		}
 		matched = true
 		t0 := time.Now()
-		tables := fig.Run()
+		tables, err := fig.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", fig.ID, err)
+			os.Exit(1)
+		}
 		for _, t := range tables {
 			emit(t)
 		}
@@ -71,7 +90,12 @@ func main() {
 			continue
 		}
 		matched = true
-		for _, t := range abl.Run() {
+		tables, err := abl.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation %s: %v\n", abl.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
 			emit(t)
 		}
 	}

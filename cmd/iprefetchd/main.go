@@ -1,0 +1,98 @@
+// Command iprefetchd serves the simulation engine as a long-lived HTTP
+// daemon: clients POST simulation specs (machine config + workload +
+// prefetcher + budgets) to a bounded job queue, poll job status, and
+// fetch paper figures. Identical in-flight specs share one simulation,
+// and completed results persist in a content-addressed store so a
+// restarted daemon answers repeated specs from disk.
+//
+// Endpoints:
+//
+//	POST /v1/jobs         submit a spec (?wait=1 blocks until done)
+//	GET  /v1/jobs         list jobs
+//	GET  /v1/jobs/{id}    job status + result
+//	GET  /v1/figures/{id} run a paper figure ("1".."10") or ablation ("a1".."a10")
+//	GET  /healthz         liveness + counters
+//	GET  /metrics         Prometheus text exposition
+//
+// Example:
+//
+//	iprefetchd -addr :8080 -data ./results &
+//	curl -s localhost:8080/v1/jobs?wait=1 -d '{"workload":"DB","cores":4,"scheme":"discontinuity","bypass":true}'
+//
+// SIGINT/SIGTERM drain gracefully: the queue stops accepting jobs,
+// running simulations finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+		dataDir    = flag.String("data", "", "result store directory (empty = no persistence)")
+		warm       = flag.Uint64("warm", 1_500_000, "default warm-up instructions per core")
+		measure    = flag.Uint64("n", 3_000_000, "default measured instructions per core")
+		seed       = flag.Uint64("seed", 1, "default workload seed")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown grace period before cancelling running jobs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "iprefetchd: ", log.LstdFlags)
+	svc, err := service.New(service.Config{
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		ResultDir:            *dataDir,
+		DefaultWarmInstrs:    *warm,
+		DefaultMeasureInstrs: *measure,
+		Seed:                 *seed,
+		DefaultTimeout:       *jobTimeout,
+		Logf:                 logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d queue=%d data=%q)",
+			*addr, svc.Workers(), *queueDepth, *dataDir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutdown signal received, draining (max %s)", *drain)
+	case err := <-errc:
+		logger.Fatal(err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Printf("queue drain: %v", err)
+	}
+	snap := svc.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr, "iprefetchd: done (completed=%d failed=%d canceled=%d)\n",
+		snap.Completed, snap.Failed, snap.Canceled)
+}

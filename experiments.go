@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/sim"
@@ -65,18 +66,42 @@ type Figure struct {
 	ID string
 	// Name is a short description.
 	Name string
-	// Run executes the experiment and returns its tables.
+	// Run executes the experiment and returns its tables. It panics on
+	// simulation errors (the built-in figures use known-good specs);
+	// use RunContext to bound or cancel long runs instead.
 	Run func() []Table
+	// RunContext executes the experiment under ctx: the underlying
+	// simulations stop early and return ctx.Err() when it fires.
+	RunContext func(ctx context.Context) ([]Table, error)
+}
+
+func wrapRunner(f sim.Runner) Figure {
+	run := f.Run
+	return Figure{
+		ID:   f.ID,
+		Name: f.Name,
+		Run: func() []Table {
+			ts, err := run(context.Background())
+			if err != nil {
+				panic(err)
+			}
+			return wrapTables(ts)
+		},
+		RunContext: func(ctx context.Context) ([]Table, error) {
+			ts, err := run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return wrapTables(ts), nil
+		},
+	}
 }
 
 // Figures returns the paper's ten evaluation figures in order.
 func (e *Experiments) Figures() []Figure {
 	var out []Figure
 	for _, f := range e.eng.Figures() {
-		run := f.Run
-		out = append(out, Figure{ID: f.ID, Name: f.Name, Run: func() []Table {
-			return wrapTables(run())
-		}})
+		out = append(out, wrapRunner(f))
 	}
 	return out
 }
@@ -85,10 +110,7 @@ func (e *Experiments) Figures() []Figure {
 func (e *Experiments) Ablations() []Figure {
 	var out []Figure
 	for _, f := range e.eng.Ablations() {
-		run := f.Run
-		out = append(out, Figure{ID: f.ID, Name: f.Name, Run: func() []Table {
-			return wrapTables(run())
-		}})
+		out = append(out, wrapRunner(f))
 	}
 	return out
 }

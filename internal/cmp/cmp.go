@@ -8,6 +8,7 @@
 package cmp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -140,10 +141,24 @@ func (s *System) Cores() []*cpu.Core { return s.cores }
 // instructions, interleaving cores by local clock so shared-L2 and
 // bandwidth contention is modelled fairly.
 func (s *System) Run(nPerCore uint64) {
+	// context.Background never cancels, so the error is always nil.
+	_ = s.RunContext(context.Background(), nPerCore)
+}
+
+// ctxCheckInterval is how many core steps run between context polls: a
+// power of two large enough to keep the poll off the hot path (< 0.1 %
+// of step cost) and small enough to cancel within milliseconds.
+const ctxCheckInterval = 1 << 14
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx every few thousand steps and returns ctx.Err() if it fires,
+// leaving the machine in a consistent (but mid-run) state.
+func (s *System) RunContext(ctx context.Context, nPerCore uint64) error {
 	targets := make([]uint64, len(s.cores))
 	for i, c := range s.cores {
 		targets[i] = c.Stats().Instructions + nPerCore
 	}
+	steps := 0
 	for {
 		// Step the lagging unfinished core.
 		best := -1
@@ -157,9 +172,14 @@ func (s *System) Run(nPerCore uint64) {
 			}
 		}
 		if best < 0 {
-			return
+			return nil
 		}
 		s.cores[best].Step()
+		if steps++; steps&(ctxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 }
 

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Handler exposes the service over HTTP:
+//
+//	POST /v1/jobs        submit a JobSpec; 202 with the job, or 200 when
+//	                     served from cache/dedup. ?wait=1 blocks until
+//	                     the job finishes (bounded by the request ctx).
+//	GET  /v1/jobs        list all jobs (no full results)
+//	GET  /v1/jobs/{id}   one job, with result when finished
+//	GET  /v1/figures/{id} run a paper figure/ablation ("1".."10",
+//	                     "a1".."a10") and return its tables
+//	GET  /healthz        liveness + counter snapshot
+//	GET  /metrics        Prometheus text exposition
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		v, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			wv, err := s.Wait(r.Context(), v.ID)
+			if err != nil {
+				httpError(w, http.StatusGatewayTimeout, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, wv)
+			return
+		}
+		status := http.StatusAccepted
+		if v.State == StateCompleted {
+			status = http.StatusOK // served from store or an already-done twin
+		}
+		writeJSON(w, status, v)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobView `json:"jobs"`
+		}{s.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/figures/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.ToLower(r.PathValue("id"))
+		name, tables, err := s.RunFigure(r.Context(), id)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if strings.Contains(err.Error(), "unknown figure") {
+				status = http.StatusNotFound
+			} else if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+				status = http.StatusGatewayTimeout
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			ID     string         `json:"id"`
+			Name   string         `json:"name"`
+			Tables []*stats.Table `json:"tables"`
+		}{id, name, tables})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status  string   `json:"status"`
+			Workers int      `json:"workers"`
+			Queue   int      `json:"queue_depth"`
+			Jobs    Snapshot `json:"jobs"`
+		}{"ok", s.Workers(), s.QueueDepth(), s.metrics.Snapshot()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WriteProm(w, s.QueueDepth(), s.Workers(), s.EngineCounters())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,141 @@
+// Package service turns the memoising simulation engine into a
+// long-lived simulation-as-a-service subsystem: a bounded worker-pool
+// job queue that executes sim.Engine runs with per-job deadlines and
+// cancellation, deduplicates identical in-flight specs, persists
+// completed results in a content-addressed on-disk store, and exposes
+// the whole thing over HTTP (see Handler and cmd/iprefetchd).
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// JobSpec is the wire form of one simulation request: machine config,
+// workload, prefetcher spec and instruction budgets. The zero values of
+// the budget fields take the service defaults.
+type JobSpec struct {
+	// Workload names a paper workload column ("DB", "TPC-W", "jApp",
+	// "Web", "Mixed") unless Apps is set.
+	Workload string `json:"workload,omitempty"`
+	// Apps lists applications explicitly, cycled across cores; it
+	// overrides Workload.
+	Apps []string `json:"apps,omitempty"`
+	// Cores is the machine width (1 = single core, 4 = the paper CMP).
+	Cores int `json:"cores"`
+	// Scheme is the prefetcher registry name ("none", "nl-miss",
+	// "discontinuity", ...).
+	Scheme string `json:"scheme"`
+	// Bypass enables the Section 7 L2-bypass install policy.
+	Bypass bool `json:"bypass,omitempty"`
+	// TableEntries overrides the discontinuity table size when > 0.
+	TableEntries int `json:"table_entries,omitempty"`
+	// PrefetchAhead overrides the prefetch-ahead distance when > 0.
+	PrefetchAhead int `json:"prefetch_ahead,omitempty"`
+	// OffChipGBps overrides the off-chip bandwidth when > 0.
+	OffChipGBps float64 `json:"off_chip_gbps,omitempty"`
+	// ModelWritebacks enables dirty write-back traffic.
+	ModelWritebacks bool `json:"model_writebacks,omitempty"`
+	// WarmInstrs / MeasureInstrs are per-core instruction budgets;
+	// zero takes the service defaults.
+	WarmInstrs    uint64 `json:"warm_instrs,omitempty"`
+	MeasureInstrs uint64 `json:"measure_instrs,omitempty"`
+	// Seed overrides the workload seed when > 0.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the job's execution when > 0; zero takes the
+	// service default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// paperWorkload resolves a paper workload name, case-insensitively.
+func paperWorkload(name string) (sim.Workload, bool) {
+	for _, w := range sim.PaperWorkloads(true) {
+		if strings.EqualFold(w.Name, name) {
+			return w, true
+		}
+	}
+	return sim.Workload{}, false
+}
+
+// Validate reports problems that make the spec unrunnable, without
+// building a machine.
+func (s JobSpec) Validate() error {
+	if s.Cores < 1 || s.Cores > 64 {
+		return fmt.Errorf("cores must be in [1,64], got %d", s.Cores)
+	}
+	if s.Scheme == "" {
+		return fmt.Errorf("scheme is required")
+	}
+	if _, err := prefetch.New(s.Scheme); err != nil {
+		return err
+	}
+	if len(s.Apps) == 0 {
+		if s.Workload == "" {
+			return fmt.Errorf("workload or apps is required")
+		}
+		if _, ok := paperWorkload(s.Workload); !ok {
+			return fmt.Errorf("unknown workload %q (want DB, TPC-W, jApp, Web or Mixed, or explicit apps)", s.Workload)
+		}
+	} else {
+		for _, a := range s.Apps {
+			if _, err := workload.ByName(a); err != nil {
+				return err
+			}
+		}
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// runSpec converts the wire spec to the engine's RunSpec.
+func (s JobSpec) runSpec() (sim.RunSpec, error) {
+	var w sim.Workload
+	if len(s.Apps) > 0 {
+		name := s.Workload
+		if name == "" {
+			name = strings.Join(s.Apps, "+")
+		}
+		w = sim.Workload{Name: name, Apps: s.Apps}
+	} else {
+		var ok bool
+		if w, ok = paperWorkload(s.Workload); !ok {
+			return sim.RunSpec{}, fmt.Errorf("unknown workload %q", s.Workload)
+		}
+	}
+	return sim.RunSpec{
+		Workload:        w,
+		Cores:           s.Cores,
+		Scheme:          s.Scheme,
+		Bypass:          s.Bypass,
+		TableEntries:    s.TableEntries,
+		PrefetchAhead:   s.PrefetchAhead,
+		OffChipGBps:     s.OffChipGBps,
+		ModelWritebacks: s.ModelWritebacks,
+	}, nil
+}
+
+// key returns the canonical identity of the simulation this spec
+// requests: the engine's memo key extended with the budget dimensions
+// the engine fixes per instance. Identical keys are deduplicated
+// in-flight and share one entry in the result store.
+func (s JobSpec) key(warm, measure, seed uint64) (string, error) {
+	rs, err := s.runSpec()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s|warm=%d|measure=%d|seed=%d", rs.Key(), warm, measure, seed), nil
+}
+
+// contentAddress hashes a canonical key into the store's file name.
+func contentAddress(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

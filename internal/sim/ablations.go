@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -10,16 +11,8 @@ import (
 // Ablations are design-choice studies beyond the paper's figures,
 // checking that the mechanisms the paper motivates qualitatively
 // actually pay off in this implementation.
-func (e *Engine) Ablations() []struct {
-	ID   string
-	Name string
-	Run  func() []*stats.Table
-} {
-	return []struct {
-		ID   string
-		Name string
-		Run  func() []*stats.Table
-	}{
+func (e *Engine) Ablations() []Runner {
+	return []Runner{
 		{"a1", "Eviction-counter protection of the discontinuity table", e.AblationA1},
 		{"a2", "Recent-demand prefetch filter", e.AblationA2},
 		{"a3", "Prefetch-ahead distance sweep", e.AblationA3},
@@ -35,7 +28,8 @@ func (e *Engine) Ablations() []struct {
 
 // AblationA1 compares the 2-bit eviction counter against always-replace
 // for the discontinuity table (paper Section 4, table management).
-func (e *Engine) AblationA1() []*stats.Table {
+func (e *Engine) AblationA1(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A1: discontinuity table replacement (4-way CMP, bypass; speedup over no prefetch)",
 		append([]string{"Policy"}, workloadNames(ws)...)...)
@@ -49,8 +43,8 @@ func (e *Engine) AblationA1() []*stats.Table {
 	for _, pol := range policies {
 		row := []string{pol.label}
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{
 				Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true,
 				NoCounter: pol.noCounter,
 				// Small table makes replacement policy matter.
@@ -60,12 +54,13 @@ func (e *Engine) AblationA1() []*stats.Table {
 		}
 		t.AddRow(row...)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA2 measures what the recent-demand filter buys: queue traffic
 // and performance with and without it (paper Section 4.1).
-func (e *Engine) AblationA2() []*stats.Table {
+func (e *Engine) AblationA2(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A2: recent-demand filter (4-way CMP, discontinuity, bypass)",
 		"Configuration", "Workload", "Speedup", "Filtered-recent", "Issued", "Tag probes finding line cached")
@@ -75,8 +70,8 @@ func (e *Engine) AblationA2() []*stats.Table {
 			label = "filter OFF"
 		}
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{
 				Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true,
 				NoRecentFilter: noFilter,
 			})
@@ -88,20 +83,21 @@ func (e *Engine) AblationA2() []*stats.Table {
 				fmt.Sprintf("%d", p.ProbedInCache))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA3 sweeps the prefetch-ahead distance N of the discontinuity
 // prefetcher (the paper picks 4; Figure 9 shows 2 as an accuracy
 // trade-off).
-func (e *Engine) AblationA3() []*stats.Table {
+func (e *Engine) AblationA3(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A3: prefetch-ahead distance (4-way CMP, discontinuity, bypass)",
 		"N", "Workload", "Speedup", "Accuracy", "L1I misses vs no-prefetch")
 	for _, n := range []int{1, 2, 4, 8} {
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{
 				Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true,
 				PrefetchAhead: n,
 			})
@@ -111,12 +107,13 @@ func (e *Engine) AblationA3() []*stats.Table {
 				fmt.Sprintf("%.3f", float64(r.Total.L1I.Misses)/float64(base.Total.L1I.Misses)))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA4 compares the paper's LIFO prefetch-queue discipline against
 // FIFO.
-func (e *Engine) AblationA4() []*stats.Table {
+func (e *Engine) AblationA4(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A4: prefetch queue discipline (4-way CMP, discontinuity, bypass; speedup over no prefetch)",
 		append([]string{"Discipline"}, workloadNames(ws)...)...)
@@ -127,8 +124,8 @@ func (e *Engine) AblationA4() []*stats.Table {
 		}
 		row := []string{label}
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{
 				Workload: w, Cores: 4, Scheme: "discontinuity", Bypass: true,
 				QueueFIFO: fifo,
 			})
@@ -136,33 +133,35 @@ func (e *Engine) AblationA4() []*stats.Table {
 		}
 		t.AddRow(row...)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA5 races the related-work schemes the paper discusses but
 // does not evaluate (Section 2) against its own: a classic target
 // prefetcher, a 2-way Markov prefetcher and wrong-path prefetching.
-func (e *Engine) AblationA5() []*stats.Table {
+func (e *Engine) AblationA5(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A5: related-work prefetchers (4-way CMP, bypass)",
 		"Scheme", "Workload", "Speedup", "Residual L1I misses", "Accuracy")
 	for _, scheme := range []string{"target", "markov", "wrong-path", "n4l-tagged", "discontinuity"} {
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: scheme, Bypass: true})
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: scheme, Bypass: true})
 			t.AddRow(scheme, w.Name,
 				ratio(r.Total.IPC()/base.Total.IPC()),
 				fmt.Sprintf("%.3f", float64(r.Total.L1I.Misses)/float64(base.Total.L1I.Misses)),
 				pct(r.Total.Prefetch.Accuracy(), 1))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA6 evaluates the Luk & Mowry refinement the paper cites in
 // Section 2.4: the L2 remembers lines whose previous prefetch was
 // evicted unused and such lines are not re-prefetched.
-func (e *Engine) AblationA6() []*stats.Table {
+func (e *Engine) AblationA6(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A6: L2 usefulness filter (4-way CMP, discontinuity, bypass)",
 		"Configuration", "Workload", "Speedup", "Issued", "Dropped-as-useless", "Accuracy")
@@ -172,8 +171,8 @@ func (e *Engine) AblationA6() []*stats.Table {
 			label = "usefulness filter ON"
 		}
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
 				Bypass: true, L2UsefulnessFilter: filter})
 			p := r.Total.Prefetch
 			t.AddRow(label, w.Name,
@@ -183,7 +182,7 @@ func (e *Engine) AblationA6() []*stats.Table {
 				pct(p.Accuracy(), 1))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA7 evaluates the Haga et al. organisation the paper discusses
@@ -191,7 +190,8 @@ func (e *Engine) AblationA6() []*stats.Table {
 // table filters predictions so prefetches can issue WITHOUT probing the
 // cache tags (saving the tag bandwidth the paper's own filter exists to
 // protect).
-func (e *Engine) AblationA7() []*stats.Table {
+func (e *Engine) AblationA7(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(true)
 	t := stats.NewTable("Ablation A7: confidence filter vs tag probing (4-way CMP, discontinuity, bypass)",
 		"Configuration", "Workload", "Speedup", "Issued", "Tag probes", "Accuracy")
@@ -201,8 +201,8 @@ func (e *Engine) AblationA7() []*stats.Table {
 			label = "confidence filter, no tag probes"
 		}
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
 				Bypass: true, ConfidenceFilter: conf})
 			p := r.Total.Prefetch
 			// With tag probing every popped prefetch inspects the tags;
@@ -218,7 +218,7 @@ func (e *Engine) AblationA7() []*stats.Table {
 				pct(p.Accuracy(), 1))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA8 sweeps the CMP's off-chip bandwidth. The paper recommends
@@ -226,7 +226,8 @@ func (e *Engine) AblationA7() []*stats.Table {
 // bandwidth is constrained"; this ablation quantifies that claim: as
 // bandwidth shrinks, the accuracy-frugal 2NL variant overtakes both the
 // 4NL discontinuity prefetcher and the sequential next-4-lines.
-func (e *Engine) AblationA8() []*stats.Table {
+func (e *Engine) AblationA8(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	t := stats.NewTable("Ablation A8: off-chip bandwidth sensitivity (4-way CMP, bypass; speedup over no prefetch at the same bandwidth)",
 		"Bandwidth", "Workload", "Next-4-lines", "Discontinuity", "Discont (2NL)")
 	workloads := []Workload{
@@ -235,42 +236,44 @@ func (e *Engine) AblationA8() []*stats.Table {
 	}
 	for _, gbps := range []float64{5, 10, 20, 40} {
 		for _, w := range workloads {
-			base := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "none", OffChipGBps: gbps})
+			base := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "none", OffChipGBps: gbps})
 			row := []string{fmt.Sprintf("%g GB/s", gbps), w.Name}
 			for _, scheme := range []string{"n4l-tagged", "discontinuity", "discont-2nl"} {
-				r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: scheme,
+				r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: scheme,
 					Bypass: true, OffChipGBps: gbps})
 				row = append(row, ratio(r.Total.IPC()/base.Total.IPC()))
 			}
 			t.AddRow(row...)
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA9 swaps the L1-I replacement policy. The paper's machines use
 // LRU; FIFO and random replacement show how much the miss rates of
 // Figure 1 depend on it.
-func (e *Engine) AblationA9() []*stats.Table {
+func (e *Engine) AblationA9(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	ws := PaperWorkloads(false)
 	t := stats.NewTable("Ablation A9: L1-I replacement policy (single core, no prefetch; L1-I miss %/instr)",
 		append([]string{"Policy"}, workloadNames(ws)...)...)
 	for _, pol := range []cache.Policy{cache.LRU, cache.FIFO, cache.Random} {
 		row := []string{pol.String()}
 		for _, w := range ws {
-			r := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none", L1IPolicy: pol})
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 1, Scheme: "none", L1IPolicy: pol})
 			row = append(row, fmt.Sprintf("%.3f", 100*r.Total.L1I.PerInstr(r.Total.Instructions)))
 		}
 		t.AddRow(row...)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // AblationA10 enables dirty-line write-back traffic, which the baseline
 // model omits (the paper reports read-side bandwidth). It quantifies how
 // much headroom the off-chip link loses to writes and what that does to
 // the prefetcher.
-func (e *Engine) AblationA10() []*stats.Table {
+func (e *Engine) AblationA10(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	t := stats.NewTable("Ablation A10: write-back traffic (4-way CMP, discontinuity, bypass)",
 		"Configuration", "Workload", "Speedup vs matching baseline", "Off-chip transfers", "Writebacks")
 	ws := []Workload{
@@ -283,8 +286,8 @@ func (e *Engine) AblationA10() []*stats.Table {
 			label = "with writebacks"
 		}
 		for _, w := range ws {
-			base := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "none", ModelWritebacks: wb})
-			r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
+			base := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "none", ModelWritebacks: wb})
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
 				Bypass: true, ModelWritebacks: wb})
 			t.AddRow(label, w.Name,
 				ratio(r.Total.IPC()/base.Total.IPC()),
@@ -292,5 +295,5 @@ func (e *Engine) AblationA10() []*stats.Table {
 				fmt.Sprintf("%d", r.Writebacks))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/isa"
@@ -19,7 +20,7 @@ func TestCalibrationBands(t *testing.T) {
 
 	l1i := map[string]float64{}
 	for _, w := range PaperWorkloads(false) {
-		r := e.baseline(w, 1)
+		r := e.baseline(context.Background(), w, 1)
 		total := r.Total
 		instr := total.Instructions
 
@@ -76,11 +77,11 @@ func TestCalibrationBands(t *testing.T) {
 
 	// Figure 2: the Mixed workload's CMP L2-I rate exceeds every
 	// homogeneous one, super-additively.
-	mix := e.baseline(Workload{Name: "Mixed", Apps: []string{"DB", "TPC-W", "jApp", "Web"}}, 4)
+	mix := e.baseline(context.Background(), Workload{Name: "Mixed", Apps: []string{"DB", "TPC-W", "jApp", "Web"}}, 4)
 	mixRate := mix.Total.L2I.PerInstr(mix.Total.Instructions)
 	var sum float64
 	for _, w := range PaperWorkloads(false) {
-		r := e.baseline(w, 4)
+		r := e.baseline(context.Background(), w, 4)
 		sum += r.Total.L2I.PerInstr(r.Total.Instructions)
 	}
 	if mixRate <= sum/4 {
@@ -108,7 +109,7 @@ func TestSPECNegativeControl(t *testing.T) {
 	if speedup > 1.03 || speedup < 0.97 {
 		t.Errorf("prefetching changed SPEC-like control by %.3fx; should be ~1.0x", speedup)
 	}
-	commercial := e.baseline(Workload{Name: "jApp", Apps: []string{"jApp"}}, 1)
+	commercial := e.baseline(context.Background(), Workload{Name: "jApp", Apps: []string{"jApp"}}, 1)
 	cRate := 100 * commercial.Total.L1I.PerInstr(commercial.Total.Instructions)
 	if cRate < 5*rate {
 		t.Errorf("commercial workload (%.3f%%) not clearly above control (%.3f%%)", cRate, rate)

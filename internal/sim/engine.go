@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -81,6 +82,11 @@ type RunSpec struct {
 	ModelWritebacks bool
 }
 
+// Key returns a memoisation key covering every field that affects the
+// simulation. The service layer uses the same key for in-flight
+// deduplication and as the basis of its content-addressed result store.
+func (s RunSpec) Key() string { return s.key() }
+
 // key returns a memoisation key covering every field that affects the
 // simulation.
 func (s RunSpec) key() string {
@@ -119,8 +125,38 @@ type Engine struct {
 	// Verbose, when non-nil, receives a line per completed run.
 	Verbose func(string)
 
-	mu   sync.Mutex
-	memo map[string]Result
+	mu       sync.Mutex
+	memo     map[string]Result
+	inflight map[string]*inflightRun
+	counters Counters
+}
+
+// inflightRun is the singleflight slot for one spec key: the first
+// caller simulates, later callers wait on done and share the outcome.
+type inflightRun struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Counters exposes the engine's run-sharing behaviour for metrics:
+// every Run resolves as exactly one of a fresh simulation, a memo hit,
+// or a wait on an identical in-flight simulation.
+type Counters struct {
+	// Simulations counts actual simulation executions.
+	Simulations uint64
+	// MemoHits counts runs answered from the in-memory result cache.
+	MemoHits uint64
+	// DedupWaits counts runs that joined an identical in-flight
+	// simulation instead of starting their own.
+	DedupWaits uint64
+}
+
+// Counters returns a snapshot of the engine's run-sharing counters.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
 }
 
 // NewEngine returns an engine with the given per-core budgets.
@@ -130,6 +166,7 @@ func NewEngine(warm, measure uint64, seed uint64) *Engine {
 		MeasureInstrs: measure,
 		Seed:          seed,
 		memo:          make(map[string]Result),
+		inflight:      make(map[string]*inflightRun),
 	}
 }
 
@@ -141,14 +178,71 @@ func DefaultEngine() *Engine {
 
 // Run executes (or recalls) the simulation described by spec.
 // Individual simulations are single-threaded and deterministic;
-// concurrent Run calls with different specs are safe (see Warm).
+// concurrent Run calls are safe, and identical concurrent specs share
+// one simulation (see RunContext).
 func (e *Engine) Run(spec RunSpec) (Result, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: the simulation stops early and
+// returns ctx.Err() when ctx fires. Concurrent calls with the same spec
+// are deduplicated: one caller simulates, the rest wait for its result
+// (or their own ctx, whichever comes first). A run abandoned because
+// the simulating caller's ctx fired is not memoised, so a later call
+// retries from scratch.
+func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	key := spec.key()
 	e.mu.Lock()
-	if r, ok := e.memo[spec.key()]; ok {
+	if r, ok := e.memo[key]; ok {
+		e.counters.MemoHits++
 		e.mu.Unlock()
 		return r, nil
 	}
+	if fl, ok := e.inflight[key]; ok {
+		e.counters.DedupWaits++
+		e.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.res, fl.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	fl := &inflightRun{done: make(chan struct{})}
+	if e.inflight == nil {
+		e.inflight = make(map[string]*inflightRun)
+	}
+	e.inflight[key] = fl
+	e.counters.Simulations++
 	e.mu.Unlock()
+
+	res, err := e.simulate(ctx, spec)
+
+	e.mu.Lock()
+	if err == nil {
+		if e.memo == nil {
+			e.memo = make(map[string]Result)
+		}
+		e.memo[key] = res
+	}
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+	if err == nil && e.Verbose != nil {
+		e.Verbose(fmt.Sprintf("ran %-6s cores=%d scheme=%-14s bypass=%-5v IPC=%.3f L1I=%.3f%%",
+			spec.Workload.Name, spec.Cores, spec.Scheme, spec.Bypass,
+			res.Total.IPC(), 100*res.Total.L1I.PerInstr(res.Total.Instructions)))
+	}
+	return res, err
+}
+
+// simulate builds the machine for spec and executes the warm + measure
+// phases under ctx.
+func (e *Engine) simulate(ctx context.Context, spec RunSpec) (Result, error) {
 	cfg := cmp.DefaultConfig(spec.Cores)
 	cfg.PrefetcherName = spec.Scheme
 	cfg.FrontEnd.BypassL2 = spec.Bypass
@@ -203,9 +297,13 @@ func (e *Engine) Run(spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sys.Run(e.WarmInstrs)
+	if err := sys.RunContext(ctx, e.WarmInstrs); err != nil {
+		return Result{}, err
+	}
 	sys.ResetStats()
-	sys.Run(e.MeasureInstrs)
+	if err := sys.RunContext(ctx, e.MeasureInstrs); err != nil {
+		return Result{}, err
+	}
 	sys.Finalize()
 
 	res := Result{
@@ -217,14 +315,6 @@ func (e *Engine) Run(spec RunSpec) (Result, error) {
 	}
 	for i := 0; i < spec.Cores; i++ {
 		res.PerCore = append(res.PerCore, *sys.CoreStats(i))
-	}
-	e.mu.Lock()
-	e.memo[spec.key()] = res
-	e.mu.Unlock()
-	if e.Verbose != nil {
-		e.Verbose(fmt.Sprintf("ran %-6s cores=%d scheme=%-14s bypass=%-5v IPC=%.3f L1I=%.3f%%",
-			spec.Workload.Name, spec.Cores, spec.Scheme, spec.Bypass,
-			res.Total.IPC(), 100*res.Total.L1I.PerInstr(res.Total.Instructions)))
 	}
 	return res, nil
 }
@@ -239,11 +329,46 @@ func (e *Engine) MustRun(spec RunSpec) Result {
 	return r
 }
 
+// figureAbort carries a RunContext error (cancellation or a bad spec)
+// out of a figure body; catch converts it back into an error return.
+type figureAbort struct{ err error }
+
+// catch recovers a figureAbort raised by mustRun inside a figure body
+// and stores its error in *err. Deferred at the top of every figure and
+// ablation runner.
+func catch(err *error) {
+	if p := recover(); p != nil {
+		if a, ok := p.(figureAbort); ok {
+			*err = a.err
+			return
+		}
+		panic(p)
+	}
+}
+
+// mustRun is the ctx-aware MustRun used inside figure bodies: instead
+// of returning an error at every call site it panics with figureAbort,
+// which the runner's deferred catch turns into an error return.
+func (e *Engine) mustRun(ctx context.Context, spec RunSpec) Result {
+	r, err := e.RunContext(ctx, spec)
+	if err != nil {
+		panic(figureAbort{err})
+	}
+	return r
+}
+
 // Warm runs the given specs concurrently (bounded by GOMAXPROCS) and
 // memoises their results, so subsequent figure runners replay them from
 // cache. Simulations are independent and deterministic, so parallel
 // warming changes nothing but wall-clock time.
 func (e *Engine) Warm(specs []RunSpec) error {
+	return e.WarmContext(context.Background(), specs)
+}
+
+// WarmContext is Warm with cancellation: in-flight simulations stop at
+// their next context poll and the first error (which may be ctx.Err())
+// is returned.
+func (e *Engine) WarmContext(ctx context.Context, specs []RunSpec) error {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -254,7 +379,7 @@ func (e *Engine) Warm(specs []RunSpec) error {
 		go func(s RunSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if _, err := e.Run(s); err != nil {
+			if _, err := e.RunContext(ctx, s); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -268,8 +393,8 @@ func (e *Engine) Warm(specs []RunSpec) error {
 }
 
 // baseline returns the no-prefetch run for a workload/machine.
-func (e *Engine) baseline(w Workload, cores int) Result {
-	return e.MustRun(RunSpec{Workload: w, Cores: cores, Scheme: "none"})
+func (e *Engine) baseline(ctx context.Context, w Workload, cores int) Result {
+	return e.mustRun(ctx, RunSpec{Workload: w, Cores: cores, Scheme: "none"})
 }
 
 // pct formats a ratio as a percentage cell.
@@ -359,3 +484,8 @@ func (e *Engine) AllSpecs() []RunSpec {
 
 // WarmAll pre-executes every known experiment spec concurrently.
 func (e *Engine) WarmAll() error { return e.Warm(e.AllSpecs()) }
+
+// WarmAllContext is WarmAll with cancellation.
+func (e *Engine) WarmAllContext(ctx context.Context) error {
+	return e.WarmContext(ctx, e.AllSpecs())
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -11,7 +12,8 @@ import (
 // Figure1 reproduces the instruction-cache geometry sensitivity study:
 // L1-I miss rate (% per instruction) as associativity, line size and
 // capacity are varied around the 32 KB / 4-way / 64 B default.
-func (e *Engine) Figure1() []*stats.Table {
+func (e *Engine) Figure1(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	type variant struct {
 		label string
 		cfg   cache.Config
@@ -35,17 +37,18 @@ func (e *Engine) Figure1() []*stats.Table {
 	for _, v := range variants {
 		row := []string{v.label}
 		for _, w := range apps {
-			r := e.MustRun(RunSpec{Workload: w, Cores: 1, Scheme: "none", L1I: v.cfg})
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 1, Scheme: "none", L1I: v.cfg})
 			row = append(row, fmt.Sprintf("%.3f", 100*r.Total.L1I.PerInstr(r.Total.Instructions)))
 		}
 		t.AddRow(row...)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // Figure2 reproduces the L2 instruction miss rate study: single core vs
 // 4-way CMP as the L2 capacity is varied (1/2/4 MB).
-func (e *Engine) Figure2() []*stats.Table {
+func (e *Engine) Figure2(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	t := stats.NewTable("Figure 2: L2$ instruction miss rate (% per instruction)",
 		append([]string{"Configuration"}, workloadNames(PaperWorkloads(true))...)...)
 	for _, size := range []int{1 << 20, 2 << 20, 4 << 20} {
@@ -57,7 +60,7 @@ func (e *Engine) Figure2() []*stats.Table {
 					row = append(row, "-")
 					continue
 				}
-				r := e.MustRun(RunSpec{
+				r := e.mustRun(ctx, RunSpec{
 					Workload: w, Cores: cores, Scheme: "none",
 					L2: cache.Config{SizeBytes: size, Assoc: 4, LineBytes: 64},
 				})
@@ -66,13 +69,14 @@ func (e *Engine) Figure2() []*stats.Table {
 			t.AddRow(row...)
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
 // Figure3 reproduces the miss-category breakdowns: (i) instruction cache
 // (single core), (ii) L2 instruction misses (single core), (iii) L2
 // instruction misses (4-way CMP).
-func (e *Engine) Figure3() []*stats.Table {
+func (e *Engine) Figure3(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	categories := []isa.MissCategory{
 		isa.MissSequential,
 		isa.MissCondTakenFwd, isa.MissCondTakenBwd, isa.MissCondNotTaken,
@@ -86,7 +90,7 @@ func (e *Engine) Figure3() []*stats.Table {
 		for _, c := range categories {
 			row := []string{c.String()}
 			for _, w := range ws {
-				r := e.baseline(w, cores)
+				r := e.baseline(ctx, w, cores)
 				bd := &r.Total.L1IMissBreakdown
 				if l2 {
 					bd = &r.Total.L2IMissBreakdown
@@ -99,7 +103,7 @@ func (e *Engine) Figure3() []*stats.Table {
 		for s := 0; s < isa.NumSuperCategories; s++ {
 			row := []string{"TOTAL " + isa.SuperCategory(s).String()}
 			for _, w := range ws {
-				r := e.baseline(w, cores)
+				r := e.baseline(ctx, w, cores)
 				bd := &r.Total.L1IMissBreakdown
 				if l2 {
 					bd = &r.Total.L2IMissBreakdown
@@ -114,12 +118,13 @@ func (e *Engine) Figure3() []*stats.Table {
 		breakTable("Figure 3(i): Instruction cache miss breakdown (single core)", 1, false),
 		breakTable("Figure 3(ii): L2 cache instruction miss breakdown (single core)", 1, true),
 		breakTable("Figure 3(iii): L2 cache instruction miss breakdown (4-way CMP)", 4, true),
-	}
+	}, nil
 }
 
 // Figure4 reproduces the limits study: performance improvement from
 // oracle-eliminating classes of instruction misses.
-func (e *Engine) Figure4() []*stats.Table {
+func (e *Engine) Figure4(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	type combo struct {
 		label  string
 		supers []isa.SuperCategory
@@ -142,8 +147,8 @@ func (e *Engine) Figure4() []*stats.Table {
 			}
 			row := []string{c.label}
 			for _, w := range ws {
-				base := e.baseline(w, cores)
-				r := e.MustRun(RunSpec{Workload: w, Cores: cores, Scheme: "none", Oracle: oracle})
+				base := e.baseline(ctx, w, cores)
+				r := e.mustRun(ctx, RunSpec{Workload: w, Cores: cores, Scheme: "none", Oracle: oracle})
 				row = append(row, ratio(r.Total.IPC()/base.Total.IPC()))
 			}
 			t.AddRow(row...)
@@ -153,7 +158,7 @@ func (e *Engine) Figure4() []*stats.Table {
 	return []*stats.Table{
 		oracleTable("Figure 4(i): Speedup from eliminating instruction misses (single core)", 1),
 		oracleTable("Figure 4(ii): Speedup from eliminating instruction misses (4-way CMP)", 4),
-	}
+	}, nil
 }
 
 func workloadNames(ws []Workload) []string {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/prefetch"
@@ -31,15 +32,16 @@ func prettyScheme(name string) string {
 // Figure5 reproduces the miss-rate study: instruction miss rates of the
 // four prefetch schemes relative to no prefetching, for (i) the
 // instruction cache, (ii) the L2 (single core) and (iii) the L2 (CMP).
-func (e *Engine) Figure5() []*stats.Table {
+func (e *Engine) Figure5(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	missTable := func(title string, cores int, l2 bool) *stats.Table {
 		ws := PaperWorkloads(cores > 1)
 		t := stats.NewTable(title, append([]string{"Prefetcher"}, workloadNames(ws)...)...)
 		for _, scheme := range paperSchemes() {
 			row := []string{prettyScheme(scheme)}
 			for _, w := range ws {
-				base := e.baseline(w, cores)
-				r := e.MustRun(RunSpec{Workload: w, Cores: cores, Scheme: scheme})
+				base := e.baseline(ctx, w, cores)
+				r := e.mustRun(ctx, RunSpec{Workload: w, Cores: cores, Scheme: scheme})
 				var num, den float64
 				if l2 {
 					num, den = float64(r.Total.L2I.Misses), float64(base.Total.L2I.Misses)
@@ -60,19 +62,19 @@ func (e *Engine) Figure5() []*stats.Table {
 		missTable("Figure 5(i): I$ miss rate (normalized to no prefetch)", 1, false),
 		missTable("Figure 5(ii): L2$ instruction miss rate, single core (normalized)", 1, true),
 		missTable("Figure 5(iii): L2$ instruction miss rate, 4-way CMP (normalized)", 4, true),
-	}
+	}, nil
 }
 
 // speedupTable builds a Figures 6/8-style table: IPC of each scheme over
 // the no-prefetch baseline, with or without the L2-bypass policy.
-func (e *Engine) speedupTable(title string, cores int, bypass bool, schemes []string) *stats.Table {
+func (e *Engine) speedupTable(ctx context.Context, title string, cores int, bypass bool, schemes []string) *stats.Table {
 	ws := PaperWorkloads(cores > 1)
 	t := stats.NewTable(title, append([]string{"Prefetcher"}, workloadNames(ws)...)...)
 	for _, scheme := range schemes {
 		row := []string{prettyScheme(scheme)}
 		for _, w := range ws {
-			base := e.baseline(w, cores)
-			r := e.MustRun(RunSpec{Workload: w, Cores: cores, Scheme: scheme, Bypass: bypass})
+			base := e.baseline(ctx, w, cores)
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: cores, Scheme: scheme, Bypass: bypass})
 			row = append(row, ratio(r.Total.IPC()/base.Total.IPC()))
 		}
 		t.AddRow(row...)
@@ -82,24 +84,26 @@ func (e *Engine) speedupTable(title string, cores int, bypass bool, schemes []st
 
 // Figure6 reproduces the performance study WITHOUT the bypass policy:
 // aggressive prefetching pollutes the shared L2, capping the gains.
-func (e *Engine) Figure6() []*stats.Table {
+func (e *Engine) Figure6(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	return []*stats.Table{
-		e.speedupTable("Figure 6(i): Speedup by prefetcher, single core (prefetches install into L2)", 1, false, paperSchemes()),
-		e.speedupTable("Figure 6(ii): Speedup by prefetcher, 4-way CMP (prefetches install into L2)", 4, false, paperSchemes()),
-	}
+		e.speedupTable(ctx, "Figure 6(i): Speedup by prefetcher, single core (prefetches install into L2)", 1, false, paperSchemes()),
+		e.speedupTable(ctx, "Figure 6(ii): Speedup by prefetcher, 4-way CMP (prefetches install into L2)", 4, false, paperSchemes()),
+	}, nil
 }
 
 // Figure7 reproduces the pollution study: L2 data miss rate of each
 // prefetcher relative to no prefetching (conventional install policy).
-func (e *Engine) Figure7() []*stats.Table {
+func (e *Engine) Figure7(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	pollutionTable := func(title string, cores int) *stats.Table {
 		ws := PaperWorkloads(cores > 1)
 		t := stats.NewTable(title, append([]string{"Prefetcher"}, workloadNames(ws)...)...)
 		for _, scheme := range paperSchemes() {
 			row := []string{prettyScheme(scheme)}
 			for _, w := range ws {
-				base := e.baseline(w, cores)
-				r := e.MustRun(RunSpec{Workload: w, Cores: cores, Scheme: scheme})
+				base := e.baseline(ctx, w, cores)
+				r := e.mustRun(ctx, RunSpec{Workload: w, Cores: cores, Scheme: scheme})
 				den := float64(base.Total.L2D.Misses)
 				if den == 0 {
 					row = append(row, "-")
@@ -114,21 +118,23 @@ func (e *Engine) Figure7() []*stats.Table {
 	return []*stats.Table{
 		pollutionTable("Figure 7(i): L2$ data miss rate (normalized to no prefetch), single core", 1),
 		pollutionTable("Figure 7(ii): L2$ data miss rate (normalized to no prefetch), 4-way CMP", 4),
-	}
+	}, nil
 }
 
 // Figure8 reproduces the performance study WITH the L2-bypass install
 // policy of Section 7: prefetches enter the L2 only once proven useful.
-func (e *Engine) Figure8() []*stats.Table {
+func (e *Engine) Figure8(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	return []*stats.Table{
-		e.speedupTable("Figure 8(i): Speedup by prefetcher, single core (L2 bypass prefetches)", 1, true, paperSchemes()),
-		e.speedupTable("Figure 8(ii): Speedup by prefetcher, 4-way CMP (L2 bypass prefetches)", 4, true, paperSchemes()),
-	}
+		e.speedupTable(ctx, "Figure 8(i): Speedup by prefetcher, single core (L2 bypass prefetches)", 1, true, paperSchemes()),
+		e.speedupTable(ctx, "Figure 8(ii): Speedup by prefetcher, 4-way CMP (L2 bypass prefetches)", 4, true, paperSchemes()),
+	}, nil
 }
 
 // Figure9 reproduces (i) prefetch accuracy on the CMP and (ii) the
 // performance of the bandwidth-frugal next-2-line discontinuity variant.
-func (e *Engine) Figure9() []*stats.Table {
+func (e *Engine) Figure9(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	schemes := append(paperSchemes(), "discont-2nl")
 	ws := PaperWorkloads(true)
 
@@ -137,20 +143,21 @@ func (e *Engine) Figure9() []*stats.Table {
 	for _, scheme := range schemes {
 		row := []string{prettyScheme(scheme)}
 		for _, w := range ws {
-			r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: scheme, Bypass: true})
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: scheme, Bypass: true})
 			row = append(row, pct(r.Total.Prefetch.Accuracy(), 1))
 		}
 		acc.AddRow(row...)
 	}
 
-	perf := e.speedupTable("Figure 9(ii): Speedup incl. next-2-line discontinuity, 4-way CMP (L2 bypass)", 4, true, schemes)
-	return []*stats.Table{acc, perf}
+	perf := e.speedupTable(ctx, "Figure 9(ii): Speedup incl. next-2-line discontinuity, 4-way CMP (L2 bypass)", 4, true, schemes)
+	return []*stats.Table{acc, perf}, nil
 }
 
 // Figure10 reproduces the table-size sensitivity study: miss coverage of
 // the discontinuity prefetcher as its prediction table shrinks from 8192
 // to 256 entries, against the next-4-line sequential prefetcher.
-func (e *Engine) Figure10() []*stats.Table {
+func (e *Engine) Figure10(ctx context.Context) (tables []*stats.Table, err error) {
+	defer catch(&err)
 	sizes := []int{8192, 4096, 2048, 1024, 512, 256}
 	ws := PaperWorkloads(true)
 
@@ -171,8 +178,8 @@ func (e *Engine) Figure10() []*stats.Table {
 		for _, size := range sizes {
 			row := []string{fmt.Sprintf("%d-entries", size)}
 			for _, w := range ws {
-				base := e.baseline(w, 4)
-				r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
+				base := e.baseline(ctx, w, 4)
+				r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "discontinuity",
 					Bypass: true, TableEntries: size})
 				row = append(row, cov(r, base))
 			}
@@ -180,8 +187,8 @@ func (e *Engine) Figure10() []*stats.Table {
 		}
 		row := []string{"Next-4lines (tagged)"}
 		for _, w := range ws {
-			base := e.baseline(w, 4)
-			r := e.MustRun(RunSpec{Workload: w, Cores: 4, Scheme: "n4l-tagged", Bypass: true})
+			base := e.baseline(ctx, w, 4)
+			r := e.mustRun(ctx, RunSpec{Workload: w, Cores: 4, Scheme: "n4l-tagged", Bypass: true})
 			row = append(row, cov(r, base))
 		}
 		t.AddRow(row...)
@@ -190,20 +197,20 @@ func (e *Engine) Figure10() []*stats.Table {
 	return []*stats.Table{
 		coverage("Figure 10(i): L1 I$ miss coverage vs discontinuity table size (4-way CMP)", false),
 		coverage("Figure 10(ii): L2$ instruction miss coverage vs discontinuity table size (4-way CMP)", true),
-	}
+	}, nil
+}
+
+// Runner is one figure or ablation entry: a stable id, a display name,
+// and the context-aware experiment runner.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(context.Context) ([]*stats.Table, error)
 }
 
 // Figures maps figure ids to runners, in paper order.
-func (e *Engine) Figures() []struct {
-	ID   string
-	Name string
-	Run  func() []*stats.Table
-} {
-	return []struct {
-		ID   string
-		Name string
-		Run  func() []*stats.Table
-	}{
+func (e *Engine) Figures() []Runner {
+	return []Runner{
 		{"1", "I$ miss rate vs cache geometry", e.Figure1},
 		{"2", "L2$ instruction miss rate vs capacity and core count", e.Figure2},
 		{"3", "Instruction miss breakdown by category", e.Figure3},

@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -113,7 +117,10 @@ func TestFigureRunnersProduceTables(t *testing.T) {
 	}
 	e := smallEngine()
 	for _, fig := range e.Figures() {
-		tables := fig.Run()
+		tables, err := fig.Run(context.Background())
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig.ID, err)
+		}
 		if len(tables) == 0 {
 			t.Fatalf("figure %s produced no tables", fig.ID)
 		}
@@ -142,7 +149,10 @@ func TestAblationRunnersProduceTables(t *testing.T) {
 	}
 	e := smallEngine()
 	for _, abl := range e.Ablations() {
-		tables := abl.Run()
+		tables, err := abl.Run(context.Background())
+		if err != nil {
+			t.Fatalf("ablation %s: %v", abl.ID, err)
+		}
 		if len(tables) == 0 || len(tables[0].Rows) == 0 {
 			t.Fatalf("ablation %s empty", abl.ID)
 		}
@@ -204,6 +214,73 @@ func TestWarmConcurrent(t *testing.T) {
 	// Warm surfaces spec errors.
 	if err := e.Warm([]RunSpec{{Workload: w1, Cores: 1, Scheme: "bogus"}}); err == nil {
 		t.Fatal("bad spec warmed without error")
+	}
+}
+
+func TestRunContextDedupsConcurrentIdenticalSpecs(t *testing.T) {
+	e := smallEngine()
+	spec := RunSpec{Workload: Workload{Name: "DB", Apps: []string{"DB"}}, Cores: 1, Scheme: "none"}
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := e.RunContext(context.Background(), spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i].Total.Cycles != results[0].Total.Cycles {
+			t.Fatal("deduplicated callers observed different results")
+		}
+	}
+	c := e.Counters()
+	if c.Simulations != 1 {
+		t.Fatalf("%d simulations for %d identical concurrent specs", c.Simulations, callers)
+	}
+	if c.DedupWaits+c.MemoHits != callers-1 {
+		t.Fatalf("dedup accounting off: %+v", c)
+	}
+}
+
+func TestRunContextCancellationMidSimulation(t *testing.T) {
+	// Budgets far too large to finish quickly; cancellation must stop
+	// the run at a context poll.
+	e := NewEngine(500_000_000, 500_000_000, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.RunContext(ctx, RunSpec{Workload: Workload{Name: "DB", Apps: []string{"DB"}}, Cores: 1, Scheme: "none"})
+	if err == nil {
+		t.Fatal("huge run completed despite 50ms deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+}
+
+func TestFigureRunnerCancellation(t *testing.T) {
+	e := NewEngine(500_000_000, 500_000_000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Figure1(ctx); err == nil {
+		t.Fatal("Figure1 ignored a cancelled context")
+	}
+	if _, err := e.AblationA5(ctx); err == nil {
+		t.Fatal("AblationA5 ignored a cancelled context")
+	}
+	if err := e.WarmContext(ctx, e.AllSpecs()); err == nil {
+		t.Fatal("WarmContext ignored a cancelled context")
 	}
 }
 
