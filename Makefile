@@ -1,0 +1,30 @@
+# Development targets. The repo has no dependencies beyond the Go
+# toolchain; everything here is `go` with the right flags.
+
+GO ?= go
+
+.PHONY: build vet test race fuzz-smoke bench bench-sweep
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace reader; CI runs the same smoke.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=10s
+
+bench:
+	$(GO) test -bench=Figure -benchmem ./...
+
+# Sweep-throughput trajectory: writes BENCH_sweep.json (points/sec for
+# cold and memoised passes, memo-hit ratio) for cross-PR comparison.
+bench-sweep:
+	$(GO) run ./cmd/sweepbench -o BENCH_sweep.json

@@ -6,15 +6,26 @@
 //	experiments [-figure 1|2|...|10|a1..a10|all] [-n instrs] [-warm instrs]
 //	            [-seed n] [-csv] [-md] [-o dir] [-v] [-parallel=false]
 //	            [-timeout duration]
+//	experiments -sweep spec.json [-checkpoint dir] [-workers n] [...]
 //
 // Instruction budgets are per core. The defaults run every figure in a
 // few minutes on a laptop; raise -n for tighter numbers. -timeout bounds
 // the whole regeneration (in-flight simulations are cancelled when it
 // expires), and Ctrl-C cancels the same way.
+//
+// -sweep switches to design-space-exploration mode: the spec file is a
+// sweep.Spec (axes over schemes, workloads, cores, table sizes,
+// prefetch depth, cache geometry) that expands into a point grid and
+// runs on a bounded worker pool. With -checkpoint, completed points
+// journal to <dir>/<sweep-id>, so an interrupted sweep rerun with the
+// same flags resumes without recomputing anything. Spec budgets, when
+// set, override -n/-warm/-seed.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,27 +37,27 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 var (
-	figure   = flag.String("figure", "all", "figure to reproduce: 1-10, a1-a10, or 'all'")
-	measure  = flag.Uint64("n", 3_000_000, "measured instructions per core")
-	warm     = flag.Uint64("warm", 1_500_000, "warm-up instructions per core")
-	seed     = flag.Uint64("seed", 1, "workload seed")
-	csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	mdOut    = flag.Bool("md", false, "emit markdown tables")
-	outDir   = flag.String("o", "", "also write each table as a CSV file into this directory")
-	verbose  = flag.Bool("v", false, "log each simulation run")
-	parallel = flag.Bool("parallel", true, "pre-run simulations concurrently")
-	timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	figure    = flag.String("figure", "all", "figure to reproduce: 1-10, a1-a10, or 'all'")
+	measure   = flag.Uint64("n", 3_000_000, "measured instructions per core")
+	warm      = flag.Uint64("warm", 1_500_000, "warm-up instructions per core")
+	seed      = flag.Uint64("seed", 1, "workload seed")
+	csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	mdOut     = flag.Bool("md", false, "emit markdown tables")
+	outDir    = flag.String("o", "", "also write each table as a CSV file into this directory")
+	verbose   = flag.Bool("v", false, "log each simulation run")
+	parallel  = flag.Bool("parallel", true, "pre-run simulations concurrently")
+	timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	sweepFile = flag.String("sweep", "", "run a design-space sweep from this spec JSON file instead of figures")
+	ckptDir   = flag.String("checkpoint", "", "journal sweep points under this directory for resumable runs")
+	workers   = flag.Int("workers", 0, "concurrent simulations in sweep mode (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
-	e := sim.NewEngine(*warm, *measure, *seed)
-	if *verbose {
-		e.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -54,6 +65,22 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *sweepFile != "" {
+		if err := runSweep(ctx, *sweepFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "sweep interrupted; rerun with the same flags to resume from the checkpoint")
+			}
+			os.Exit(1)
+		}
+		return
+	}
+
+	e := sim.NewEngine(*warm, *measure, *seed)
+	if *verbose {
+		e.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
 	want := strings.Split(*figure, ",")
@@ -134,6 +161,102 @@ func emit(t *stats.Table) {
 		t.Render(os.Stdout)
 	}
 	fmt.Println()
+}
+
+// runSweep executes the -sweep mode: load a sweep.Spec, run its grid
+// on a checkpointing runner, print the result tables, and (with -o)
+// drop results.json/results.csv/pareto.csv next to the figure CSVs.
+func runSweep(ctx context.Context, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	// Spec budgets, when present, win over the -n/-warm/-seed flags so a
+	// spec file is self-contained and reproducible.
+	w, n, s := *warm, *measure, *seed
+	if spec.WarmInstrs != 0 {
+		w = spec.WarmInstrs
+	}
+	if spec.MeasureInstrs != 0 {
+		n = spec.MeasureInstrs
+	}
+	if spec.Seed != 0 {
+		s = spec.Seed
+	}
+	e := sim.NewEngine(w, n, s)
+	if *verbose {
+		e.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	id := spec.ID(w, n, s)
+
+	var journal *sweep.Journal
+	if *ckptDir != "" {
+		journal, err = sweep.OpenJournal(filepath.Join(*ckptDir, id))
+		if err != nil {
+			return err
+		}
+	}
+	var doneCount int
+	runner := &sweep.Runner{
+		Engine:  e,
+		Workers: *workers,
+		Journal: journal,
+	}
+	if *verbose {
+		runner.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		runner.OnPoint = func(res sweep.PointResult) {
+			doneCount++
+			how := "simulated"
+			if res.Recovered {
+				how = "recovered"
+			}
+			fmt.Fprintf(os.Stderr, "sweep point %d %s (%d done)\n", res.Point.Index, how, doneCount)
+		}
+	}
+
+	start := time.Now()
+	out, err := runner.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	art := out.Artifact()
+	fmt.Fprintf(os.Stderr, "sweep %s: %d points (%d recovered, %d simulated) in %s\n",
+		id, len(out.Points), out.Recovered, out.Simulated, time.Since(start).Round(time.Millisecond))
+
+	emit(art.Table())
+	if pt := art.ParetoTable(); pt != nil {
+		emit(pt)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		files := map[string][]byte{"results.csv": art.CSV()}
+		if data, err := art.JSON(); err == nil {
+			files["results.json"] = data
+		}
+		if p := art.ParetoCSV(); p != nil {
+			files["pareto.csv"] = p
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(*outDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // writeCSVFile stores the table as <outDir>/<slug-of-title>.csv.

@@ -5,11 +5,24 @@
 // and completed results persist in a content-addressed store so a
 // restarted daemon answers repeated specs from disk.
 //
+// The daemon also runs design-space sweeps (internal/sweep): POST a
+// sweep.Spec with axes over schemes, workloads, cores, table sizes,
+// prefetch depth and cache geometry; the grid shards across the worker
+// pool and exports results.json / results.csv / pareto.csv artifacts.
+// With -data set, every finished point checkpoints to
+// <data>/sweeps/<id>, and because sweep ids are content-derived, a
+// sweep interrupted by a daemon restart resumes from disk when the
+// same spec is POSTed again — zero points recomputed.
+//
 // Endpoints:
 //
 //	POST /v1/jobs         submit a spec (?wait=1 blocks until done)
 //	GET  /v1/jobs         list jobs
 //	GET  /v1/jobs/{id}    job status + result
+//	POST /v1/sweeps       launch a design-space sweep (?wait=1 blocks)
+//	GET  /v1/sweeps       list sweeps
+//	GET  /v1/sweeps/{id}  sweep progress (completed/total points)
+//	GET  /v1/sweeps/{id}/artifacts/{name}  download a sweep artifact
 //	GET  /v1/figures/{id} run a paper figure ("1".."10") or ablation ("a1".."a10")
 //	GET  /healthz         liveness + counters
 //	GET  /metrics         Prometheus text exposition
@@ -18,6 +31,7 @@
 //
 //	iprefetchd -addr :8080 -data ./results &
 //	curl -s localhost:8080/v1/jobs?wait=1 -d '{"workload":"DB","cores":4,"scheme":"discontinuity","bypass":true}'
+//	curl -s localhost:8080/v1/sweeps -d '{"schemes":["discontinuity","nl-miss"],"workloads":["DB","TPC-W"],"table_entries":[512,1024,2048]}'
 //
 // SIGINT/SIGTERM drain gracefully: the queue stops accepting jobs,
 // running simulations finish (up to -drain), then the process exits.

@@ -1,0 +1,132 @@
+// Command sweepbench measures design-space-sweep throughput and writes
+// a BENCH_sweep.json snapshot so successive changes can track the
+// trend. It runs a representative three-axis sweep twice on one
+// engine: the cold pass simulates every grid point, the warm pass
+// resolves the identical grid through the engine's memoisation layer.
+// The report carries points/sec for both passes plus the memo-hit
+// ratio across the whole run.
+//
+// Usage:
+//
+//	sweepbench [-n instrs] [-warm instrs] [-seed n] [-workers n]
+//	           [-o BENCH_sweep.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// report is the BENCH_sweep.json schema.
+type report struct {
+	Name          string    `json:"name"`
+	Timestamp     time.Time `json:"timestamp"`
+	GoMaxProcs    int       `json:"gomaxprocs"`
+	Workers       int       `json:"workers"`
+	WarmInstrs    uint64    `json:"warm_instrs"`
+	MeasureInstrs uint64    `json:"measure_instrs"`
+	Seed          uint64    `json:"seed"`
+
+	GridPoints       int     `json:"grid_points"`
+	ColdSeconds      float64 `json:"cold_seconds"`
+	ColdPointsPerSec float64 `json:"cold_points_per_sec"`
+	WarmSeconds      float64 `json:"warm_seconds"`
+	WarmPointsPerSec float64 `json:"warm_points_per_sec"`
+
+	Simulations  uint64  `json:"simulations"`
+	MemoHits     uint64  `json:"memo_hits"`
+	MemoHitRatio float64 `json:"memo_hit_ratio"`
+}
+
+func main() {
+	var (
+		measure = flag.Uint64("n", 200_000, "measured instructions per core per point")
+		warm    = flag.Uint64("warm", 100_000, "warm-up instructions per core per point")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		out     = flag.String("o", "BENCH_sweep.json", "output report path")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// A representative three-axis grid: two schemes, two workloads,
+	// three table sizes (the table axis collapses for nl-miss, plus
+	// implicit baselines — 10 points).
+	spec := sweep.Spec{
+		Name:         "bench",
+		Schemes:      []string{"discontinuity", "nl-miss"},
+		Workloads:    []string{"DB", "TPC-W"},
+		Cores:        []int{1},
+		TableEntries: []int{512, 1024, 2048},
+	}
+
+	e := sim.NewEngine(*warm, *measure, *seed)
+	runner := &sweep.Runner{Engine: e, Workers: *workers}
+
+	cold := time.Now()
+	outc, err := runner.Run(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	coldSecs := time.Since(cold).Seconds()
+
+	warmStart := time.Now()
+	if _, err := runner.Run(ctx, spec); err != nil {
+		fatal(err)
+	}
+	warmSecs := time.Since(warmStart).Seconds()
+
+	c := e.Counters()
+	points := len(outc.Points)
+	rep := report{
+		Name:          "sweep",
+		Timestamp:     time.Now().UTC(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Workers:       *workers,
+		WarmInstrs:    *warm,
+		MeasureInstrs: *measure,
+		Seed:          *seed,
+		GridPoints:    points,
+		ColdSeconds:   coldSecs,
+		WarmSeconds:   warmSecs,
+		Simulations:   c.Simulations,
+		MemoHits:      c.MemoHits,
+	}
+	if coldSecs > 0 {
+		rep.ColdPointsPerSec = float64(points) / coldSecs
+	}
+	if warmSecs > 0 {
+		rep.WarmPointsPerSec = float64(points) / warmSecs
+	}
+	if total := c.Simulations + c.MemoHits; total > 0 {
+		rep.MemoHitRatio = float64(c.MemoHits) / float64(total)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweepbench: %d points, cold %.1f pts/s, warm %.1f pts/s, memo-hit %.2f -> %s\n",
+		points, rep.ColdPointsPerSec, rep.WarmPointsPerSec, rep.MemoHitRatio, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

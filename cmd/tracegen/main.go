@@ -4,18 +4,27 @@
 //
 // Usage:
 //
-//	tracegen record  -app DB -n 1000000 -seed 1 -o db.trc
+//	tracegen record  -app DB -n 1000000 -seed 1 -o db.trc [-timeout 30s]
 //	tracegen stats   -i db.trc
 //	tracegen analyze -app DB -n 1000000   # footprint/reuse/discontinuity study
 //	tracegen analyze -i db.trc            # same, over a recorded trace
 //	tracegen list                         # list built-in workloads
+//
+// record and analyze honour SIGINT/SIGTERM and -timeout: the run stops
+// cooperatively with exit status 1, and an interrupted record leaves a
+// valid trace of the blocks captured so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"repro"
 )
@@ -24,13 +33,15 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch os.Args[1] {
 	case "record":
-		record(os.Args[2:])
+		record(ctx, os.Args[2:])
 	case "stats":
 		statsCmd(os.Args[2:])
 	case "analyze":
-		analyzeCmd(os.Args[2:])
+		analyzeCmd(ctx, os.Args[2:])
 	case "list":
 		list()
 	default:
@@ -43,13 +54,24 @@ func usage() {
 	os.Exit(2)
 }
 
-func record(args []string) {
+// withTimeout bounds ctx by the -timeout flag value (0 = no limit).
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+func record(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	app := fs.String("app", "DB", "workload name")
 	n := fs.Uint64("n", 1_000_000, "number of basic blocks to record")
 	seed := fs.Uint64("seed", 1, "stream seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	timeout := fs.Duration("timeout", 0, "abort recording after this long (0 = no limit)")
 	fs.Parse(args)
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 
 	w := os.Stdout
 	if *out != "" {
@@ -60,7 +82,11 @@ func record(args []string) {
 		defer f.Close()
 		w = f
 	}
-	if err := repro.RecordTrace(w, *app, *seed, *n); err != nil {
+	if err := repro.RecordTraceContext(ctx, w, *app, *seed, *n); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "recording interrupted (%v); partial trace is valid\n", err)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "recorded %d blocks of %s\n", *n, *app)
@@ -100,19 +126,22 @@ func statsCmd(args []string) {
 	}
 }
 
-func analyzeCmd(args []string) {
+func analyzeCmd(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	app := fs.String("app", "", "workload name to analyze live (mutually exclusive with -i)")
 	in := fs.String("i", "", "recorded trace to analyze")
 	n := fs.Uint64("n", 1_000_000, "blocks to analyze (live mode)")
 	seed := fs.Uint64("seed", 1, "stream seed (live mode)")
+	timeout := fs.Duration("timeout", 0, "abort analysis after this long (0 = no limit)")
 	fs.Parse(args)
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 
 	switch {
 	case *app != "" && *in != "":
 		fatal(fmt.Errorf("use either -app or -i, not both"))
 	case *app != "":
-		if err := repro.AnalyzeWorkload(os.Stdout, *app, *seed, *n); err != nil {
+		if err := repro.AnalyzeWorkloadContext(ctx, os.Stdout, *app, *seed, *n); err != nil {
 			fatal(err)
 		}
 	case *in != "":
@@ -121,7 +150,7 @@ func analyzeCmd(args []string) {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := repro.AnalyzeTrace(os.Stdout, f); err != nil {
+		if err := repro.AnalyzeTraceContext(ctx, os.Stdout, f); err != nil {
 			fatal(err)
 		}
 	default:

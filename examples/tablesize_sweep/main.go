@@ -1,36 +1,24 @@
 // tablesize_sweep reproduces the Figure 10 trade-off interactively: how
 // much discontinuity-table capacity does the prefetcher actually need?
-// It sweeps the prediction table from 8192 down to 64 entries on one
-// workload and reports miss coverage and speedup, against the
-// next-4-line sequential prefetcher as the no-table reference.
+// It declares the question as a design-space sweep — table entries from
+// 8192 down to 64 on one workload, with the next-4-line sequential
+// prefetcher as the no-table comparison — and lets internal/sweep
+// expand the grid, shard the points, and derive coverage, speedup and
+// the storage-vs-speedup pareto front.
 //
 // Usage: tablesize_sweep [app]   (default DB)
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
-	"repro"
+	"repro/internal/sim"
+	"repro/internal/sweep"
 )
-
-func measure(app, scheme string, entries int) repro.Metrics {
-	m, err := repro.NewMachine(repro.MachineConfig{
-		Cores:                     4,
-		Workloads:                 []string{app},
-		Prefetcher:                scheme,
-		BypassL2:                  scheme != repro.PrefetcherNone,
-		DiscontinuityTableEntries: entries,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	m.Run(1_000_000)
-	m.ResetStats()
-	m.Run(2_000_000)
-	return m.Metrics()
-}
 
 func main() {
 	app := "DB"
@@ -38,26 +26,52 @@ func main() {
 		app = os.Args[1]
 	}
 
-	base := measure(app, repro.PrefetcherNone, 0)
-	fmt.Printf("discontinuity table-size sweep on %s (4-way CMP)\n", app)
-	fmt.Printf("baseline (no prefetch): IPC %.3f, L1-I miss %.3f%%/instr\n\n", base.IPC, 100*base.L1IMissPerInstr)
-	fmt.Printf("%-22s %12s %12s %9s\n", "predictor", "L1 coverage", "L2 coverage", "speedup")
-
-	for _, entries := range []int{8192, 4096, 2048, 1024, 512, 256, 128, 64} {
-		g := measure(app, repro.PrefetcherDiscontinuity, entries)
-		fmt.Printf("%5d-entry table      %11.1f%% %11.1f%% %8.3fx\n",
-			entries,
-			100*(1-g.L1IMissPerInstr/base.L1IMissPerInstr),
-			100*(1-g.L2IMissPerInstr/base.L2IMissPerInstr),
-			g.IPC/base.IPC)
+	spec := sweep.Spec{
+		Name:         "discontinuity table-size sweep on " + app,
+		Schemes:      []string{"discontinuity", "n4l-tagged"},
+		Workloads:    []string{app},
+		Cores:        []int{4},
+		TableEntries: []int{8192, 4096, 2048, 1024, 512, 256, 128, 64},
 	}
 
-	n4l := measure(app, repro.PrefetcherNext4Tagged, 0)
-	fmt.Printf("%-22s %11.1f%% %11.1f%% %8.3fx\n",
-		"next-4-lines (no table)",
-		100*(1-n4l.L1IMissPerInstr/base.L1IMissPerInstr),
-		100*(1-n4l.L2IMissPerInstr/base.L2IMissPerInstr),
-		n4l.IPC/base.IPC)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := &sweep.Runner{Engine: sim.NewEngine(1_000_000, 2_000_000, 1)}
+	out, err := runner.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art := out.Artifact()
+
+	fmt.Printf("discontinuity table-size sweep on %s (4-way CMP)\n", app)
+	for _, row := range art.Points {
+		if row.Baseline {
+			fmt.Printf("baseline (no prefetch): IPC %.3f, L1-I miss %.3f%%/instr\n\n",
+				row.IPC, 100*row.L1IMissPerInstr)
+		}
+	}
+	fmt.Printf("%-23s %12s %12s %9s\n", "predictor", "L1 coverage", "L2 coverage", "speedup")
+	for _, row := range art.Points {
+		switch {
+		case row.Baseline:
+		case row.Point.Scheme == "discontinuity":
+			fmt.Printf("%5d-entry table       %11.1f%% %11.1f%% %8.3fx\n",
+				row.Point.TableEntries, 100*row.L1IMissReduction, 100*row.L2IMissReduction, row.Speedup)
+		default:
+			fmt.Printf("%-23s %11.1f%% %11.1f%% %8.3fx\n",
+				"next-4-lines (no table)", 100*row.L1IMissReduction, 100*row.L2IMissReduction, row.Speedup)
+		}
+	}
+
+	fmt.Println("\nstorage cost vs speedup (pareto front marked *):")
+	for _, p := range art.Pareto {
+		mark := " "
+		if p.OnFront {
+			mark = "*"
+		}
+		fmt.Printf("%s %5d entries = %6.1f KB  %8.3fx\n",
+			mark, p.TableEntries, float64(p.TableBits)/8192, p.Speedup)
+	}
 
 	fmt.Println("\nThe paper's observation holds: the table can shrink 4x from")
 	fmt.Println("8192 entries with minimal coverage loss, and even tiny tables")

@@ -53,6 +53,26 @@ func (c DiscontinuityConfig) Validate() error {
 	return nil
 }
 
+// TableBits estimates the prediction table's storage cost in bits:
+// per entry, a trigger tag and a target line address (the paper's
+// 64 B lines in a 41-bit physical space leave 35 line bits; the
+// direct-mapped index bits come off the trigger tag), the 2-bit
+// eviction counter, the 3-bit confidence counter when enabled, and a
+// valid bit. This is the x-axis of pareto-front extraction over
+// table-size-bits vs. speedup in design-space sweeps.
+func (c DiscontinuityConfig) TableBits() int {
+	const lineAddrBits = 35
+	indexBits := 0
+	for n := c.TableEntries; n > 1; n >>= 1 {
+		indexBits++
+	}
+	entry := (lineAddrBits - indexBits) + lineAddrBits + 2 + 1
+	if c.ConfidenceFilter {
+		entry += 3
+	}
+	return c.TableEntries * entry
+}
+
 type dentry struct {
 	trigger isa.Line
 	target  isa.Line

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Handler exposes the service over HTTP:
@@ -16,6 +17,14 @@ import (
 //	                     the job finishes (bounded by the request ctx).
 //	GET  /v1/jobs        list all jobs (no full results)
 //	GET  /v1/jobs/{id}   one job, with result when finished
+//	POST /v1/sweeps      launch a design-space sweep from a sweep.Spec;
+//	                     202 with progress, or 200 when an identical
+//	                     sweep already exists. ?wait=1 blocks until done.
+//	GET  /v1/sweeps      list sweeps
+//	GET  /v1/sweeps/{id} sweep progress (completed/total points)
+//	GET  /v1/sweeps/{id}/artifacts/{name}
+//	                     download a completed sweep's artifact
+//	                     (results.json, results.csv, pareto.csv)
 //	GET  /v1/figures/{id} run a paper figure/ablation ("1".."10",
 //	                     "a1".."a10") and return its tables
 //	GET  /healthz        liveness + counter snapshot
@@ -70,6 +79,71 @@ func Handler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec sweep.Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		v, err := s.SubmitSweep(spec)
+		switch {
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			wv, err := s.WaitSweep(r.Context(), v.ID)
+			if err != nil {
+				httpError(w, http.StatusGatewayTimeout, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, wv)
+			return
+		}
+		status := http.StatusAccepted
+		if v.State != SweepRunning {
+			status = http.StatusOK // identical sweep already finished
+		}
+		writeJSON(w, status, v)
+	})
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Sweeps []SweepView `json:"sweeps"`
+		}{s.Sweeps()})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := s.Sweep(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown sweep")
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/artifacts/{name}", func(w http.ResponseWriter, r *http.Request) {
+		id, name := r.PathValue("id"), r.PathValue("name")
+		v, ok := s.Sweep(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown sweep")
+			return
+		}
+		data, ct, ok := s.SweepArtifact(id, name)
+		if !ok {
+			if v.State == SweepRunning {
+				httpError(w, http.StatusConflict, "sweep still running")
+				return
+			}
+			httpError(w, http.StatusNotFound, "unknown artifact (want one of "+strings.Join(v.Artifacts, ", ")+")")
+			return
+		}
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
 	})
 	mux.HandleFunc("GET /v1/figures/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.ToLower(r.PathValue("id"))

@@ -28,6 +28,13 @@ type Metrics struct {
 	bucketCounts []uint64
 	latencySum   float64
 	latencyCount uint64
+
+	sweepsSubmitted uint64 // sweeps accepted (including dedup rejoins)
+	sweepsCompleted uint64
+	sweepsFailed    uint64
+	sweepsCanceled  uint64
+	sweepPoints     uint64 // grid points resolved by sweeps
+	sweepRecovered  uint64 // grid points replayed from checkpoints
 }
 
 // NewMetrics returns an empty metrics set.
@@ -52,6 +59,35 @@ func (m *Metrics) StoreHit() { m.incr(&m.storeHits) }
 
 // QueueFull records a submission rejected for lack of queue space.
 func (m *Metrics) QueueFull() { m.incr(&m.queueFull) }
+
+// SweepSubmitted records an accepted sweep.
+func (m *Metrics) SweepSubmitted() { m.incr(&m.sweepsSubmitted) }
+
+// SweepPoint records one sweep grid point resolving; recovered marks
+// points replayed from a checkpoint rather than simulated.
+func (m *Metrics) SweepPoint(recovered bool) {
+	m.mu.Lock()
+	m.sweepPoints++
+	if recovered {
+		m.sweepRecovered++
+	}
+	m.mu.Unlock()
+}
+
+// SweepFinished records a sweep leaving execution with the given
+// terminal state ("completed", "failed" or "canceled").
+func (m *Metrics) SweepFinished(state string) {
+	m.mu.Lock()
+	switch state {
+	case "completed":
+		m.sweepsCompleted++
+	case "failed":
+		m.sweepsFailed++
+	case "canceled":
+		m.sweepsCanceled++
+	}
+	m.mu.Unlock()
+}
 
 // JobStarted records a job entering execution.
 func (m *Metrics) JobStarted() {
@@ -97,6 +133,13 @@ type Snapshot struct {
 	DedupHits uint64 `json:"dedup_hits"`
 	StoreHits uint64 `json:"store_hits"`
 	QueueFull uint64 `json:"queue_full_rejections"`
+
+	SweepsSubmitted uint64 `json:"sweeps_submitted"`
+	SweepsCompleted uint64 `json:"sweeps_completed"`
+	SweepsFailed    uint64 `json:"sweeps_failed"`
+	SweepsCanceled  uint64 `json:"sweeps_canceled"`
+	SweepPoints     uint64 `json:"sweep_points"`
+	SweepRecovered  uint64 `json:"sweep_points_recovered"`
 }
 
 // Snapshot returns a copy of the current counters.
@@ -112,6 +155,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		DedupHits: m.dedupHits,
 		StoreHits: m.storeHits,
 		QueueFull: m.queueFull,
+
+		SweepsSubmitted: m.sweepsSubmitted,
+		SweepsCompleted: m.sweepsCompleted,
+		SweepsFailed:    m.sweepsFailed,
+		SweepsCanceled:  m.sweepsCanceled,
+		SweepPoints:     m.sweepPoints,
+		SweepRecovered:  m.sweepRecovered,
 	}
 }
 
@@ -143,6 +193,12 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, workers int, engine EngineC
 	counter("iprefetchd_engine_simulations_total", "Simulations actually executed by the engine.", engine.Simulations)
 	counter("iprefetchd_engine_memo_hits_total", "Engine runs answered from the in-memory memo.", engine.MemoHits)
 	counter("iprefetchd_engine_dedup_waits_total", "Engine runs that joined an identical in-flight simulation.", engine.DedupWaits)
+	counter("iprefetchd_sweeps_submitted_total", "Design-space sweeps accepted.", m.sweepsSubmitted)
+	counter("iprefetchd_sweeps_completed_total", "Sweeps finished successfully.", m.sweepsCompleted)
+	counter("iprefetchd_sweeps_failed_total", "Sweeps finished with an error.", m.sweepsFailed)
+	counter("iprefetchd_sweeps_canceled_total", "Sweeps stopped by shutdown or deadline.", m.sweepsCanceled)
+	counter("iprefetchd_sweep_points_total", "Sweep grid points resolved.", m.sweepPoints)
+	counter("iprefetchd_sweep_points_recovered_total", "Sweep grid points replayed from checkpoints instead of simulated.", m.sweepRecovered)
 	gauge("iprefetchd_jobs_running", "Jobs currently executing.", m.running)
 	gauge("iprefetchd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
 	gauge("iprefetchd_workers", "Worker goroutines in the pool.", int64(workers))

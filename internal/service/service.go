@@ -117,6 +117,7 @@ type Service struct {
 	mu       sync.Mutex
 	jobs     map[string]*job // by id
 	inflight map[string]*job // by canonical key; queued or running only
+	sweeps   map[string]*sweepRun
 	engines  map[string]*sim.Engine
 	nextID   uint64
 	closed   bool

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -38,6 +39,10 @@ type JobSpec struct {
 	TableEntries int `json:"table_entries,omitempty"`
 	// PrefetchAhead overrides the prefetch-ahead distance when > 0.
 	PrefetchAhead int `json:"prefetch_ahead,omitempty"`
+	// L1I / L2 override the cache geometries when non-nil (must be
+	// fully specified: size, associativity and line size).
+	L1I *sweep.Geometry `json:"l1i,omitempty"`
+	L2  *sweep.Geometry `json:"l2,omitempty"`
 	// OffChipGBps overrides the off-chip bandwidth when > 0.
 	OffChipGBps float64 `json:"off_chip_gbps,omitempty"`
 	// ModelWritebacks enables dirty write-back traffic.
@@ -55,12 +60,7 @@ type JobSpec struct {
 
 // paperWorkload resolves a paper workload name, case-insensitively.
 func paperWorkload(name string) (sim.Workload, bool) {
-	for _, w := range sim.PaperWorkloads(true) {
-		if strings.EqualFold(w.Name, name) {
-			return w, true
-		}
-	}
-	return sim.Workload{}, false
+	return sim.WorkloadByName(name, true)
 }
 
 // Validate reports problems that make the spec unrunnable, without
@@ -92,6 +92,17 @@ func (s JobSpec) Validate() error {
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
 	}
+	for name, g := range map[string]*sweep.Geometry{"l1i": s.L1I, "l2": s.L2} {
+		if g == nil {
+			continue
+		}
+		if g.IsZero() {
+			return fmt.Errorf("%s geometry must be fully specified when set", name)
+		}
+		if err := g.Config().Validate(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -110,7 +121,7 @@ func (s JobSpec) runSpec() (sim.RunSpec, error) {
 			return sim.RunSpec{}, fmt.Errorf("unknown workload %q", s.Workload)
 		}
 	}
-	return sim.RunSpec{
+	rs := sim.RunSpec{
 		Workload:        w,
 		Cores:           s.Cores,
 		Scheme:          s.Scheme,
@@ -119,7 +130,14 @@ func (s JobSpec) runSpec() (sim.RunSpec, error) {
 		PrefetchAhead:   s.PrefetchAhead,
 		OffChipGBps:     s.OffChipGBps,
 		ModelWritebacks: s.ModelWritebacks,
-	}, nil
+	}
+	if s.L1I != nil {
+		rs.L1I = s.L1I.Config()
+	}
+	if s.L2 != nil {
+		rs.L2 = s.L2.Config()
+	}
+	return rs, nil
 }
 
 // key returns the canonical identity of the simulation this spec

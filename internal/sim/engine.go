@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/cache"
@@ -38,6 +39,17 @@ func PaperWorkloads(cmpMachine bool) []Workload {
 		ws = append(ws, Workload{Name: "Mixed", Apps: []string{"DB", "TPC-W", "jApp", "Web"}})
 	}
 	return ws
+}
+
+// WorkloadByName resolves a paper workload name case-insensitively
+// ("DB", "TPC-W", "jApp", "Web", and — when cmpMachine — "Mixed").
+func WorkloadByName(name string, cmpMachine bool) (Workload, bool) {
+	for _, w := range PaperWorkloads(cmpMachine) {
+		if strings.EqualFold(w.Name, name) {
+			return w, true
+		}
+	}
+	return Workload{}, false
 }
 
 // RunSpec describes one simulation run. The zero value is not runnable;

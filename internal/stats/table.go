@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -109,6 +110,27 @@ func writeCSVRow(w io.Writer, cells []string) {
 		out[i] = c
 	}
 	fmt.Fprintln(w, strings.Join(out, ","))
+}
+
+// ReadCSV parses a table previously written by CSV: the first record
+// becomes the header, the rest become rows. The title is not part of
+// the CSV form, so the caller sets it if needed. Tables round-trip:
+// ReadCSV(t.CSV(...)) equals t up to the title.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("stats: read csv table: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("stats: csv table has no header")
+	}
+	t := &Table{Header: records[0]}
+	for _, rec := range records[1:] {
+		t.AddRow(rec...)
+	}
+	return t, nil
 }
 
 func pad(s string, w int) string {

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// syntheticOutcome builds an outcome by hand so the derived metrics are
+// checkable against exact arithmetic.
+func syntheticOutcome() *Outcome {
+	spec := Spec{
+		Name:         "synthetic",
+		Schemes:      []string{"discontinuity"},
+		Workloads:    []string{"DB"},
+		Cores:        []int{4},
+		TableEntries: []int{256, 512, 1024},
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		panic(err)
+	}
+	// Grid order: discontinuity@256, @512, @1024, then the baseline.
+	speedups := map[int]float64{256: 1.10, 512: 1.20, 1024: 1.15}
+	out := &Outcome{Spec: spec, Simulated: len(points)}
+	for _, p := range points {
+		res := PointResult{Point: p, Instructions: 1000, Cycles: 1000}
+		if p.Baseline {
+			res.IPC = 1.0
+			res.L1IMissPerInstr = 0.020
+			res.L2IMissPerInstr = 0.004
+		} else {
+			res.IPC = speedups[p.TableEntries]
+			res.L1IMissPerInstr = 0.005
+			res.L2IMissPerInstr = 0.001
+		}
+		out.Points = append(out.Points, res)
+	}
+	return out
+}
+
+func TestArtifactDerivesComparisons(t *testing.T) {
+	a := syntheticOutcome().Artifact()
+	if len(a.Points) != 4 {
+		t.Fatalf("artifact has %d rows, want 4", len(a.Points))
+	}
+	for _, r := range a.Points {
+		if r.Baseline {
+			if r.Speedup != 1.0 {
+				t.Fatalf("baseline speedup = %v, want 1.0", r.Speedup)
+			}
+			continue
+		}
+		want := map[int]float64{256: 1.10, 512: 1.20, 1024: 1.15}[r.TableEntries]
+		if math.Abs(r.Speedup-want) > 1e-12 {
+			t.Fatalf("table %d speedup = %v, want %v", r.TableEntries, r.Speedup, want)
+		}
+		if math.Abs(r.L1IMissReduction-0.75) > 1e-12 {
+			t.Fatalf("l1i reduction = %v, want 0.75", r.L1IMissReduction)
+		}
+		if math.Abs(r.L2IMissReduction-0.75) > 1e-12 {
+			t.Fatalf("l2i reduction = %v, want 0.75", r.L2IMissReduction)
+		}
+	}
+}
+
+func TestParetoFrontExtraction(t *testing.T) {
+	a := syntheticOutcome().Artifact()
+	if len(a.Pareto) != 3 {
+		t.Fatalf("pareto has %d sizes, want 3", len(a.Pareto))
+	}
+	// Sorted by table bits ascending; 1024 entries (1.15×) is dominated
+	// by 512 entries (1.20× at fewer bits).
+	wantFront := map[int]bool{256: true, 512: true, 1024: false}
+	prevBits := 0
+	for _, p := range a.Pareto {
+		if p.TableBits <= prevBits {
+			t.Fatalf("pareto not sorted by bits: %+v", a.Pareto)
+		}
+		prevBits = p.TableBits
+		if p.OnFront != wantFront[p.TableEntries] {
+			t.Fatalf("table %d on_front = %v, want %v", p.TableEntries, p.OnFront, wantFront[p.TableEntries])
+		}
+	}
+}
+
+func TestArtifactJSONRoundTrip(t *testing.T) {
+	a := syntheticOutcome().Artifact()
+	data, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Recovered flags are derived state and not serialised; everything
+	// else must survive.
+	for i := range a.Points {
+		a.Points[i].Recovered = false
+	}
+	if !reflect.DeepEqual(*a, back) {
+		t.Fatalf("JSON round-trip changed the artifact:\n got %+v\nwant %+v", back, *a)
+	}
+}
+
+func TestArtifactCSVRoundTrip(t *testing.T) {
+	a := syntheticOutcome().Artifact()
+	parsed, err := stats.ReadCSV(bytes.NewReader(a.CSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Table()
+	if !reflect.DeepEqual(parsed.Header, want.Header) {
+		t.Fatalf("CSV header round-trip: got %v want %v", parsed.Header, want.Header)
+	}
+	if !reflect.DeepEqual(parsed.Rows, want.Rows) {
+		t.Fatalf("CSV rows round-trip: got %v want %v", parsed.Rows, want.Rows)
+	}
+	// Pareto artifact too.
+	pp, err := stats.ReadCSV(bytes.NewReader(a.ParetoCSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.Rows) != len(a.Pareto) {
+		t.Fatalf("pareto CSV has %d rows, want %d", len(pp.Rows), len(a.Pareto))
+	}
+}
+
+func TestArtifactTableRendering(t *testing.T) {
+	a := syntheticOutcome().Artifact()
+	text := a.Table().String()
+	for _, needle := range []string{"discontinuity", "speedup", "1.2000"} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("rendered table missing %q:\n%s", needle, text)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Journal is the sweep's checkpoint store: one JSON file per completed
+// point, named by the SHA-256 of the point's canonical simulation key
+// (content-addressed, like the service result store). Writes are
+// atomic (temp file + rename), so an interrupted sweep never leaves a
+// half-written checkpoint and a restarted sweep resumes from exactly
+// the set of points that finished.
+type Journal struct {
+	dir string
+}
+
+// PointResult is the persisted outcome of one grid point: the point,
+// its canonical key, and the summary metrics the artifact layer
+// aggregates. It deliberately stores the summary rather than the full
+// sim.Result so thousand-point journals stay small.
+type PointResult struct {
+	// Key is the canonical simulation key (dedup identity); kept in
+	// the file so entries are self-describing and collisions are
+	// detectable.
+	Key   string `json:"key"`
+	Point Point  `json:"point"`
+
+	IPC              float64 `json:"ipc"`
+	L1IMissPerInstr  float64 `json:"l1i_miss_per_instr"`
+	L2IMissPerInstr  float64 `json:"l2i_miss_per_instr"`
+	PrefetchAccuracy float64 `json:"prefetch_accuracy"`
+	Instructions     uint64  `json:"instructions"`
+	Cycles           uint64  `json:"cycles"`
+	OffChipTransfers uint64  `json:"off_chip_transfers"`
+
+	CreatedAt time.Time `json:"created_at"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+
+	// Recovered marks results replayed from the journal on resume
+	// rather than simulated in this run. Not persisted.
+	Recovered bool `json:"-"`
+}
+
+// OpenJournal opens (creating if needed) a journal rooted at dir.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.dir }
+
+func (j *Journal) path(key string) string {
+	return filepath.Join(j.dir, ContentAddress(key)+".json")
+}
+
+// Get loads the checkpoint for key. The second return is false when no
+// checkpoint exists; corrupt or mismatching entries read as misses (the
+// point is simply re-simulated).
+func (j *Journal) Get(key string) (PointResult, bool) {
+	data, err := os.ReadFile(j.path(key))
+	if err != nil {
+		return PointResult{}, false
+	}
+	var r PointResult
+	if json.Unmarshal(data, &r) != nil || r.Key != key {
+		return PointResult{}, false
+	}
+	r.Recovered = true
+	return r, true
+}
+
+// Put checkpoints one completed point atomically.
+func (j *Journal) Put(r PointResult) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(j.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), j.path(r.Key))
+}
+
+// Len counts checkpointed points (progress reporting and tests).
+func (j *Journal) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(j.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

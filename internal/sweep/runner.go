@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Runner executes sweeps: it expands a Spec, replays already
+// checkpointed points from the Journal, and shards the remaining
+// points across a bounded worker pool over Engine.RunContext (whose
+// memoisation and in-flight dedup are shared with any other traffic on
+// the same engine, e.g. the service job queue).
+type Runner struct {
+	// Engine executes the points; its budgets (WarmInstrs,
+	// MeasureInstrs, Seed) are part of every point's identity.
+	// Required.
+	Engine *sim.Engine
+	// Workers bounds concurrent simulations. Default: GOMAXPROCS.
+	Workers int
+	// Journal, when non-nil, checkpoints completed points and replays
+	// them on resume.
+	Journal *Journal
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnPoint, when non-nil, is called (serialised) after every point
+	// resolves — recovered from the journal or freshly simulated.
+	// Progress trackers and tests hook here.
+	OnPoint func(PointResult)
+}
+
+// Outcome is a completed sweep: every point's result in grid order,
+// plus how the work split between recovery and simulation.
+type Outcome struct {
+	Spec   Spec          `json:"spec"`
+	Points []PointResult `json:"points"`
+	// Recovered counts points replayed from the journal; Simulated
+	// counts points this run actually executed (including engine memo
+	// hits, which are still resolved through RunContext).
+	Recovered int `json:"recovered"`
+	Simulated int `json:"simulated"`
+}
+
+// Run executes the sweep to completion under ctx. On cancellation it
+// returns ctx's error; every point that finished before the
+// interruption is already checkpointed, so a later Run with the same
+// spec, budgets and journal resumes with zero recomputed points.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*Outcome, error) {
+	if r.Engine == nil {
+		return nil, fmt.Errorf("sweep: runner needs an engine")
+	}
+	warm, measure, seed := r.Engine.WarmInstrs, r.Engine.MeasureInstrs, r.Engine.Seed
+	if spec.WarmInstrs != 0 && spec.WarmInstrs != warm ||
+		spec.MeasureInstrs != 0 && spec.MeasureInstrs != measure ||
+		spec.Seed != 0 && spec.Seed != seed {
+		return nil, fmt.Errorf("sweep: spec budgets (warm=%d measure=%d seed=%d) disagree with engine (warm=%d measure=%d seed=%d)",
+			spec.WarmInstrs, spec.MeasureInstrs, spec.Seed, warm, measure, seed)
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Spec: spec, Points: make([]PointResult, len(points))}
+	var mu sync.Mutex // guards out counters and OnPoint serialisation
+	resolve := func(res PointResult) {
+		mu.Lock()
+		out.Points[res.Point.Index] = res
+		if res.Recovered {
+			out.Recovered++
+		} else {
+			out.Simulated++
+		}
+		cb := r.OnPoint
+		if cb != nil {
+			cb(res)
+		}
+		mu.Unlock()
+	}
+
+	// Pass 1: replay checkpoints, collect the points still to run.
+	var todo []Point
+	for _, p := range points {
+		key, err := p.Key(warm, measure, seed)
+		if err != nil {
+			return nil, err
+		}
+		if r.Journal != nil {
+			if res, ok := r.Journal.Get(key); ok {
+				res.Point = p // grid indices may differ across spec edits
+				resolve(res)
+				continue
+			}
+		}
+		todo = append(todo, p)
+	}
+	r.logf("sweep %s: %d points (%d checkpointed, %d to run)",
+		spec.ID(warm, measure, seed), len(points), out.Recovered, len(todo))
+
+	// Pass 2: shard the remainder across the worker pool.
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, p := range todo {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p Point) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := r.runPoint(ctx, p, warm, measure, seed)
+			if err != nil {
+				fail(err)
+				return
+			}
+			resolve(res)
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runPoint simulates one point and checkpoints the result.
+func (r *Runner) runPoint(ctx context.Context, p Point, warm, measure, seed uint64) (PointResult, error) {
+	key, err := p.Key(warm, measure, seed)
+	if err != nil {
+		return PointResult{}, err
+	}
+	rs, err := p.RunSpec()
+	if err != nil {
+		return PointResult{}, err
+	}
+	start := time.Now()
+	simRes, err := r.Engine.RunContext(ctx, rs)
+	if err != nil {
+		return PointResult{}, err
+	}
+	total := simRes.Total
+	res := PointResult{
+		Key:              key,
+		Point:            p,
+		IPC:              total.IPC(),
+		L1IMissPerInstr:  total.L1I.PerInstr(total.Instructions),
+		L2IMissPerInstr:  total.L2I.PerInstr(total.Instructions),
+		PrefetchAccuracy: total.Prefetch.Accuracy(),
+		Instructions:     total.Instructions,
+		Cycles:           total.Cycles,
+		OffChipTransfers: simRes.OffChipTransfers,
+		CreatedAt:        time.Now().UTC(),
+		ElapsedMS:        time.Since(start).Milliseconds(),
+	}
+	if r.Journal != nil {
+		if err := r.Journal.Put(res); err != nil {
+			// A failed checkpoint costs recomputation on resume, not
+			// correctness; log and continue.
+			r.logf("sweep: checkpoint point %d: %v", p.Index, err)
+		}
+	}
+	return res, nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}

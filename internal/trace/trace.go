@@ -20,6 +20,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -219,12 +220,31 @@ func (t *Reader) corrupt(err error) error {
 
 // Record captures n blocks from src into w.
 func Record(w io.Writer, name string, asid uint64, src interface{ Next(*isa.Block) }, n uint64) error {
+	return RecordContext(context.Background(), w, name, asid, src, n)
+}
+
+// ctxPollBlocks is how many blocks the capture and analysis loops
+// process between context checks — frequent enough that cancellation
+// lands within microseconds, rare enough to stay off the hot path.
+const ctxPollBlocks = 8192
+
+// RecordContext is Record with cooperative cancellation: the capture
+// loop polls ctx every few thousand blocks and stops mid-stream with
+// ctx's error. The written prefix is a valid trace of the blocks
+// captured so far.
+func RecordContext(ctx context.Context, w io.Writer, name string, asid uint64, src interface{ Next(*isa.Block) }, n uint64) error {
 	tw, err := NewWriter(w, name, asid)
 	if err != nil {
 		return err
 	}
 	var b isa.Block
 	for i := uint64(0); i < n; i++ {
+		if i%ctxPollBlocks == 0 {
+			if err := ctx.Err(); err != nil {
+				tw.Flush()
+				return err
+			}
+		}
 		src.Next(&b)
 		if err := tw.Write(&b); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,6 +50,13 @@ func Workloads() []WorkloadInfo {
 // into w using the library's binary trace format. seed selects the
 // stream; equal (name, seed, n) always produce identical traces.
 func RecordTrace(w io.Writer, name string, seed uint64, n uint64) error {
+	return RecordTraceContext(context.Background(), w, name, seed, n)
+}
+
+// RecordTraceContext is RecordTrace with cooperative cancellation: the
+// capture stops with ctx's error when ctx fires, leaving a valid trace
+// of the blocks recorded so far.
+func RecordTraceContext(ctx context.Context, w io.Writer, name string, seed uint64, n uint64) error {
 	prof, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -57,7 +65,7 @@ func RecordTrace(w io.Writer, name string, seed uint64, n uint64) error {
 	if err != nil {
 		return err
 	}
-	return trace.Record(w, name, 0, workload.NewGenerator(prog, seed), n)
+	return trace.RecordContext(ctx, w, name, 0, workload.NewGenerator(prog, seed), n)
 }
 
 // TraceStats summarises a recorded trace.
@@ -109,6 +117,13 @@ func ReadTraceStats(r io.Reader) (TraceStats, error) {
 // stream (footprint, working sets, CTI mix, reuse and discontinuity
 // structure) and writes a report to w.
 func AnalyzeWorkload(w io.Writer, name string, seed, n uint64) error {
+	return AnalyzeWorkloadContext(context.Background(), w, name, seed, n)
+}
+
+// AnalyzeWorkloadContext is AnalyzeWorkload with cooperative
+// cancellation; it returns ctx's error without writing a report when
+// ctx fires mid-analysis.
+func AnalyzeWorkloadContext(ctx context.Context, w io.Writer, name string, seed, n uint64) error {
 	prof, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -121,6 +136,11 @@ func AnalyzeWorkload(w io.Writer, name string, seed, n uint64) error {
 	p := analysis.NewProfile(64)
 	var b isa.Block
 	for i := uint64(0); i < n; i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		g.Next(&b)
 		p.Observe(&b)
 	}
@@ -132,13 +152,25 @@ func AnalyzeWorkload(w io.Writer, name string, seed, n uint64) error {
 // AnalyzeTrace characterises a recorded trace stream and writes a report
 // to w. It reads the stream to the end.
 func AnalyzeTrace(w io.Writer, r io.Reader) error {
+	return AnalyzeTraceContext(context.Background(), w, r)
+}
+
+// AnalyzeTraceContext is AnalyzeTrace with cooperative cancellation;
+// it returns ctx's error without writing a report when ctx fires
+// mid-stream.
+func AnalyzeTraceContext(ctx context.Context, w io.Writer, r io.Reader) error {
 	tr, err := trace.NewReader(r)
 	if err != nil {
 		return err
 	}
 	p := analysis.NewProfile(64)
 	var b isa.Block
-	for {
+	for i := 0; ; i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		err := tr.Read(&b)
 		if err == io.EOF {
 			break
