@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz-smoke bench bench-sweep
+.PHONY: build vet test race race-dist fuzz-smoke bench bench-sweep bench-dist
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ test: build vet
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the concurrency-heavy layers (what CI runs).
+race-dist:
+	$(GO) test -race ./internal/dist/... ./internal/service/... ./internal/sweep/...
+
 # Short fuzz pass over the trace reader; CI runs the same smoke.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=10s
@@ -28,3 +32,8 @@ bench:
 # cold and memoised passes, memo-hit ratio) for cross-PR comparison.
 bench-sweep:
 	$(GO) run ./cmd/sweepbench -o BENCH_sweep.json
+
+# Distributed-sweep scaling trajectory: writes BENCH_dist.json
+# (points/sec with 1 worker vs a 4-worker fleet over real HTTP leases).
+bench-dist:
+	$(GO) run ./cmd/distbench -o BENCH_dist.json

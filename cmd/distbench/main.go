@@ -1,0 +1,171 @@
+// Command distbench measures distributed-sweep throughput and writes a
+// BENCH_dist.json snapshot so successive changes can track the trend.
+// It stands up the real coordinator HTTP surface in-process (an
+// httptest server mounting dist.Handler exactly as iprefetchd does) and
+// runs the same representative grid twice: once with a single worker,
+// once with a small fleet. The report carries points/sec for both
+// fleet sizes and the scaling ratio between them; every worker is a
+// full dist.Worker with its own engine, so lease traffic, heartbeats
+// and point submission all cross the HTTP boundary.
+//
+// Usage:
+//
+//	distbench [-n instrs] [-warm instrs] [-seed n] [-fleet n]
+//	          [-shard n] [-o BENCH_dist.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/sweep"
+)
+
+// report is the BENCH_dist.json schema.
+type report struct {
+	Name          string    `json:"name"`
+	Timestamp     time.Time `json:"timestamp"`
+	GoMaxProcs    int       `json:"gomaxprocs"`
+	WarmInstrs    uint64    `json:"warm_instrs"`
+	MeasureInstrs uint64    `json:"measure_instrs"`
+	Seed          uint64    `json:"seed"`
+	ShardSize     int       `json:"shard_size"`
+	FleetSize     int       `json:"fleet_size"`
+
+	GridPoints         int     `json:"grid_points"`
+	SoloSeconds        float64 `json:"solo_seconds"`
+	SoloPointsPerSec   float64 `json:"solo_points_per_sec"`
+	FleetSeconds       float64 `json:"fleet_seconds"`
+	FleetPointsPerSec  float64 `json:"fleet_points_per_sec"`
+	FleetSpeedup       float64 `json:"fleet_speedup"`
+	LeasesGranted      uint64  `json:"leases_granted"`
+	PointsPerLeaseCall float64 `json:"points_per_lease"`
+}
+
+func main() {
+	var (
+		measure = flag.Uint64("n", 200_000, "measured instructions per core per point")
+		warm    = flag.Uint64("warm", 100_000, "warm-up instructions per core per point")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		fleet   = flag.Int("fleet", 4, "worker count for the fleet pass")
+		shard   = flag.Int("shard", 2, "grid points per lease")
+		out     = flag.String("o", "BENCH_dist.json", "output report path")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The same representative grid sweepbench uses (10 points), with the
+	// budgets pinned so every coordinator derives the same sweep id.
+	spec := sweep.Spec{
+		Name:          "bench",
+		Schemes:       []string{"discontinuity", "nl-miss"},
+		Workloads:     []string{"DB", "TPC-W"},
+		Cores:         []int{1},
+		TableEntries:  []int{512, 1024, 2048},
+		WarmInstrs:    *warm,
+		MeasureInstrs: *measure,
+		Seed:          *seed,
+	}
+
+	soloSecs, points, _, err := runFleet(ctx, spec, 1, *shard)
+	if err != nil {
+		fatal(err)
+	}
+	fleetSecs, _, granted, err := runFleet(ctx, spec, *fleet, *shard)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Name:          "dist",
+		Timestamp:     time.Now().UTC(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		WarmInstrs:    *warm,
+		MeasureInstrs: *measure,
+		Seed:          *seed,
+		ShardSize:     *shard,
+		FleetSize:     *fleet,
+
+		GridPoints:        points,
+		SoloSeconds:       soloSecs,
+		SoloPointsPerSec:  float64(points) / soloSecs,
+		FleetSeconds:      fleetSecs,
+		FleetPointsPerSec: float64(points) / fleetSecs,
+		FleetSpeedup:      soloSecs / fleetSecs,
+		LeasesGranted:     granted,
+	}
+	if granted > 0 {
+		rep.PointsPerLeaseCall = float64(points) / float64(granted)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("distbench: %d points  solo %.1f pts/s  fleet(%d) %.1f pts/s  speedup %.2fx  -> %s\n",
+		points, rep.SoloPointsPerSec, *fleet, rep.FleetPointsPerSec, rep.FleetSpeedup, *out)
+}
+
+// runFleet executes one full distributed sweep against a fresh
+// coordinator with n workers pulling leases over HTTP, and returns the
+// wall-clock seconds from submission to completion.
+func runFleet(ctx context.Context, spec sweep.Spec, n, shard int) (secs float64, points int, leases uint64, err error) {
+	c := dist.New(dist.Config{LeaseTTL: 10 * time.Second, ShardSize: shard})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/dist/", http.StripPrefix("/v1/dist", dist.Handler(c)))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	v, err := c.Submit(spec)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	workerCtx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &dist.Worker{
+			Client:       dist.NewClient(srv.URL),
+			Name:         fmt.Sprintf("bench-%d", i),
+			PollInterval: 10 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(workerCtx)
+		}()
+	}
+	final, err := c.Wait(ctx, v.ID)
+	stopWorkers()
+	wg.Wait()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if final.State != dist.SweepCompleted {
+		return 0, 0, 0, fmt.Errorf("sweep ended %s: %s", final.State, final.Error)
+	}
+	return time.Since(start).Seconds(), final.Total, c.Snapshot().LeasesGranted, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distbench:", err)
+	os.Exit(1)
+}

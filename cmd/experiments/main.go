@@ -7,6 +7,7 @@
 //	            [-seed n] [-csv] [-md] [-o dir] [-v] [-parallel=false]
 //	            [-timeout duration]
 //	experiments -sweep spec.json [-checkpoint dir] [-workers n] [...]
+//	experiments -sweep spec.json -dist-coordinator http://host:8080
 //
 // Instruction budgets are per core. The defaults run every figure in a
 // few minutes on a laptop; raise -n for tighter numbers. -timeout bounds
@@ -20,6 +21,13 @@
 // journal to <dir>/<sweep-id>, so an interrupted sweep rerun with the
 // same flags resumes without recomputing anything. Spec budgets, when
 // set, override -n/-warm/-seed.
+//
+// -dist-coordinator offloads the sweep instead of simulating locally:
+// the spec is submitted to a running iprefetchd daemon, remote
+// iprefetchworker processes execute the grid, and this command polls
+// progress, downloads the artifacts and renders the same tables as the
+// local path. Interrupting the poll does not cancel the sweep — rerun
+// with the same spec to reattach (sweep identity is content-derived).
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -54,6 +63,7 @@ var (
 	sweepFile = flag.String("sweep", "", "run a design-space sweep from this spec JSON file instead of figures")
 	ckptDir   = flag.String("checkpoint", "", "journal sweep points under this directory for resumable runs")
 	workers   = flag.Int("workers", 0, "concurrent simulations in sweep mode (0 = GOMAXPROCS)")
+	distURL   = flag.String("dist-coordinator", "", "submit the -sweep spec to this iprefetchd URL and let remote workers run it")
 )
 
 func main() {
@@ -68,7 +78,11 @@ func main() {
 	}
 
 	if *sweepFile != "" {
-		if err := runSweep(ctx, *sweepFile); err != nil {
+		run := runSweep
+		if *distURL != "" {
+			run = runDistSweep
+		}
+		if err := run(ctx, *sweepFile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintln(os.Stderr, "sweep interrupted; rerun with the same flags to resume from the checkpoint")
@@ -167,18 +181,9 @@ func emit(t *stats.Table) {
 // on a checkpointing runner, print the result tables, and (with -o)
 // drop results.json/results.csv/pareto.csv next to the figure CSVs.
 func runSweep(ctx context.Context, path string) error {
-	data, err := os.ReadFile(path)
+	spec, err := loadSpec(path)
 	if err != nil {
 		return err
-	}
-	var spec sweep.Spec
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if err := spec.Validate(); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
 	}
 
 	// Spec budgets, when present, win over the -n/-warm/-seed flags so a
@@ -251,6 +256,91 @@ func runSweep(ctx context.Context, path string) error {
 			files["pareto.csv"] = p
 		}
 		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(*outDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadSpec reads and validates a sweep.Spec JSON file.
+func loadSpec(path string) (sweep.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return sweep.Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return sweep.Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// runDistSweep executes the -dist-coordinator mode: the spec is
+// submitted to a remote iprefetchd coordinator, its workers run the
+// grid, and this process only polls progress and renders the artifacts
+// the coordinator built.
+func runDistSweep(ctx context.Context, path string) error {
+	spec, err := loadSpec(path)
+	if err != nil {
+		return err
+	}
+	client := dist.NewClient(*distURL)
+	v, err := client.SubmitSweep(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: %d points on %s (%d recovered from its journal)\n",
+		v.ID, v.Total, *distURL, v.Recovered)
+
+	start := time.Now()
+	for v.State == dist.SweepRunning {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+		}
+		if v, err = client.Sweep(ctx, v.ID); err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "sweep %s: %d/%d points (%d pending, %d leased)\n",
+				v.ID, v.Completed, v.Total, v.Pending, v.Leased)
+		}
+	}
+	if v.State != dist.SweepCompleted {
+		return fmt.Errorf("sweep %s %s: %s", v.ID, v.State, v.Error)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: %d points done in %s (%d recovered)\n",
+		v.ID, v.Completed, time.Since(start).Round(time.Millisecond), v.Recovered)
+
+	data, err := client.Artifact(ctx, v.ID, "results.json")
+	if err != nil {
+		return err
+	}
+	var art sweep.Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return fmt.Errorf("decode results.json: %w", err)
+	}
+	emit(art.Table())
+	if pt := art.ParetoTable(); pt != nil {
+		emit(pt)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range v.Artifacts {
+			data, err := client.Artifact(ctx, v.ID, name)
+			if err != nil {
+				return err
+			}
 			if err := os.WriteFile(filepath.Join(*outDir, name), data, 0o644); err != nil {
 				return err
 			}

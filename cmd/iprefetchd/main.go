@@ -16,6 +16,14 @@
 //
 // Endpoints:
 //
+// The daemon embeds a distributed-sweep coordinator (internal/dist)
+// under /v1/dist: remote iprefetchworker processes register, pull grid
+// shards as heartbeat-renewed leases, and stream completed points back;
+// expired leases reinject automatically and point submission is
+// idempotent, so worker crashes cost retries, never correctness.
+//
+// Endpoints:
+//
 //	POST /v1/jobs         submit a spec (?wait=1 blocks until done)
 //	GET  /v1/jobs         list jobs
 //	GET  /v1/jobs/{id}    job status + result
@@ -24,17 +32,25 @@
 //	GET  /v1/sweeps/{id}  sweep progress (completed/total points)
 //	GET  /v1/sweeps/{id}/artifacts/{name}  download a sweep artifact
 //	GET  /v1/figures/{id} run a paper figure ("1".."10") or ablation ("a1".."a10")
+//	POST /v1/dist/workers                submit a worker registration
+//	POST /v1/dist/sweeps                 launch a distributed sweep
+//	GET  /v1/dist/sweeps[/{id}]          distributed sweep progress
+//	GET  /v1/dist/sweeps/{id}/artifacts/{name}  download artifacts
+//	POST /v1/dist/leases[/{id}/renew|complete|fail]  lease lifecycle
+//	POST /v1/dist/sweeps/{id}/points     deliver a completed point
 //	GET  /healthz         liveness + counters
-//	GET  /metrics         Prometheus text exposition
+//	GET  /metrics         Prometheus text exposition (service + dist)
 //
 // Example:
 //
 //	iprefetchd -addr :8080 -data ./results &
 //	curl -s localhost:8080/v1/jobs?wait=1 -d '{"workload":"DB","cores":4,"scheme":"discontinuity","bypass":true}'
 //	curl -s localhost:8080/v1/sweeps -d '{"schemes":["discontinuity","nl-miss"],"workloads":["DB","TPC-W"],"table_entries":[512,1024,2048]}'
+//	iprefetchworker -coordinator http://localhost:8080   # as many as you like
 //
 // SIGINT/SIGTERM drain gracefully: the queue stops accepting jobs,
 // running simulations finish (up to -drain), then the process exits.
+// -pprof-addr exposes net/http/pprof on a separate, opt-in listener.
 package main
 
 import (
@@ -44,6 +60,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof-addr listener only
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +80,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "default workload seed")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (0 = none)")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown grace period before cancelling running jobs")
+		maxSweeps  = flag.Int("max-sweeps", 8, "max concurrently running local sweeps before submissions get 503")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "distributed-sweep lease lifetime between worker heartbeats")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -75,10 +95,21 @@ func main() {
 		DefaultMeasureInstrs: *measure,
 		Seed:                 *seed,
 		DefaultTimeout:       *jobTimeout,
+		MaxActiveSweeps:      *maxSweeps,
+		DistLeaseTTL:         *leaseTTL,
 		Logf:                 logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}

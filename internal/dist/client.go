@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// RetryPolicy shapes the client's jittered exponential backoff. Every
+// transport error and 5xx response retries until the attempt budget is
+// spent; 4xx responses are terminal (the coordinator said no, asking
+// again the same way will not help).
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call (first try included).
+	// Default 8.
+	MaxAttempts int
+	// BaseDelay is the first backoff step. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 5s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// Client talks to a coordinator mounted at <BaseURL>/v1/dist (the
+// iprefetchd daemon root). All methods retry transient failures under
+// the retry policy and honour ctx cancellation between attempts.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://host:8080"; the /v1/dist
+	// prefix is appended here.
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s request timeout.
+	HTTPClient *http.Client
+	// Retry shapes the backoff; zero fields take defaults.
+	Retry RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// jitter scales d by a uniform factor in [0.5, 1.5).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	f := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// apiError is a non-retryable coordinator response.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("dist: coordinator returned %d: %s", e.status, e.msg)
+}
+
+// do POSTs (or GETs, when body is nil and method says so) one API call
+// with retries, decoding a JSON response into out when non-nil.
+// Returns the final HTTP status.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	policy := c.Retry.withDefaults()
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return 0, err
+		}
+	}
+	url := c.BaseURL + "/v1/dist" + path
+	delay := policy.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.jitter(delay)):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			if delay *= 2; delay > policy.MaxDelay {
+				delay = policy.MaxDelay
+			}
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return 0, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 500:
+			lastErr = &apiError{resp.StatusCode, errBody(data)}
+			continue // server trouble is retryable
+		case resp.StatusCode >= 400:
+			return resp.StatusCode, &apiError{resp.StatusCode, errBody(data)}
+		}
+		if out != nil && resp.StatusCode != http.StatusNoContent {
+			if err := json.Unmarshal(data, out); err != nil {
+				return resp.StatusCode, fmt.Errorf("dist: decode %s response: %w", path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	return 0, fmt.Errorf("dist: %s %s: retry budget exhausted: %w", method, path, lastErr)
+}
+
+// errBody extracts the {"error": ...} message from an error response.
+func errBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// Register admits this worker to the coordinator.
+func (c *Client) Register(ctx context.Context, name string) (WorkerView, error) {
+	var v WorkerView
+	_, err := c.do(ctx, http.MethodPost, "/workers", struct {
+		Name string `json:"name"`
+	}{name}, &v)
+	return v, err
+}
+
+// SubmitSweep registers a spec for distributed execution.
+func (c *Client) SubmitSweep(ctx context.Context, spec sweep.Spec) (SweepView, error) {
+	var v SweepView
+	_, err := c.do(ctx, http.MethodPost, "/sweeps", spec, &v)
+	return v, err
+}
+
+// Sweep fetches one sweep's progress.
+func (c *Client) Sweep(ctx context.Context, id string) (SweepView, error) {
+	var v SweepView
+	_, err := c.do(ctx, http.MethodGet, "/sweeps/"+id, nil, &v)
+	return v, err
+}
+
+// Artifact downloads one artifact of a completed sweep. Artifacts are
+// not all JSON (results.csv, pareto.csv), so the body comes back raw.
+func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/dist/sweeps/"+id+"/artifacts/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{resp.StatusCode, errBody(body)}
+	}
+	return body, nil
+}
+
+// Acquire requests the next shard lease. A nil lease with nil error
+// means the coordinator has no pending work right now.
+func (c *Client) Acquire(ctx context.Context, workerID string) (*Lease, error) {
+	var l Lease
+	status, err := c.do(ctx, http.MethodPost, "/leases", struct {
+		WorkerID string `json:"worker_id"`
+	}{workerID}, &l)
+	if err != nil {
+		if isAPIStatus(err, http.StatusForbidden) {
+			return nil, ErrQuarantined
+		}
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return &l, nil
+}
+
+// isAPIStatus reports whether err is a coordinator response with the
+// given status.
+func isAPIStatus(err error, status int) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.status == status
+}
+
+// leaseOp posts one lease lifecycle call, translating 410 to
+// ErrLeaseGone.
+func (c *Client) leaseOp(ctx context.Context, leaseID, op, workerID, msg string) error {
+	_, err := c.do(ctx, http.MethodPost, "/leases/"+leaseID+"/"+op, struct {
+		WorkerID string `json:"worker_id"`
+		Error    string `json:"error,omitempty"`
+	}{workerID, msg}, nil)
+	if isAPIStatus(err, http.StatusGone) {
+		return ErrLeaseGone
+	}
+	return err
+}
+
+// Renew heartbeats a lease.
+func (c *Client) Renew(ctx context.Context, leaseID, workerID string) error {
+	return c.leaseOp(ctx, leaseID, "renew", workerID, "")
+}
+
+// Complete closes a fully-delivered lease.
+func (c *Client) Complete(ctx context.Context, leaseID, workerID string) error {
+	return c.leaseOp(ctx, leaseID, "complete", workerID, "")
+}
+
+// Fail abandons a lease after a worker-side error.
+func (c *Client) Fail(ctx context.Context, leaseID, workerID, msg string) error {
+	return c.leaseOp(ctx, leaseID, "fail", workerID, msg)
+}
+
+// SubmitPoint delivers one completed point (idempotent on the
+// coordinator side; duplicate deliveries are acknowledged, not
+// re-counted).
+func (c *Client) SubmitPoint(ctx context.Context, sweepID, workerID string, res sweep.PointResult) (duplicate bool, err error) {
+	var v struct {
+		Duplicate bool `json:"duplicate"`
+	}
+	_, err = c.do(ctx, http.MethodPost, "/sweeps/"+sweepID+"/points", struct {
+		WorkerID string            `json:"worker_id"`
+		Result   sweep.PointResult `json:"result"`
+	}{workerID, res}, &v)
+	return v.Duplicate, err
+}

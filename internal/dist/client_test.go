@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps backoff sleeps microscopic in tests.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+func newFlakyServer(t *testing.T, failures int32, failStatus int, handler http.HandlerFunc) (*httptest.Server, *int32) {
+	t.Helper()
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		if n <= failures {
+			http.Error(w, `{"error":"synthetic"}`, failStatus)
+			return
+		}
+		handler(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	srv, calls := newFlakyServer(t, 2, http.StatusInternalServerError, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/dist/workers" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		w.Write([]byte(`{"id":"w-000007","lease_ttl_ms":1000}`))
+	})
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	v, err := c.Register(context.Background(), "flaky")
+	if err != nil {
+		t.Fatalf("register through two 500s: %v", err)
+	}
+	if v.ID != "w-000007" || v.LeaseTTLMS != 1000 {
+		t.Fatalf("register view = %+v", v)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two failures + success)", got)
+	}
+}
+
+func TestClientExhaustsRetryBudget(t *testing.T) {
+	srv, calls := newFlakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	if _, err := c.Register(context.Background(), "doomed"); err == nil {
+		t.Fatal("register succeeded against a permanently failing server")
+	}
+	if got := atomic.LoadInt32(calls); got != int32(fastRetry.MaxAttempts) {
+		t.Fatalf("server saw %d calls, want the full budget of %d", got, fastRetry.MaxAttempts)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	srv, calls := newFlakyServer(t, 1<<30, http.StatusBadRequest, nil)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	if _, err := c.Register(context.Background(), "rejected"); err == nil {
+		t.Fatal("400 response did not surface an error")
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (4xx is terminal)", got)
+	}
+}
+
+func TestClientHonoursContextBetweenAttempts(t *testing.T) {
+	srv, _ := newFlakyServer(t, 1<<30, http.StatusInternalServerError, nil)
+	c := NewClient(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Register(ctx, "impatient")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored ctx for %s", elapsed)
+	}
+}
+
+func TestClientMapsSentinelStatuses(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/dist/leases", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		w.Write([]byte(`{"error":"quarantined"}`))
+	})
+	mux.HandleFunc("POST /v1/dist/leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		w.Write([]byte(`{"error":"lease gone"}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	if _, err := c.Acquire(context.Background(), "w-1"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("403 acquire: %v, want ErrQuarantined", err)
+	}
+	if err := c.Renew(context.Background(), "lease-1", "w-1"); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("410 renew: %v, want ErrLeaseGone", err)
+	}
+}
+
+func TestClientAcquireNoWork(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	l, err := c.Acquire(context.Background(), "w-1")
+	if err != nil || l != nil {
+		t.Fatalf("idle acquire = %v, %v; want nil, nil", l, err)
+	}
+}

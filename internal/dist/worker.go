@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Worker is the remote execution half of the subsystem: it registers
+// with a coordinator, pulls shard leases, runs each point on a local
+// memoising sim.Engine (one per budget combination, like the service
+// layer), streams every completed point back immediately, and renews
+// its lease heartbeat while the shard runs. A worker whose heartbeat
+// discovers the lease is gone abandons the shard — the coordinator has
+// already reinjected it — and any points it delivered anyway are
+// absorbed idempotently.
+type Worker struct {
+	// Client connects to the coordinator. Required.
+	Client *Client
+	// Name labels the worker in coordinator logs and metrics.
+	Name string
+	// Concurrency bounds points simulated in parallel within one lease.
+	// Default 1.
+	Concurrency int
+	// PollInterval is the idle wait between acquire attempts when the
+	// coordinator has no pending work. Default 500ms (jittered).
+	PollInterval time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnPoint, when non-nil, is called after each point is delivered
+	// (test and progress hook).
+	OnPoint func(res sweep.PointResult)
+
+	mu      sync.Mutex
+	id      string
+	engines map[string]*sim.Engine
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// ID returns the coordinator-assigned worker id (empty before Run
+// registers).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// engineFor returns (creating if needed) the engine for one budget/seed
+// combination.
+func (w *Worker) engineFor(warm, measure, seed uint64) *sim.Engine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.engines == nil {
+		w.engines = make(map[string]*sim.Engine)
+	}
+	k := fmt.Sprintf("%d|%d|%d", warm, measure, seed)
+	e, ok := w.engines[k]
+	if !ok {
+		e = sim.NewEngine(warm, measure, seed)
+		w.engines[k] = e
+	}
+	return e
+}
+
+// EngineCounters sums the run-sharing counters across every engine the
+// worker instantiated (tests assert recompute-freedom through this).
+func (w *Worker) EngineCounters() sim.Counters {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out sim.Counters
+	for _, e := range w.engines {
+		c := e.Counters()
+		out.Simulations += c.Simulations
+		out.MemoHits += c.MemoHits
+		out.DedupWaits += c.DedupWaits
+	}
+	return out
+}
+
+// Run registers the worker and processes leases until ctx fires or the
+// coordinator quarantines it. Transient coordinator failures are
+// absorbed by the client's retry budget; only a spent budget or a
+// terminal rejection stops the loop.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		return errors.New("dist: worker needs a client")
+	}
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	reg, err := w.Client.Register(ctx, w.Name)
+	if err != nil {
+		return fmt.Errorf("dist: register: %w", err)
+	}
+	w.mu.Lock()
+	w.id = reg.ID
+	w.mu.Unlock()
+	ttl := time.Duration(reg.LeaseTTLMS) * time.Millisecond
+	w.logf("dist: worker %s (%s) registered, lease ttl %s", reg.ID, w.Name, ttl)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.Client.Acquire(ctx, reg.ID)
+		if err != nil {
+			if errors.Is(err, ErrQuarantined) {
+				return err
+			}
+			return fmt.Errorf("dist: acquire: %w", err)
+		}
+		if lease == nil {
+			select {
+			case <-time.After(w.Client.jitter(poll)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := w.runLease(ctx, reg.ID, lease, ttl); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("dist: lease %s: %v", lease.ID, err)
+		}
+	}
+}
+
+// runLease simulates one shard under a heartbeat: points run (bounded
+// by Concurrency), stream back as they finish, and a renew ticker keeps
+// the lease alive. If a renewal reports the lease gone, the remaining
+// points are abandoned mid-simulation.
+func (w *Worker) runLease(ctx context.Context, workerID string, l *Lease, ttl time.Duration) error {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat at a third of the TTL so one dropped renewal (absorbed
+	// by the client's retries) cannot expire the lease.
+	hb := ttl / 3
+	if hb <= 0 {
+		hb = time.Second
+	}
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-t.C:
+				if err := w.Client.Renew(leaseCtx, l.ID, workerID); err != nil {
+					if errors.Is(err, ErrLeaseGone) {
+						w.logf("dist: lease %s expired under us, abandoning shard", l.ID)
+					}
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	conc := w.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	eng := w.engineFor(l.WarmInstrs, l.MeasureInstrs, l.Seed)
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, p := range l.Points {
+		if leaseCtx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p sweep.Point) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := w.runPoint(leaseCtx, eng, workerID, l, p); err != nil {
+				fail(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	cancel()
+	hbWG.Wait()
+
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Report the failure so the coordinator reinjects immediately
+		// instead of waiting out the TTL; a dead coordinator just means
+		// the TTL path handles it.
+		failCtx, cancelFail := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancelFail()
+		if err := w.Client.Fail(failCtx, l.ID, workerID, firstErr.Error()); err != nil && !errors.Is(err, ErrLeaseGone) {
+			w.logf("dist: report lease %s failure: %v", l.ID, err)
+		}
+		return firstErr
+	}
+	if err := w.Client.Complete(ctx, l.ID, workerID); err != nil && !errors.Is(err, ErrLeaseGone) {
+		return fmt.Errorf("dist: complete lease %s: %w", l.ID, err)
+	}
+	return nil
+}
+
+// runPoint simulates one grid point and delivers the result.
+func (w *Worker) runPoint(ctx context.Context, eng *sim.Engine, workerID string, l *Lease, p sweep.Point) error {
+	key, err := p.Key(l.WarmInstrs, l.MeasureInstrs, l.Seed)
+	if err != nil {
+		return err
+	}
+	rs, err := p.RunSpec()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	simRes, err := eng.RunContext(ctx, rs)
+	if err != nil {
+		return err
+	}
+	res := sweep.NewPointResult(p, key, simRes, time.Since(start))
+	if _, err := w.Client.SubmitPoint(ctx, l.SweepID, workerID, res); err != nil {
+		return fmt.Errorf("dist: submit point %d: %w", p.Index, err)
+	}
+	if w.OnPoint != nil {
+		w.OnPoint(res)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -27,8 +28,12 @@ import (
 //	                     (results.json, results.csv, pareto.csv)
 //	GET  /v1/figures/{id} run a paper figure/ablation ("1".."10",
 //	                     "a1".."a10") and return its tables
+//	/v1/dist/...         distributed sweep execution: worker register,
+//	                     lease acquire/renew/complete/fail, idempotent
+//	                     point submission, sweep progress + artifacts
+//	                     (see dist.Handler)
 //	GET  /healthz        liveness + counter snapshot
-//	GET  /metrics        Prometheus text exposition
+//	GET  /metrics        Prometheus text exposition (service + dist)
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +95,10 @@ func Handler(s *Service) http.Handler {
 		}
 		v, err := s.SubmitSweep(spec)
 		switch {
+		case errors.Is(err, ErrSweepsSaturated):
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -174,8 +183,12 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.metrics.WriteProm(w, s.QueueDepth(), s.Workers(), s.EngineCounters())
+		s.metrics.WriteProm(w, s.QueueDepth(), s.Workers(), s.ActiveSweeps(), s.EngineCounters())
+		s.Dist().WriteProm(w)
 	})
+	// Distributed sweep execution: worker registration, lease
+	// acquire/renew/complete, idempotent point submission, progress.
+	mux.Handle("/v1/dist/", http.StripPrefix("/v1/dist", dist.Handler(s.Dist())))
 	return mux
 }
 

@@ -33,6 +33,7 @@ type Metrics struct {
 	sweepsCompleted uint64
 	sweepsFailed    uint64
 	sweepsCanceled  uint64
+	sweepsSaturated uint64 // sweep submissions rejected at the concurrency cap
 	sweepPoints     uint64 // grid points resolved by sweeps
 	sweepRecovered  uint64 // grid points replayed from checkpoints
 }
@@ -62,6 +63,10 @@ func (m *Metrics) QueueFull() { m.incr(&m.queueFull) }
 
 // SweepSubmitted records an accepted sweep.
 func (m *Metrics) SweepSubmitted() { m.incr(&m.sweepsSubmitted) }
+
+// SweepSaturated records a sweep submission rejected because the
+// concurrent-sweep cap was reached.
+func (m *Metrics) SweepSaturated() { m.incr(&m.sweepsSaturated) }
 
 // SweepPoint records one sweep grid point resolving; recovered marks
 // points replayed from a checkpoint rather than simulated.
@@ -138,6 +143,7 @@ type Snapshot struct {
 	SweepsCompleted uint64 `json:"sweeps_completed"`
 	SweepsFailed    uint64 `json:"sweeps_failed"`
 	SweepsCanceled  uint64 `json:"sweeps_canceled"`
+	SweepsSaturated uint64 `json:"sweeps_saturated_rejections"`
 	SweepPoints     uint64 `json:"sweep_points"`
 	SweepRecovered  uint64 `json:"sweep_points_recovered"`
 }
@@ -160,6 +166,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		SweepsCompleted: m.sweepsCompleted,
 		SweepsFailed:    m.sweepsFailed,
 		SweepsCanceled:  m.sweepsCanceled,
+		SweepsSaturated: m.sweepsSaturated,
 		SweepPoints:     m.sweepPoints,
 		SweepRecovered:  m.sweepRecovered,
 	}
@@ -172,9 +179,10 @@ type EngineCounters struct {
 }
 
 // WriteProm renders the metrics in Prometheus text exposition format.
-// queueDepth and workers are gauges owned by the service; engine
-// carries the underlying engine's run-sharing counters.
-func (m *Metrics) WriteProm(w io.Writer, queueDepth, workers int, engine EngineCounters) {
+// queueDepth, workers and activeSweeps are gauges owned by the
+// service; engine carries the underlying engine's run-sharing
+// counters.
+func (m *Metrics) WriteProm(w io.Writer, queueDepth, workers, activeSweeps int, engine EngineCounters) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	counter := func(name, help string, v uint64) {
@@ -197,11 +205,13 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, workers int, engine EngineC
 	counter("iprefetchd_sweeps_completed_total", "Sweeps finished successfully.", m.sweepsCompleted)
 	counter("iprefetchd_sweeps_failed_total", "Sweeps finished with an error.", m.sweepsFailed)
 	counter("iprefetchd_sweeps_canceled_total", "Sweeps stopped by shutdown or deadline.", m.sweepsCanceled)
+	counter("iprefetchd_sweeps_saturated_rejections_total", "Sweep submissions rejected at the concurrent-sweep cap.", m.sweepsSaturated)
 	counter("iprefetchd_sweep_points_total", "Sweep grid points resolved.", m.sweepPoints)
 	counter("iprefetchd_sweep_points_recovered_total", "Sweep grid points replayed from checkpoints instead of simulated.", m.sweepRecovered)
 	gauge("iprefetchd_jobs_running", "Jobs currently executing.", m.running)
 	gauge("iprefetchd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
 	gauge("iprefetchd_workers", "Worker goroutines in the pool.", int64(workers))
+	gauge("iprefetchd_sweeps_running", "Local sweeps currently executing.", int64(activeSweeps))
 
 	// Cache hit ratio over all submissions that could have re-simulated.
 	den := m.submitted

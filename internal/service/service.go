@@ -4,19 +4,24 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// Errors returned by Submit.
+// Errors returned by Submit and SubmitSweep.
 var (
 	// ErrQueueFull means the bounded job queue has no space; the caller
 	// should retry later (HTTP 503).
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrSweepsSaturated means the cap on concurrently running sweeps
+	// is reached; the caller should retry later (HTTP 503).
+	ErrSweepsSaturated = errors.New("service: too many sweeps running")
 	// ErrClosed means the service is shutting down and no longer
 	// accepts jobs.
 	ErrClosed = errors.New("service: shutting down")
@@ -41,6 +46,14 @@ type Config struct {
 	// DefaultTimeout bounds each job's execution when the spec sets no
 	// timeout; zero means unbounded.
 	DefaultTimeout time.Duration
+	// MaxActiveSweeps bounds concurrently running sweeps (local and
+	// distributed are counted separately; this caps the local ones).
+	// Submissions past the cap are rejected with ErrSweepsSaturated
+	// instead of accumulating unbounded goroutines. Default 8.
+	MaxActiveSweeps int
+	// DistLeaseTTL is the lease lifetime of the embedded distributed
+	// sweep coordinator. Zero takes the dist default (30s).
+	DistLeaseTTL time.Duration
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -108,6 +121,7 @@ type Service struct {
 	cfg     Config
 	store   *Store // nil when persistence is disabled
 	metrics *Metrics
+	dist    *dist.Coordinator
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -140,6 +154,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.MaxActiveSweeps <= 0 {
+		cfg.MaxActiveSweeps = 8
+	}
 	s := &Service{
 		cfg:      cfg,
 		metrics:  NewMetrics(),
@@ -155,6 +172,22 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.store = st
 	}
+	// The embedded distributed-sweep coordinator journals into the same
+	// <data>/sweeps/<id> directories local sweeps checkpoint to, so a
+	// sweep started locally can finish on remote workers and vice
+	// versa.
+	distJournal := ""
+	if cfg.ResultDir != "" {
+		distJournal = filepath.Join(cfg.ResultDir, "sweeps")
+	}
+	s.dist = dist.New(dist.Config{
+		LeaseTTL:             cfg.DistLeaseTTL,
+		JournalDir:           distJournal,
+		DefaultWarmInstrs:    cfg.DefaultWarmInstrs,
+		DefaultMeasureInstrs: cfg.DefaultMeasureInstrs,
+		DefaultSeed:          cfg.Seed,
+		Logf:                 cfg.Logf,
+	})
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -172,8 +205,30 @@ func (s *Service) logf(format string, args ...any) {
 // Metrics returns the service's metrics set.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
+// Dist returns the embedded distributed-sweep coordinator.
+func (s *Service) Dist() *dist.Coordinator { return s.dist }
+
 // QueueDepth returns the number of jobs currently waiting.
 func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// ActiveSweeps returns the number of local sweeps currently running.
+func (s *Service) ActiveSweeps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeSweepsLocked()
+}
+
+// activeSweepsLocked counts running local sweeps. Caller must hold
+// s.mu.
+func (s *Service) activeSweepsLocked() int {
+	n := 0
+	for _, run := range s.sweeps {
+		if run.state == SweepRunning {
+			n++
+		}
+	}
+	return n
+}
 
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }

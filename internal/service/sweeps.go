@@ -90,6 +90,10 @@ func (s *Service) SubmitSweep(spec sweep.Spec) (SweepView, error) {
 	if run, ok := s.sweeps[id]; ok {
 		return s.sweepViewLocked(run), nil
 	}
+	if s.activeSweepsLocked() >= s.cfg.MaxActiveSweeps {
+		s.metrics.SweepSaturated()
+		return SweepView{}, ErrSweepsSaturated
+	}
 	run := &sweepRun{
 		id:          id,
 		spec:        spec,

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // Journal is the sweep's checkpoint store: one JSON file per completed
@@ -44,6 +46,27 @@ type PointResult struct {
 	// Recovered marks results replayed from the journal on resume
 	// rather than simulated in this run. Not persisted.
 	Recovered bool `json:"-"`
+}
+
+// NewPointResult summarises one finished simulation into the journal's
+// persisted form. Local runners and remote distributed workers build
+// their results through this one constructor so journal entries are
+// identical regardless of where the point ran.
+func NewPointResult(p Point, key string, simRes sim.Result, elapsed time.Duration) PointResult {
+	total := simRes.Total
+	return PointResult{
+		Key:              key,
+		Point:            p,
+		IPC:              total.IPC(),
+		L1IMissPerInstr:  total.L1I.PerInstr(total.Instructions),
+		L2IMissPerInstr:  total.L2I.PerInstr(total.Instructions),
+		PrefetchAccuracy: total.Prefetch.Accuracy(),
+		Instructions:     total.Instructions,
+		Cycles:           total.Cycles,
+		OffChipTransfers: simRes.OffChipTransfers,
+		CreatedAt:        time.Now().UTC(),
+		ElapsedMS:        elapsed.Milliseconds(),
+	}
 }
 
 // OpenJournal opens (creating if needed) a journal rooted at dir.

@@ -157,20 +157,7 @@ func (r *Runner) runPoint(ctx context.Context, p Point, warm, measure, seed uint
 	if err != nil {
 		return PointResult{}, err
 	}
-	total := simRes.Total
-	res := PointResult{
-		Key:              key,
-		Point:            p,
-		IPC:              total.IPC(),
-		L1IMissPerInstr:  total.L1I.PerInstr(total.Instructions),
-		L2IMissPerInstr:  total.L2I.PerInstr(total.Instructions),
-		PrefetchAccuracy: total.Prefetch.Accuracy(),
-		Instructions:     total.Instructions,
-		Cycles:           total.Cycles,
-		OffChipTransfers: simRes.OffChipTransfers,
-		CreatedAt:        time.Now().UTC(),
-		ElapsedMS:        time.Since(start).Milliseconds(),
-	}
+	res := NewPointResult(p, key, simRes, time.Since(start))
 	if r.Journal != nil {
 		if err := r.Journal.Put(res); err != nil {
 			// A failed checkpoint costs recomputation on resume, not
