@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist fuzz-smoke bench bench-sweep bench-dist
+.PHONY: build vet test race race-dist fuzz-smoke bench bench-sweep bench-dist bench-trace
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,12 @@ race:
 
 # Focused race pass over the concurrency-heavy layers (what CI runs).
 race-dist:
-	$(GO) test -race ./internal/dist/... ./internal/service/... ./internal/sweep/...
+	$(GO) test -race ./internal/dist/... ./internal/service/... ./internal/sweep/... ./internal/corpus/...
 
-# Short fuzz pass over the trace reader; CI runs the same smoke.
+# Short fuzz passes over the trace codecs; CI runs the same smoke.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=10s
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzRoundTripV2 -fuzztime=10s
 
 bench:
 	$(GO) test -bench=Figure -benchmem ./...
@@ -37,3 +38,8 @@ bench-sweep:
 # (points/sec with 1 worker vs a 4-worker fleet over real HTTP leases).
 bench-dist:
 	$(GO) run ./cmd/distbench -o BENCH_dist.json
+
+# Trace codec trajectory: writes BENCH_trace.json (v1 vs v2 encode and
+# decode throughput, compression ratio, 1-vs-4-shard decode scaling).
+bench-trace:
+	$(GO) run ./cmd/tracebench -o BENCH_trace.json

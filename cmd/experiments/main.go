@@ -6,7 +6,7 @@
 //	experiments [-figure 1|2|...|10|a1..a10|all] [-n instrs] [-warm instrs]
 //	            [-seed n] [-csv] [-md] [-o dir] [-v] [-parallel=false]
 //	            [-timeout duration]
-//	experiments -sweep spec.json [-checkpoint dir] [-workers n] [...]
+//	experiments -sweep spec.json [-checkpoint dir] [-workers n] [-data dir] [...]
 //	experiments -sweep spec.json -dist-coordinator http://host:8080
 //
 // Instruction budgets are per core. The defaults run every figure in a
@@ -21,6 +21,11 @@
 // journal to <dir>/<sweep-id>, so an interrupted sweep rerun with the
 // same flags resumes without recomputing anything. Spec budgets, when
 // set, override -n/-warm/-seed.
+//
+// -data points at an iprefetchd-style data directory whose corpus/
+// subdirectory resolves trace:<sha256> workload axis values, so a sweep
+// can replay recorded containers locally (see EXPERIMENTS.md "Sweeps
+// over recorded traces").
 //
 // -dist-coordinator offloads the sweep instead of simulating locally:
 // the spec is submitted to a running iprefetchd daemon, remote
@@ -43,6 +48,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cmp"
+	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -64,10 +71,20 @@ var (
 	ckptDir   = flag.String("checkpoint", "", "journal sweep points under this directory for resumable runs")
 	workers   = flag.Int("workers", 0, "concurrent simulations in sweep mode (0 = GOMAXPROCS)")
 	distURL   = flag.String("dist-coordinator", "", "submit the -sweep spec to this iprefetchd URL and let remote workers run it")
+	dataDir   = flag.String("data", "", "resolve trace:<id> workloads from the corpus under this data directory")
 )
 
 func main() {
 	flag.Parse()
+
+	if *dataDir != "" {
+		store, err := corpus.Open(filepath.Join(*dataDir, "corpus"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cmp.RegisterTraceProvider(store.ReplaySource)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -32,6 +32,9 @@
 //	GET  /v1/sweeps/{id}  sweep progress (completed/total points)
 //	GET  /v1/sweeps/{id}/artifacts/{name}  download a sweep artifact
 //	GET  /v1/figures/{id} run a paper figure ("1".."10") or ablation ("a1".."a10")
+//	POST /v1/corpus       upload a v2 trace container (needs -data; size-capped)
+//	GET  /v1/corpus       list trace-corpus entries
+//	GET  /v1/corpus/{id}[/manifest]      download a container / its manifest
 //	POST /v1/dist/workers                submit a worker registration
 //	POST /v1/dist/sweeps                 launch a distributed sweep
 //	GET  /v1/dist/sweeps[/{id}]          distributed sweep progress
@@ -83,6 +86,7 @@ func main() {
 		maxSweeps  = flag.Int("max-sweeps", 8, "max concurrently running local sweeps before submissions get 503")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "distributed-sweep lease lifetime between worker heartbeats")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		corpusCap  = flag.Int64("corpus-max-upload", 0, "max trace-container upload size in bytes (0 = 64 MiB default)")
 	)
 	flag.Parse()
 
@@ -97,6 +101,7 @@ func main() {
 		DefaultTimeout:       *jobTimeout,
 		MaxActiveSweeps:      *maxSweeps,
 		DistLeaseTTL:         *leaseTTL,
+		MaxCorpusUploadBytes: *corpusCap,
 		Logf:                 logger.Printf,
 	})
 	if err != nil {

@@ -11,7 +11,13 @@
 // Usage:
 //
 //	iprefetchworker -coordinator http://host:8080 [-name id]
-//	                [-concurrency n] [-poll interval] [-pprof-addr addr] [-v]
+//	                [-concurrency n] [-poll interval] [-trace-cache dir]
+//	                [-pprof-addr addr] [-v]
+//
+// -trace-cache names a local directory used as a corpus cache: leases
+// whose points replay trace:<id> workloads fetch the container from
+// the coordinator (/v1/corpus/{id}) on first use, verify the bytes
+// hash to the id, and serve every later lease from disk.
 //
 // The worker runs until SIGINT/SIGTERM (in-flight simulations are
 // cancelled; their points reinject at the coordinator) or until the
@@ -31,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/sweep"
 )
@@ -41,6 +48,7 @@ func main() {
 		name        = flag.String("name", "", "worker name in coordinator logs/metrics (default host-pid)")
 		concurrency = flag.Int("concurrency", 1, "points simulated in parallel within one lease")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "idle wait between lease polls")
+		traceCache  = flag.String("trace-cache", "", "local corpus cache directory for trace:<id> workloads (empty = no trace replay)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		verbose     = flag.Bool("v", false, "log lease and point activity")
 	)
@@ -69,6 +77,13 @@ func main() {
 		Name:         *name,
 		Concurrency:  *concurrency,
 		PollInterval: *poll,
+	}
+	if *traceCache != "" {
+		store, err := corpus.Open(*traceCache)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		w.Corpus = store
 	}
 	if *verbose {
 		w.Logf = logger.Printf

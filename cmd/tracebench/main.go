@@ -1,0 +1,206 @@
+// Command tracebench measures trace codec throughput and writes a
+// BENCH_trace.json snapshot so successive changes can track the trend.
+// It records one generator stream through both container formats and
+// reports encode and decode rates (MB/s and blocks/s) for the flat v1
+// stream and the chunked v2 container, the v2 compression ratio and
+// bits/block, and how the v2 sharded chunk decode scales from 1 to 4
+// goroutines.
+//
+// Usage:
+//
+//	tracebench [-app DB] [-n blocks] [-seed n] [-chunk records]
+//	           [-o BENCH_trace.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// report is the BENCH_trace.json schema.
+type report struct {
+	Name       string    `json:"name"`
+	Timestamp  time.Time `json:"timestamp"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	App        string    `json:"app"`
+	Blocks     uint64    `json:"blocks"`
+	Seed       uint64    `json:"seed"`
+	ChunkRecs  int       `json:"chunk_records"`
+
+	V1Bytes        int     `json:"v1_bytes"`
+	V2Bytes        int     `json:"v2_bytes"`
+	V2Compression  float64 `json:"v2_compression_ratio"` // v1/v2
+	V2BitsPerBlock float64 `json:"v2_bits_per_block"`
+
+	V1EncodeMBPerSec      float64 `json:"v1_encode_mb_per_sec"`
+	V1EncodeBlocksPerSec  float64 `json:"v1_encode_blocks_per_sec"`
+	V2EncodeMBPerSec      float64 `json:"v2_encode_mb_per_sec"`
+	V2EncodeBlocksPerSec  float64 `json:"v2_encode_blocks_per_sec"`
+	V1DecodeMBPerSec      float64 `json:"v1_decode_mb_per_sec"`
+	V1DecodeBlocksPerSec  float64 `json:"v1_decode_blocks_per_sec"`
+	V2DecodeMBPerSec      float64 `json:"v2_decode_mb_per_sec"`
+	V2DecodeBlocksPerSec  float64 `json:"v2_decode_blocks_per_sec"`
+	Shard1BlocksPerSec    float64 `json:"shard1_decode_blocks_per_sec"`
+	Shard4BlocksPerSec    float64 `json:"shard4_decode_blocks_per_sec"`
+	ShardDecodeSpeedup4x1 float64 `json:"shard_decode_speedup_4x1"`
+}
+
+func main() {
+	var (
+		app   = flag.String("app", "DB", "workload to record")
+		n     = flag.Uint64("n", 500_000, "blocks per pass")
+		seed  = flag.Uint64("seed", 1, "stream seed")
+		chunk = flag.Int("chunk", 0, "v2 blocks per chunk (0 = default)")
+		out   = flag.String("o", "BENCH_trace.json", "output report path")
+	)
+	flag.Parse()
+
+	prof, err := workload.ByName(*app)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := workload.BuildProgram(prof, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Name:       "trace",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		App:        *app,
+		Blocks:     *n,
+		Seed:       *seed,
+		ChunkRecs:  *chunk,
+	}
+
+	// Encode passes. Each uses a fresh generator so the streams are
+	// identical; buffers are kept for the decode passes.
+	var v1 bytes.Buffer
+	start := time.Now()
+	if err := trace.Record(&v1, *app, 0, workload.NewGenerator(prog, *seed), *n); err != nil {
+		fatal(err)
+	}
+	rep.V1EncodeMBPerSec, rep.V1EncodeBlocksPerSec = rates(v1.Len(), *n, time.Since(start))
+
+	var v2 bytes.Buffer
+	start = time.Now()
+	if err := trace.RecordV2(&v2, *app, 0, workload.NewGenerator(prog, *seed), *n, *chunk); err != nil {
+		fatal(err)
+	}
+	rep.V2EncodeMBPerSec, rep.V2EncodeBlocksPerSec = rates(v2.Len(), *n, time.Since(start))
+
+	rep.V1Bytes, rep.V2Bytes = v1.Len(), v2.Len()
+	rep.V2Compression = float64(v1.Len()) / float64(v2.Len())
+	rep.V2BitsPerBlock = float64(v2.Len()*8) / float64(*n)
+
+	// Streaming decode passes (full validation: v2 checks every chunk
+	// CRC and count on the way past).
+	start = time.Now()
+	drain(v1.Bytes(), *n)
+	rep.V1DecodeMBPerSec, rep.V1DecodeBlocksPerSec = rates(v1.Len(), *n, time.Since(start))
+	start = time.Now()
+	drain(v2.Bytes(), *n)
+	rep.V2DecodeMBPerSec, rep.V2DecodeBlocksPerSec = rates(v2.Len(), *n, time.Since(start))
+
+	// Sharded decode scaling over the chunk index.
+	ir, err := trace.OpenIndexed(bytes.NewReader(v2.Bytes()), int64(v2.Len()))
+	if err != nil {
+		fatal(err)
+	}
+	rep.Shard1BlocksPerSec = shardRate(ir, 1, *n)
+	rep.Shard4BlocksPerSec = shardRate(ir, 4, *n)
+	rep.ShardDecodeSpeedup4x1 = rep.Shard4BlocksPerSec / rep.Shard1BlocksPerSec
+
+	rep.Timestamp = time.Now().UTC()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tracebench: %d blocks, v2 %.2fx smaller (%.1f bits/block), decode v1 %.1f MB/s v2 %.1f MB/s, shard x4 %.2fx -> %s\n",
+		*n, rep.V2Compression, rep.V2BitsPerBlock, rep.V1DecodeMBPerSec, rep.V2DecodeMBPerSec,
+		rep.ShardDecodeSpeedup4x1, *out)
+}
+
+// rates converts one pass into (MB/s, blocks/s).
+func rates(nbytes int, blocks uint64, d time.Duration) (float64, float64) {
+	s := d.Seconds()
+	if s <= 0 {
+		return 0, 0
+	}
+	return float64(nbytes) / (1 << 20) / s, float64(blocks) / s
+}
+
+// drain stream-decodes a container to the end, verifying the count.
+func drain(raw []byte, want uint64) {
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		fatal(err)
+	}
+	var b isa.Block
+	var got uint64
+	for {
+		err := r.Read(&b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		got++
+	}
+	if got != want {
+		fatal(fmt.Errorf("decoded %d blocks, want %d", got, want))
+	}
+}
+
+// shardRate decodes every chunk across the given number of goroutines
+// and returns blocks/s.
+func shardRate(ir *trace.IndexedReader, shards int, blocks uint64) float64 {
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < ir.NumChunks(); i += shards {
+				if _, err := ir.DecodeChunk(i); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	s := time.Since(start).Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(blocks) / s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

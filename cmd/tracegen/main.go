@@ -4,29 +4,39 @@
 //
 // Usage:
 //
-//	tracegen record  -app DB -n 1000000 -seed 1 -o db.trc [-timeout 30s]
-//	tracegen stats   -i db.trc
+//	tracegen record  -app DB -n 1000000 -seed 1 -o db.itf -v2 [-chunk 4096]
+//	tracegen record  -app DB -n 1000000 -seed 1 -o db.trc       # flat v1 stream
+//	tracegen stats   -i db.itf
 //	tracegen analyze -app DB -n 1000000   # footprint/reuse/discontinuity study
-//	tracegen analyze -i db.trc            # same, over a recorded trace
+//	tracegen analyze -i db.itf            # same, over a recorded trace
+//	tracegen verify  -i db.itf            # chunk CRCs + index + counts
+//	tracegen verify  -data ./results -id <sha256>   # corpus entry + fingerprint
+//	tracegen ingest  -i db.trc -data ./results      # v1/v2 file -> corpus entry
+//	tracegen ingest  -app DB -n 1000000 -data ./results  # capture straight in
+//	tracegen corpus  -data ./results      # list corpus entries
 //	tracegen list                         # list built-in workloads
 //
 // record and analyze honour SIGINT/SIGTERM and -timeout: the run stops
 // cooperatively with exit status 1, and an interrupted record leaves a
-// valid trace of the blocks captured so far.
+// valid trace of the blocks captured so far (v2 containers are
+// finalised with their index and footer on interruption).
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/corpus"
 )
 
 func main() {
@@ -42,6 +52,12 @@ func main() {
 		statsCmd(os.Args[2:])
 	case "analyze":
 		analyzeCmd(ctx, os.Args[2:])
+	case "verify":
+		verifyCmd(os.Args[2:])
+	case "ingest":
+		ingestCmd(ctx, os.Args[2:])
+	case "corpus":
+		corpusCmd(os.Args[2:])
 	case "list":
 		list()
 	default:
@@ -50,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracegen record|stats|analyze|list [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracegen record|stats|analyze|verify|ingest|corpus|list [flags]")
 	os.Exit(2)
 }
 
@@ -68,6 +84,8 @@ func record(ctx context.Context, args []string) {
 	n := fs.Uint64("n", 1_000_000, "number of basic blocks to record")
 	seed := fs.Uint64("seed", 1, "stream seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	v2 := fs.Bool("v2", false, "write the chunked IPFTRC02 container (compressed, CRC'd, seekable)")
+	chunk := fs.Int("chunk", 0, "blocks per chunk for -v2 (0 = default)")
 	timeout := fs.Duration("timeout", 0, "abort recording after this long (0 = no limit)")
 	fs.Parse(args)
 	ctx, cancel := withTimeout(ctx, *timeout)
@@ -82,14 +100,24 @@ func record(ctx context.Context, args []string) {
 		defer f.Close()
 		w = f
 	}
-	if err := repro.RecordTraceContext(ctx, w, *app, *seed, *n); err != nil {
+	var err error
+	if *v2 {
+		err = repro.RecordTraceV2Context(ctx, w, *app, *seed, *n, *chunk)
+	} else {
+		err = repro.RecordTraceContext(ctx, w, *app, *seed, *n)
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "recording interrupted (%v); partial trace is valid\n", err)
 			os.Exit(1)
 		}
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "recorded %d blocks of %s\n", *n, *app)
+	format := "v1"
+	if *v2 {
+		format = "v2"
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d blocks of %s (%s)\n", *n, *app, format)
 }
 
 func statsCmd(args []string) {
@@ -111,6 +139,7 @@ func statsCmd(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("workload      %s\n", st.Workload)
+	fmt.Printf("format        %s\n", st.Format)
 	fmt.Printf("blocks        %d\n", st.Blocks)
 	fmt.Printf("instructions  %d\n", st.Instructions)
 	fmt.Printf("memops        %d (%.3f per instruction)\n", st.MemOps,
@@ -155,6 +184,124 @@ func analyzeCmd(ctx context.Context, args []string) {
 		}
 	default:
 		fatal(fmt.Errorf("analyze needs -app or -i"))
+	}
+}
+
+// verifyCmd checks integrity: every chunk CRC, count and the index for
+// a container file, plus the content hash and stream fingerprint for a
+// corpus entry.
+func verifyCmd(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("i", "", "container file to verify")
+	data := fs.String("data", "", "data directory holding a corpus (with -id)")
+	id := fs.String("id", "", "corpus entry hash to verify (with -data)")
+	fs.Parse(args)
+
+	switch {
+	case *in != "" && (*data != "" || *id != ""):
+		fatal(fmt.Errorf("use either -i or -data/-id, not both"))
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		st, err := repro.ReadTraceStats(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %s %s, %d blocks, %d instructions\n",
+			st.Format, st.Workload, st.Blocks, st.Instructions)
+	case *data != "" && *id != "":
+		store, err := corpus.Open(filepath.Join(*data, "corpus"))
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Verify(*id); err != nil {
+			fatal(err)
+		}
+		m, err := store.Get(*id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %s (%s) %d blocks, %d instructions, %d chunks, %d bytes; fingerprint matches\n",
+			m.ID[:12], m.Name, m.Blocks, m.Instructions, m.Chunks, m.SizeBytes)
+	default:
+		fatal(fmt.Errorf("verify needs -i, or -data and -id"))
+	}
+}
+
+// ingestCmd converts a trace file (or a live capture) into a
+// content-addressed corpus entry.
+func ingestCmd(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	in := fs.String("i", "", "trace file to ingest (v1 or v2; mutually exclusive with -app)")
+	app := fs.String("app", "", "workload to capture live")
+	n := fs.Uint64("n", 1_000_000, "blocks to capture (live mode)")
+	seed := fs.Uint64("seed", 1, "stream seed (live mode)")
+	chunk := fs.Int("chunk", 0, "blocks per chunk (0 = default)")
+	data := fs.String("data", "", "data directory holding the corpus (required)")
+	timeout := fs.Duration("timeout", 0, "abort capture after this long (0 = no limit)")
+	fs.Parse(args)
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+
+	if *data == "" {
+		fatal(fmt.Errorf("ingest needs -data"))
+	}
+	store, err := corpus.Open(filepath.Join(*data, "corpus"))
+	if err != nil {
+		fatal(err)
+	}
+	var m corpus.Manifest
+	switch {
+	case *in != "" && *app != "":
+		fatal(fmt.Errorf("use either -i or -app, not both"))
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if m, err = store.Ingest(f, *chunk, "ingest"); err != nil {
+			fatal(err)
+		}
+	case *app != "":
+		var buf bytes.Buffer
+		if err := repro.RecordTraceV2Context(ctx, &buf, *app, *seed, *n, *chunk); err != nil {
+			fatal(err)
+		}
+		if m, err = store.Put(bytes.NewReader(buf.Bytes()), "capture"); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("ingest needs -i or -app"))
+	}
+	fmt.Printf("%s\n", m.ID)
+	fmt.Fprintf(os.Stderr, "ingested %s: %d blocks, %d instructions, %d chunks, %d bytes\n",
+		m.Name, m.Blocks, m.Instructions, m.Chunks, m.SizeBytes)
+}
+
+// corpusCmd lists the entries of a corpus.
+func corpusCmd(args []string) {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	data := fs.String("data", "", "data directory holding the corpus (required)")
+	fs.Parse(args)
+	if *data == "" {
+		fatal(fmt.Errorf("corpus needs -data"))
+	}
+	store, err := corpus.Open(filepath.Join(*data, "corpus"))
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := store.List()
+	if err != nil {
+		fatal(err)
+	}
+	for _, m := range entries {
+		fmt.Printf("%s  %-6s %10d blocks %12d instrs %5d chunks %10d bytes  %s\n",
+			m.ID[:12], m.Name, m.Blocks, m.Instructions, m.Chunks, m.SizeBytes,
+			m.CreatedAt.Format("2006-01-02 15:04"))
 	}
 }
 

@@ -10,6 +10,7 @@ package cmp
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -228,6 +229,10 @@ func (s *System) AggregateIPC() float64 {
 // separate processes in disjoint address spaces, so the multiprogrammed
 // Mix shares nothing, which is what makes its shared-L2 miss rate
 // super-additive (paper Section 3.1).
+// Recorded-trace workloads replay a corpus entry instead: a name of
+// the form "trace:<id>" resolves through the registered trace
+// providers (see RegisterTraceProvider), and each core gets its own
+// replay cursor over the shared container.
 func SourcesFor(names []string, numCores int, seed uint64) ([]workload.Source, error) {
 	progs := map[string]*workload.Program{}
 	nextASID := uint64(0)
@@ -235,6 +240,14 @@ func SourcesFor(names []string, numCores int, seed uint64) ([]workload.Source, e
 	srcs := make([]workload.Source, numCores)
 	for i := 0; i < numCores; i++ {
 		name := names[i%len(names)]
+		if id, ok := strings.CutPrefix(name, TraceWorkloadPrefix); ok {
+			src, err := traceSource(id)
+			if err != nil {
+				return nil, err
+			}
+			srcs[i] = src
+			continue
+		}
 		prog, ok := progs[name]
 		if !ok {
 			prof, err := workload.ByName(name)

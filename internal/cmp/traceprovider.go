@@ -1,0 +1,55 @@
+package cmp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// TraceWorkloadPrefix marks a workload name as a recorded-trace replay:
+// "trace:<id>" replays the corpus entry with that content hash instead
+// of walking a synthetic generator. Because the id is a hash of the
+// container bytes, a spec naming it simulates a byte-identical stream
+// on every machine that resolves it.
+const TraceWorkloadPrefix = "trace:"
+
+// TraceProvider resolves a corpus id to a fresh replay source. Each
+// call must return an independent cursor (sources are per-core and not
+// safe for concurrent use).
+type TraceProvider func(id string) (workload.Source, error)
+
+var traceProviders struct {
+	mu  sync.RWMutex
+	fns []TraceProvider
+}
+
+// RegisterTraceProvider adds a resolver for trace:<id> workloads —
+// typically a corpus.Store (the daemon's, or a dist worker's local
+// cache). Providers are tried newest-first; the first to return a
+// source wins, and a provider that does not hold the id should return
+// an error so the next is consulted.
+func RegisterTraceProvider(fn TraceProvider) {
+	traceProviders.mu.Lock()
+	defer traceProviders.mu.Unlock()
+	traceProviders.fns = append(traceProviders.fns, fn)
+}
+
+// traceSource resolves id through the registered providers.
+func traceSource(id string) (workload.Source, error) {
+	traceProviders.mu.RLock()
+	fns := traceProviders.fns
+	traceProviders.mu.RUnlock()
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("cmp: workload trace:%s: no trace corpus registered", id)
+	}
+	var lastErr error
+	for i := len(fns) - 1; i >= 0; i-- {
+		src, err := fns[i](id)
+		if err == nil {
+			return src, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cmp: workload trace:%s: %w", id, lastErr)
+}

@@ -1,0 +1,451 @@
+// Package corpus is a content-addressed on-disk store of recorded
+// instruction traces — the library's analogue of the shared trace
+// corpora the paper's methodology (and MANA's evaluation) revolve
+// around. Every entry is an IPFTRC02 container named by the SHA-256 of
+// its bytes (`<dir>/<hash>.itf`) plus a JSON manifest carrying counts
+// and a fingerprint of stream statistics, so a sweep pinned to
+// `trace:<hash>` simulates a byte-identical stream on every machine
+// that can fetch the hash.
+//
+// Ingest is atomic (temp file + rename) and strict: a container is
+// fully decoded — every chunk CRC and count checked — before it earns
+// a name in the store.
+package corpus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// fingerprintLineBytes fixes the cache-line granularity fingerprints
+// are computed at, so equal streams always fingerprint equally.
+const fingerprintLineBytes = 64
+
+// Fingerprint summarises a trace's stream statistics (via
+// analysis.Profile). Verify recomputes it from the stored bytes; a
+// mismatch against the manifest means the entry is corrupt.
+type Fingerprint struct {
+	Instructions    uint64  `json:"instructions"`
+	Blocks          uint64  `json:"blocks"`
+	FootprintLines  uint64  `json:"footprint_lines"`
+	DistinctTrigger int     `json:"distinct_triggers"`
+	SingleTargetPct float64 `json:"single_target_pct"`
+}
+
+// Manifest describes one stored trace.
+type Manifest struct {
+	// ID is the lowercase hex SHA-256 of the container bytes.
+	ID string `json:"id"`
+	// Name and ASID come from the container header.
+	Name string `json:"name"`
+	ASID uint64 `json:"asid"`
+	// Format is the container magic ("IPFTRC02").
+	Format string `json:"format"`
+	// Blocks / Instructions / Chunks count the decoded content.
+	Blocks       uint64 `json:"blocks"`
+	Instructions uint64 `json:"instructions"`
+	Chunks       int    `json:"chunks"`
+	// SizeBytes is the container size on disk.
+	SizeBytes int64 `json:"size_bytes"`
+	// Fingerprint is recomputable from the bytes (see Verify).
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// Source records how the entry arrived ("ingest", "capture",
+	// "upload", "fetch", ...).
+	Source    string    `json:"source,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Store is a content-addressed trace store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	blobs map[string][]byte // replay cache, keyed by id
+}
+
+// Open creates (if needed) and returns the store at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return &Store{dir: dir, blobs: make(map[string][]byte)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validID reports whether id looks like a lowercase hex SHA-256 — the
+// only names the store ever serves, which also keeps path traversal
+// out of HTTP handlers that pass ids through.
+func validID(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) tracePath(id string) string    { return filepath.Join(s.dir, id+".itf") }
+func (s *Store) manifestPath(id string) string { return filepath.Join(s.dir, id+".json") }
+
+// Path returns the on-disk container path for id (which must exist).
+func (s *Store) Path(id string) (string, error) {
+	if !validID(id) {
+		return "", fmt.Errorf("corpus: invalid id %q", id)
+	}
+	p := s.tracePath(id)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("corpus: %s: %w", id, err)
+	}
+	return p, nil
+}
+
+// Has reports whether the store holds id.
+func (s *Store) Has(id string) bool {
+	if !validID(id) {
+		return false
+	}
+	_, err := os.Stat(s.manifestPath(id))
+	return err == nil
+}
+
+// Get returns the manifest for id.
+func (s *Store) Get(id string) (Manifest, error) {
+	if !validID(id) {
+		return Manifest{}, fmt.Errorf("corpus: invalid id %q", id)
+	}
+	data, err := os.ReadFile(s.manifestPath(id))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %s: %w", id, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %s: manifest malformed: %w", id, err)
+	}
+	return m, nil
+}
+
+// List returns every manifest, oldest first (ties broken by id).
+func (s *Store) List() ([]Manifest, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []Manifest
+	for _, p := range names {
+		id := filepath.Base(p)
+		id = id[:len(id)-len(".json")]
+		if !validID(id) {
+			continue
+		}
+		m, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// Delete removes an entry (both container and manifest).
+func (s *Store) Delete(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("corpus: invalid id %q", id)
+	}
+	s.mu.Lock()
+	delete(s.blobs, id)
+	s.mu.Unlock()
+	err1 := os.Remove(s.manifestPath(id))
+	err2 := os.Remove(s.tracePath(id))
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Put ingests a v2 container from r: the bytes are streamed to a temp
+// file while hashed, fully decoded and validated (every chunk CRC and
+// count), fingerprinted, and only then renamed into place. Re-putting
+// identical bytes is a no-op returning the existing manifest. source
+// labels the manifest's provenance field.
+func (s *Store) Put(r io.Reader, source string) (Manifest, error) {
+	tmp, err := os.CreateTemp(s.dir, ".ingest-*")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		tmp.Close()
+		os.Remove(tmpName) // no-op once renamed
+	}()
+
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: reading input: %w", err)
+	}
+	id := hex.EncodeToString(h.Sum(nil))
+	if s.Has(id) {
+		return s.Get(id)
+	}
+
+	man, err := describe(tmp, size)
+	if err != nil {
+		return Manifest{}, err
+	}
+	man.ID = id
+	man.Source = source
+	man.CreatedAt = time.Now().UTC()
+
+	if err := tmp.Close(); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.Rename(tmpName, s.tracePath(id)); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	if err := s.writeManifest(man); err != nil {
+		os.Remove(s.tracePath(id))
+		return Manifest{}, err
+	}
+	return man, nil
+}
+
+// writeManifest persists a manifest atomically (temp file + rename).
+func (s *Store) writeManifest(m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return os.Rename(tmpName, s.manifestPath(m.ID))
+}
+
+// describe fully decodes a v2 container from ra and builds its
+// manifest (ID, Source, CreatedAt left for the caller). Rejects v1
+// input — the store is canonical-v2 only; use Ingest to convert.
+func describe(ra io.ReaderAt, size int64) (Manifest, error) {
+	ir, err := trace.OpenIndexed(ra, size)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: invalid container: %w", err)
+	}
+	p := analysis.NewProfile(fingerprintLineBytes)
+	var b isa.Block
+	var blocks, instrs uint64
+	for {
+		err := ir.Read(&b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Manifest{}, fmt.Errorf("corpus: invalid container: %w", err)
+		}
+		p.Observe(&b)
+		blocks++
+		instrs += uint64(b.NumInstrs)
+	}
+	if blocks != ir.Blocks() || instrs != ir.Instructions() {
+		return Manifest{}, fmt.Errorf("corpus: invalid container: index totals (%d blocks, %d instrs) disagree with content (%d, %d)",
+			ir.Blocks(), ir.Instructions(), blocks, instrs)
+	}
+	return Manifest{
+		Name:         ir.Name(),
+		ASID:         ir.ASID(),
+		Format:       "IPFTRC02",
+		Blocks:       blocks,
+		Instructions: instrs,
+		Chunks:       ir.NumChunks(),
+		SizeBytes:    size,
+		Fingerprint:  fingerprintOf(p, blocks, instrs),
+	}, nil
+}
+
+func fingerprintOf(p *analysis.Profile, blocks, instrs uint64) Fingerprint {
+	return Fingerprint{
+		Instructions:    instrs,
+		Blocks:          blocks,
+		FootprintLines:  p.FootprintBytes() / fingerprintLineBytes,
+		DistinctTrigger: p.DistinctTriggers(),
+		SingleTargetPct: p.SingleTargetFraction(),
+	}
+}
+
+// Ingest converts any readable trace (v1 stream or v2 container) to a
+// canonical v2 container and Puts it. chunkRecords 0 takes the trace
+// default.
+func (s *Store) Ingest(r io.Reader, chunkRecords int, source string) (Manifest, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	var buf bytes.Buffer
+	tw, err := trace.NewWriterV2(&buf, tr.Name(), tr.ASID(), chunkRecords)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	var b isa.Block
+	for {
+		err := tr.Read(&b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Manifest{}, fmt.Errorf("corpus: invalid input trace: %w", err)
+		}
+		if err := tw.Write(&b); err != nil {
+			return Manifest{}, fmt.Errorf("corpus: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	return s.Put(bytes.NewReader(buf.Bytes()), source)
+}
+
+// Capture records n blocks from a live source into a v2 container and
+// Puts it — the generator-capture adapter.
+func (s *Store) Capture(src workload.Source, name string, asid uint64, n uint64, chunkRecords int) (Manifest, error) {
+	var buf bytes.Buffer
+	if err := trace.RecordV2(&buf, name, asid, src, n, chunkRecords); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	return s.Put(bytes.NewReader(buf.Bytes()), "capture")
+}
+
+// Verify re-reads an entry end to end: the bytes must hash to the id,
+// every chunk must pass its CRC and counts, and the recomputed
+// manifest (counts + fingerprint) must equal the stored one. A single
+// flipped byte anywhere fails one of those checks.
+func (s *Store) Verify(id string) error {
+	want, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(s.tracePath(id))
+	if err != nil {
+		return fmt.Errorf("corpus: %s: %w", id, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != id {
+		s.dropBlob(id)
+		return fmt.Errorf("corpus: %s: content hash mismatch (bytes hash to %s)", id, got)
+	}
+	got, err := describe(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		s.dropBlob(id)
+		return fmt.Errorf("corpus: %s: %w", id, err)
+	}
+	got.ID, got.Source, got.CreatedAt = want.ID, want.Source, want.CreatedAt
+	if got != want {
+		s.dropBlob(id)
+		return fmt.Errorf("corpus: %s: manifest disagrees with content (stored %+v, recomputed %+v)", id, want, got)
+	}
+	return nil
+}
+
+func (s *Store) dropBlob(id string) {
+	s.mu.Lock()
+	delete(s.blobs, id)
+	s.mu.Unlock()
+}
+
+// blob returns the container bytes for id, verifying the hash on first
+// load and caching the result (replay opens one source per core; they
+// all share the cached bytes).
+func (s *Store) blob(id string) ([]byte, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("corpus: invalid id %q", id)
+	}
+	s.mu.Lock()
+	data, ok := s.blobs[id]
+	s.mu.Unlock()
+	if ok {
+		return data, nil
+	}
+	data, err := os.ReadFile(s.tracePath(id))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", id, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != id {
+		return nil, fmt.Errorf("corpus: %s: content hash mismatch (bytes hash to %s)", id, got)
+	}
+	s.mu.Lock()
+	s.blobs[id] = data
+	s.mu.Unlock()
+	return data, nil
+}
+
+// OpenTrace returns an IndexedReader over the stored container.
+func (s *Store) OpenTrace(id string) (*trace.IndexedReader, error) {
+	data, err := s.blob(id)
+	if err != nil {
+		return nil, err
+	}
+	return trace.OpenIndexed(bytes.NewReader(data), int64(len(data)))
+}
+
+// ReplaySource opens a fresh replay Source over the stored container —
+// the provider hook internal/cmp uses to build per-core sources for
+// `trace:<id>` workloads. Each call returns an independent cursor.
+func (s *Store) ReplaySource(id string) (workload.Source, error) {
+	ir, err := s.OpenTrace(id)
+	if err != nil {
+		return nil, err
+	}
+	return workload.FromTrace(ir)
+}
+
+// Reader streams the raw container bytes (HTTP download path).
+func (s *Store) Reader(id string) (io.ReadCloser, int64, error) {
+	p, err := s.Path(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}

@@ -1,0 +1,302 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// captureWeb stores n generator blocks of the Web workload and returns
+// the manifest.
+func captureWeb(t *testing.T, s *Store, seed, n uint64) Manifest {
+	t.Helper()
+	prog := workload.MustBuildProgram(workload.Web(), 0)
+	m, err := s.Capture(workload.NewGenerator(prog, seed), "Web", 0, n, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCaptureGetListVerify(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 1, 3000)
+	if m.Blocks != 3000 || m.Name != "Web" || m.Format != "IPFTRC02" {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.Chunks != 3000/256+1 {
+		t.Fatalf("chunks = %d", m.Chunks)
+	}
+	if m.Fingerprint.Blocks != 3000 || m.Fingerprint.Instructions != m.Instructions {
+		t.Fatalf("fingerprint = %+v", m.Fingerprint)
+	}
+	if !s.Has(m.ID) {
+		t.Fatal("Has = false after Capture")
+	}
+	got, err := s.Get(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("Get = %+v, want %+v", got, m)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != m.ID {
+		t.Fatalf("List = %+v", list)
+	}
+	if err := s.Verify(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Path(m.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutDedupsIdenticalBytes(t *testing.T) {
+	s := newStore(t)
+	prog := workload.MustBuildProgram(workload.Web(), 0)
+	var buf bytes.Buffer
+	if err := trace.RecordV2(&buf, "Web", 0, workload.NewGenerator(prog, 5), 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := s.Put(bytes.NewReader(buf.Bytes()), "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Put(bytes.NewReader(buf.Bytes()), "other-source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("re-put returned different manifest:\n%+v\n%+v", m1, m2)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("dedup failed: %d entries", len(list))
+	}
+}
+
+func TestIngestV1ConvertsToV2(t *testing.T) {
+	s := newStore(t)
+	prog := workload.MustBuildProgram(workload.Web(), 0)
+	const n = 2000
+	var v1 bytes.Buffer
+	if err := trace.Record(&v1, "Web", 0, workload.NewGenerator(prog, 7), n); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Ingest(bytes.NewReader(v1.Bytes()), 0, "ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Blocks != n || m.Format != "IPFTRC02" {
+		t.Fatalf("ingested manifest = %+v", m)
+	}
+	// The replayed stream must match the original generator bit-exactly.
+	src, err := s.ReplaySource(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.NewGenerator(prog, 7)
+	var got, want isa.Block
+	for i := 0; i < n; i++ {
+		ref.Next(&want)
+		src.Next(&got)
+		if got.PC != want.PC || got.CTI != want.CTI || got.NumInstrs != want.NumInstrs {
+			t.Fatalf("block %d mismatch", i)
+		}
+		if want.CTI.ChangesFlow() && got.Target != want.Target {
+			t.Fatalf("block %d target mismatch", i)
+		}
+	}
+	// Past the end, replay wraps to the start of the trace.
+	ref2 := workload.NewGenerator(prog, 7)
+	ref2.Next(&want)
+	src.Next(&got)
+	if got.PC != want.PC {
+		t.Fatalf("replay did not wrap: PC %#x, want %#x", uint64(got.PC), uint64(want.PC))
+	}
+}
+
+func TestPutRejectsInvalidInput(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Put(strings.NewReader("not a trace at all"), "upload"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// v1 streams are not canonical store content; Ingest converts them.
+	prog := workload.MustBuildProgram(workload.Web(), 0)
+	var v1 bytes.Buffer
+	if err := trace.Record(&v1, "Web", 0, workload.NewGenerator(prog, 1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(bytes.NewReader(v1.Bytes()), "upload"); err == nil {
+		t.Fatal("v1 stream accepted by Put")
+	}
+	// A truncated v2 container must be rejected too.
+	m := captureWeb(t, s, 2, 500)
+	data, err := os.ReadFile(filepath.Join(s.Dir(), m.ID+".itf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(bytes.NewReader(data[:len(data)-5]), "upload"); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	// Failed ingests leave no temp or orphan files behind.
+	names, err := filepath.Glob(filepath.Join(s.Dir(), "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2; len(names) != want { // the one good entry: .itf + .json
+		t.Fatalf("store dir holds %d files, want %d: %v", len(names), want, names)
+	}
+}
+
+func TestVerifyCatchesFlippedByte(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 3, 1500)
+	path := filepath.Join(s.Dir(), m.ID+".itf")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the container.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(m.ID); err == nil {
+		t.Fatal("Verify accepted a flipped byte")
+	} else if !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("Verify error = %v, want content hash mismatch", err)
+	}
+	// Replay must refuse the tampered bytes as well.
+	if _, err := s.ReplaySource(m.ID); err == nil {
+		t.Fatal("ReplaySource served tampered bytes")
+	}
+	// Restoring the bytes heals the entry.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(m.ID); err != nil {
+		t.Fatalf("restored entry fails Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesManifestTamper(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 4, 800)
+	// Rewrite the manifest with an inflated block count: the bytes still
+	// hash to the id, so only the recomputed-manifest check can catch it.
+	m.Blocks++
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), m.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(m.ID); err == nil {
+		t.Fatal("Verify accepted a tampered manifest")
+	} else if !strings.Contains(err.Error(), "manifest disagrees") {
+		t.Fatalf("Verify error = %v, want manifest disagreement", err)
+	}
+}
+
+func TestInvalidIDsRejected(t *testing.T) {
+	s := newStore(t)
+	for _, id := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		strings.Repeat("Z", 64),
+		strings.Repeat("a", 63) + "/",
+	} {
+		if s.Has(id) {
+			t.Fatalf("Has(%q) = true", id)
+		}
+		if _, err := s.Get(id); err == nil {
+			t.Fatalf("Get(%q) succeeded", id)
+		}
+		if _, err := s.Path(id); err == nil {
+			t.Fatalf("Path(%q) succeeded", id)
+		}
+		if _, err := s.ReplaySource(id); err == nil {
+			t.Fatalf("ReplaySource(%q) succeeded", id)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 5, 400)
+	if err := s.Delete(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(m.ID) {
+		t.Fatal("entry survives Delete")
+	}
+	if _, err := s.ReplaySource(m.ID); err == nil {
+		t.Fatal("deleted entry still replayable")
+	}
+}
+
+// TestConcurrentReplay exercises the shared blob cache and independent
+// replay cursors under the race detector.
+func TestConcurrentReplay(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 6, 1200)
+	const replayers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, replayers)
+	pcs := make([]isa.Addr, replayers)
+	for i := 0; i < replayers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, err := s.ReplaySource(m.ID)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var b isa.Block
+			for j := 0; j < 2000; j++ { // past one wrap
+				src.Next(&b)
+			}
+			pcs[i] = b.PC
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("replayer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < replayers; i++ {
+		if pcs[i] != pcs[0] {
+			t.Fatalf("replayer %d diverged: PC %#x vs %#x", i, uint64(pcs[i]), uint64(pcs[0]))
+		}
+	}
+}

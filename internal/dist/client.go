@@ -216,6 +216,27 @@ func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) 
 	return body, nil
 }
 
+// FetchCorpus streams one trace-corpus container from the coordinator
+// by content hash (GET /v1/corpus/{id} at the daemon root, outside the
+// /v1/dist prefix). The caller owns the returned body and should
+// re-hash what it reads — the id names the bytes.
+func (c *Client) FetchCorpus(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/corpus/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, &apiError{resp.StatusCode, errBody(body)}
+	}
+	return resp.Body, nil
+}
+
 // Acquire requests the next shard lease. A nil lease with nil error
 // means the coordinator has no pending work right now.
 func (c *Client) Acquire(ctx context.Context, workerID string) (*Lease, error) {

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cmp"
+	"repro/internal/corpus"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -35,10 +38,18 @@ type Worker struct {
 	// OnPoint, when non-nil, is called after each point is delivered
 	// (test and progress hook).
 	OnPoint func(res sweep.PointResult)
+	// Corpus, when non-nil, is this worker's local trace cache: before
+	// running a lease whose points name trace:<id> workloads, the
+	// worker fetches any missing container from the coordinator over
+	// /v1/corpus, verifies the bytes hash to the requested id, and
+	// registers the cache as a replay provider. Without it, trace
+	// leases fail (and reinject toward workers that have a cache).
+	Corpus *corpus.Store
 
-	mu      sync.Mutex
-	id      string
-	engines map[string]*sim.Engine
+	mu         sync.Mutex
+	id         string
+	engines    map[string]*sim.Engine
+	registered bool
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -94,6 +105,14 @@ func (w *Worker) EngineCounters() sim.Counters {
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Client == nil {
 		return errors.New("dist: worker needs a client")
+	}
+	if w.Corpus != nil {
+		w.mu.Lock()
+		if !w.registered {
+			w.registered = true
+			cmp.RegisterTraceProvider(w.Corpus.ReplaySource)
+		}
+		w.mu.Unlock()
 	}
 	poll := w.PollInterval
 	if poll <= 0 {
@@ -173,6 +192,20 @@ func (w *Worker) runLease(ctx context.Context, workerID string, l *Lease, ttl ti
 		}
 	}()
 
+	// Trace-replay points need their container cached locally before
+	// any of them simulate; a fetch failure fails the whole lease so
+	// the coordinator reinjects it promptly.
+	if err := w.ensureTraces(leaseCtx, l); err != nil {
+		cancel()
+		hbWG.Wait()
+		failCtx, cancelFail := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancelFail()
+		if ferr := w.Client.Fail(failCtx, l.ID, workerID, err.Error()); ferr != nil && !errors.Is(ferr, ErrLeaseGone) {
+			w.logf("dist: report lease %s failure: %v", l.ID, ferr)
+		}
+		return err
+	}
+
 	conc := w.Concurrency
 	if conc <= 0 {
 		conc = 1
@@ -223,6 +256,44 @@ func (w *Worker) runLease(ctx context.Context, workerID string, l *Lease, ttl ti
 	}
 	if err := w.Client.Complete(ctx, l.ID, workerID); err != nil && !errors.Is(err, ErrLeaseGone) {
 		return fmt.Errorf("dist: complete lease %s: %w", l.ID, err)
+	}
+	return nil
+}
+
+// ensureTraces fetches and caches every trace:<id> container a lease's
+// points replay, verifying each download hashes to the id it was
+// requested by before it may serve simulations.
+func (w *Worker) ensureTraces(ctx context.Context, l *Lease) error {
+	ids := map[string]bool{}
+	for _, p := range l.Points {
+		if id, ok := strings.CutPrefix(p.Workload, cmp.TraceWorkloadPrefix); ok {
+			ids[id] = true
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	if w.Corpus == nil {
+		return errors.New("dist: lease replays trace workloads but worker has no corpus cache (set Worker.Corpus)")
+	}
+	for id := range ids {
+		if w.Corpus.Has(id) {
+			continue
+		}
+		rc, err := w.Client.FetchCorpus(ctx, id)
+		if err != nil {
+			return fmt.Errorf("dist: fetch trace %s: %w", id, err)
+		}
+		man, err := w.Corpus.Put(rc, "fetch")
+		rc.Close()
+		if err != nil {
+			return fmt.Errorf("dist: cache trace %s: %w", id, err)
+		}
+		if man.ID != id {
+			w.Corpus.Delete(man.ID)
+			return fmt.Errorf("dist: trace %s: coordinator served bytes hashing to %s", id, man.ID)
+		}
+		w.logf("dist: cached trace %s (%d blocks, %d bytes)", id[:12], man.Blocks, man.SizeBytes)
 	}
 	return nil
 }

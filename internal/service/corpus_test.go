@@ -1,0 +1,340 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// recordDB captures n blocks of the single-core DB stream exactly as
+// cmp.SourcesFor builds core 0 of a Cores:[1] "DB" run (same program
+// image, ASID 0, engine seed, thread 0) — the basis for live-vs-replay
+// equality.
+func recordDB(t *testing.T, seed, n uint64) []byte {
+	t.Helper()
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	var buf bytes.Buffer
+	if err := trace.RecordV2(&buf, "DB", 0, workload.NewGenerator(prog, seed), n, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCorpusHTTPLifecycle(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ResultDir = t.TempDir()
+	_, srv := newTestServer(t, cfg)
+	raw := recordDB(t, 1, 2000)
+	wantID := func() string {
+		sum := sha256.Sum256(raw)
+		return hex.EncodeToString(sum[:])
+	}()
+
+	// Upload: 201 with the manifest, content-addressed by the bytes.
+	resp, err := http.Post(srv.URL+"/v1/corpus", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man corpus.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, want 201", resp.StatusCode)
+	}
+	if man.ID != wantID || man.Blocks != 2000 || man.Name != "DB" {
+		t.Fatalf("uploaded manifest = %+v (want id %s)", man, wantID)
+	}
+
+	// Idempotent re-upload: 200, same entry.
+	resp, err = http.Post(srv.URL+"/v1/corpus", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload status = %d, want 200", resp.StatusCode)
+	}
+
+	// Listing shows exactly the one entry.
+	resp, err = http.Get(srv.URL + "/v1/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Entries []corpus.Manifest `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Entries) != 1 || list.Entries[0].ID != wantID {
+		t.Fatalf("list = %+v", list.Entries)
+	}
+
+	// Download round-trips the exact bytes.
+	resp, err = http.Get(srv.URL + "/v1/corpus/" + wantID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, raw) {
+		t.Fatalf("download: status %d, %d bytes (want %d)", resp.StatusCode, len(got), len(raw))
+	}
+
+	// Manifest endpoint and unknown-id 404.
+	resp, err = http.Get(srv.URL + "/v1/corpus/" + wantID + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/corpus/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d, want 404", resp.StatusCode)
+	}
+
+	// Garbage uploads are rejected before they earn a name.
+	resp, err = http.Post(srv.URL+"/v1/corpus", "application/octet-stream",
+		strings.NewReader("definitely not a container"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCorpusUploadCapAndDisabledStore(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ResultDir = t.TempDir()
+	cfg.MaxCorpusUploadBytes = 1024
+	_, srv := newTestServer(t, cfg)
+	raw := recordDB(t, 1, 5000) // well past 1 KiB
+	resp, err := http.Post(srv.URL+"/v1/corpus", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload status = %d, want 413", resp.StatusCode)
+	}
+
+	// Without a data dir there is no store: every corpus endpoint 503s.
+	_, noData := newTestServer(t, testConfig(t))
+	resp, err = http.Post(noData.URL+"/v1/corpus", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-data upload status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestLiveVsReplaySweepIdentical is the subsystem's headline guarantee:
+// a sweep run against the live DB generator and the same sweep run
+// against a recorded trace:<id> corpus entry produce identical
+// per-point results, because the capture records exactly the stream
+// cmp.SourcesFor would have generated.
+func TestLiveVsReplaySweepIdentical(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ResultDir = t.TempDir()
+	s := newTestService(t, cfg) // registers the store as a trace provider
+
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	man, err := s.Corpus().Capture(workload.NewGenerator(prog, 1), "DB", 0, 15_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	axes := sweep.Spec{
+		Schemes:      []string{"discontinuity", "nl-miss"},
+		Workloads:    nil, // set per run
+		Cores:        []int{1},
+		TableEntries: []int{256, 512},
+	}
+	run := func(workloadName string) *sweep.Outcome {
+		spec := axes
+		spec.Workloads = []string{workloadName}
+		runner := &sweep.Runner{Engine: sim.NewEngine(10_000, 20_000, 1)}
+		out, err := runner.Run(ctx, spec)
+		if err != nil {
+			t.Fatalf("sweep over %q: %v", workloadName, err)
+		}
+		return out
+	}
+	live := run("DB")
+	replay := run("trace:" + man.ID)
+
+	if len(live.Points) != len(replay.Points) {
+		t.Fatalf("grids differ: %d live vs %d replay points", len(live.Points), len(replay.Points))
+	}
+	for i := range live.Points {
+		l, r := live.Points[i], replay.Points[i]
+		if l.Point.Scheme != r.Point.Scheme || l.Point.TableEntries != r.Point.TableEntries ||
+			l.Point.Baseline != r.Point.Baseline {
+			t.Fatalf("point %d axes differ: %+v vs %+v", i, l.Point, r.Point)
+		}
+		if l.IPC != r.IPC || l.L1IMissPerInstr != r.L1IMissPerInstr ||
+			l.L2IMissPerInstr != r.L2IMissPerInstr || l.PrefetchAccuracy != r.PrefetchAccuracy ||
+			l.Instructions != r.Instructions || l.Cycles != r.Cycles ||
+			l.OffChipTransfers != r.OffChipTransfers {
+			t.Fatalf("point %d (%s, table %d) diverged:\nlive:   %+v\nreplay: %+v",
+				i, l.Point.Scheme, l.Point.TableEntries, l, r)
+		}
+	}
+}
+
+// TestDistWorkersFetchTraceByHash runs a trace-replay sweep across two
+// remote workers with empty local caches: each fetches the container
+// from the daemon over /v1/corpus by hash before simulating, and the
+// sweep completes with every point journaled exactly once.
+func TestDistWorkersFetchTraceByHash(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ResultDir = t.TempDir()
+	s, srv := newTestServer(t, cfg)
+
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	man, err := s.Corpus().Capture(workload.NewGenerator(prog, 1), "DB", 0, 15_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := sweep.Spec{
+		Name:          "dist-replay",
+		Schemes:       []string{"discontinuity"},
+		Workloads:     []string{"trace:" + man.ID},
+		Cores:         []int{1},
+		TableEntries:  []int{256, 512, 1024, 2048},
+		PrefetchAhead: []int{2, 4},
+		WarmInstrs:    10_000,
+		MeasureInstrs: 20_000,
+		Seed:          1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	client := dist.NewClient(srv.URL)
+	client.Retry = dist.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	v, err := client.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workerCtx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	const numWorkers = 2
+	caches := make([]*corpus.Store, numWorkers)
+	delivered := make([]atomic.Int64, numWorkers)
+	done := make(chan struct{}, numWorkers)
+	for i := 0; i < numWorkers; i++ {
+		cache, err := corpus.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = cache
+		w := &dist.Worker{
+			Client:       client,
+			Name:         fmt.Sprintf("fetcher-%d", i),
+			PollInterval: 20 * time.Millisecond,
+			Corpus:       cache,
+		}
+		idx := i
+		w.OnPoint = func(sweep.PointResult) { delivered[idx].Add(1) }
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w.Run(workerCtx)
+		}()
+	}
+
+	final, err := s.Dist().Wait(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopWorkers()
+	for i := 0; i < numWorkers; i++ {
+		<-done
+	}
+
+	if final.State != dist.SweepCompleted || final.Completed != v.Total {
+		t.Fatalf("sweep ended %s with %d/%d points (%s)", final.State, final.Completed, v.Total, final.Error)
+	}
+	// Zero duplicates: exactly one counted delivery per grid point.
+	if snap := s.Dist().Snapshot(); snap.PointsCompleted != uint64(v.Total) {
+		t.Fatalf("%d point deliveries counted, want exactly %d", snap.PointsCompleted, v.Total)
+	}
+	// Zero gaps: the journal holds every point's key.
+	j, err := sweep.OpenJournal(filepath.Join(cfg.ResultDir, "sweeps", v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := j.Len(); err != nil || n != v.Total {
+		t.Fatalf("journal holds %d points (err %v), want %d", n, err, v.Total)
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		key, err := p.Key(spec.WarmInstrs, spec.MeasureInstrs, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, ok := j.Get(key); !ok {
+			t.Fatalf("point %d missing from journal", p.Index)
+		} else if res.IPC <= 0 || res.Instructions == 0 {
+			t.Fatalf("point %d journaled empty: %+v", p.Index, res)
+		}
+	}
+	// Every worker that delivered points must have fetched and cached
+	// the container by its hash first.
+	sawWork := false
+	for i := 0; i < numWorkers; i++ {
+		if delivered[i].Load() > 0 {
+			sawWork = true
+			if !caches[i].Has(man.ID) {
+				t.Fatalf("worker %d delivered %d points without caching the trace", i, delivered[i].Load())
+			}
+			if err := caches[i].Verify(man.ID); err != nil {
+				t.Fatalf("worker %d cached a corrupt copy: %v", i, err)
+			}
+		}
+	}
+	if !sawWork {
+		t.Fatal("no worker delivered any points")
+	}
+}

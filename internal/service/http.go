@@ -3,9 +3,13 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -28,6 +32,13 @@ import (
 //	                     (results.json, results.csv, pareto.csv)
 //	GET  /v1/figures/{id} run a paper figure/ablation ("1".."10",
 //	                     "a1".."a10") and return its tables
+//	POST /v1/corpus      upload a v2 trace container (streaming,
+//	                     size-capped); 201 with the manifest, or 200
+//	                     when the store already holds those bytes
+//	GET  /v1/corpus      list corpus manifests
+//	GET  /v1/corpus/{id} download the raw container bytes
+//	GET  /v1/corpus/{id}/manifest
+//	                     one entry's manifest
 //	/v1/dist/...         distributed sweep execution: worker register,
 //	                     lease acquire/renew/complete/fail, idempotent
 //	                     point submission, sweep progress + artifacts
@@ -172,6 +183,81 @@ func Handler(s *Service) http.Handler {
 			Name   string         `json:"name"`
 			Tables []*stats.Table `json:"tables"`
 		}{id, name, tables})
+	})
+	mux.HandleFunc("POST /v1/corpus", func(w http.ResponseWriter, r *http.Request) {
+		cs := s.Corpus()
+		if cs == nil {
+			httpError(w, http.StatusServiceUnavailable, "corpus store disabled (daemon runs without -data)")
+			return
+		}
+		existing := map[string]bool{}
+		if list, err := cs.List(); err == nil {
+			for _, m := range list {
+				existing[m.ID] = true
+			}
+		}
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxCorpusUploadBytes)
+		man, err := cs.Put(body, "upload")
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("upload exceeds %d byte cap", s.cfg.MaxCorpusUploadBytes))
+				return
+			}
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		status := http.StatusCreated
+		if existing[man.ID] {
+			status = http.StatusOK // identical bytes already stored
+		}
+		writeJSON(w, status, man)
+	})
+	mux.HandleFunc("GET /v1/corpus", func(w http.ResponseWriter, r *http.Request) {
+		cs := s.Corpus()
+		if cs == nil {
+			httpError(w, http.StatusServiceUnavailable, "corpus store disabled (daemon runs without -data)")
+			return
+		}
+		list, err := cs.List()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Entries []corpus.Manifest `json:"entries"`
+		}{list})
+	})
+	mux.HandleFunc("GET /v1/corpus/{id}", func(w http.ResponseWriter, r *http.Request) {
+		cs := s.Corpus()
+		if cs == nil {
+			httpError(w, http.StatusServiceUnavailable, "corpus store disabled (daemon runs without -data)")
+			return
+		}
+		rc, size, err := cs.Reader(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, "unknown corpus entry")
+			return
+		}
+		defer rc.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, rc)
+	})
+	mux.HandleFunc("GET /v1/corpus/{id}/manifest", func(w http.ResponseWriter, r *http.Request) {
+		cs := s.Corpus()
+		if cs == nil {
+			httpError(w, http.StatusServiceUnavailable, "corpus store disabled (daemon runs without -data)")
+			return
+		}
+		man, err := cs.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, "unknown corpus entry")
+			return
+		}
+		writeJSON(w, http.StatusOK, man)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cmp"
+	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -54,6 +56,9 @@ type Config struct {
 	// DistLeaseTTL is the lease lifetime of the embedded distributed
 	// sweep coordinator. Zero takes the dist default (30s).
 	DistLeaseTTL time.Duration
+	// MaxCorpusUploadBytes caps one POST /v1/corpus body. Default
+	// 64 MiB. Requires ResultDir (the corpus lives under it).
+	MaxCorpusUploadBytes int64
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -119,7 +124,8 @@ type JobView struct {
 // on-disk result store.
 type Service struct {
 	cfg     Config
-	store   *Store // nil when persistence is disabled
+	store   *Store        // nil when persistence is disabled
+	corpus  *corpus.Store // nil when persistence is disabled
 	metrics *Metrics
 	dist    *dist.Coordinator
 
@@ -157,6 +163,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxActiveSweeps <= 0 {
 		cfg.MaxActiveSweeps = 8
 	}
+	if cfg.MaxCorpusUploadBytes <= 0 {
+		cfg.MaxCorpusUploadBytes = 64 << 20
+	}
 	s := &Service{
 		cfg:      cfg,
 		metrics:  NewMetrics(),
@@ -171,6 +180,15 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.store = st
+		// The trace corpus shares the data root, and the daemon's store
+		// registers as a trace:<id> resolver so local sweeps and jobs
+		// can replay any entry it holds.
+		cs, err := corpus.Open(filepath.Join(cfg.ResultDir, "corpus"))
+		if err != nil {
+			return nil, err
+		}
+		s.corpus = cs
+		cmp.RegisterTraceProvider(cs.ReplaySource)
 	}
 	// The embedded distributed-sweep coordinator journals into the same
 	// <data>/sweeps/<id> directories local sweeps checkpoint to, so a
@@ -207,6 +225,10 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 
 // Dist returns the embedded distributed-sweep coordinator.
 func (s *Service) Dist() *dist.Coordinator { return s.dist }
+
+// Corpus returns the trace corpus store, or nil when persistence is
+// disabled (no ResultDir).
+func (s *Service) Corpus() *corpus.Store { return s.corpus }
 
 // QueueDepth returns the number of jobs currently waiting.
 func (s *Service) QueueDepth() int { return len(s.queue) }

@@ -43,7 +43,14 @@ func PaperWorkloads(cmpMachine bool) []Workload {
 
 // WorkloadByName resolves a paper workload name case-insensitively
 // ("DB", "TPC-W", "jApp", "Web", and — when cmpMachine — "Mixed").
+// Names of the form "trace:<id>" resolve to a recorded-trace replay of
+// the corpus entry with that content hash; whether the id actually
+// exists is checked when sources are built (cmp.SourcesFor), since
+// workers may still need to fetch it.
 func WorkloadByName(name string, cmpMachine bool) (Workload, bool) {
+	if id, ok := strings.CutPrefix(name, cmp.TraceWorkloadPrefix); ok && id != "" {
+		return Workload{Name: name, Apps: []string{name}}, true
+	}
 	for _, w := range PaperWorkloads(cmpMachine) {
 		if strings.EqualFold(w.Name, name) {
 			return w, true

@@ -29,6 +29,21 @@ func FuzzReader(f *testing.F) {
 	}
 	f.Add(mutated)
 
+	// And the same trio for the v2 chunked container.
+	var buf2 bytes.Buffer
+	if err := RecordV2(&buf2, "Web", 0, workload.NewGenerator(prog, 1), 200, 64); err != nil {
+		f.Fatal(err)
+	}
+	valid2 := buf2.Bytes()
+	f.Add(valid2)
+	f.Add(valid2[:len(valid2)/2])
+	f.Add([]byte("IPFTRC02"))
+	mutated2 := append([]byte(nil), valid2...)
+	for i := 20; i < len(mutated2); i += 37 {
+		mutated2[i] ^= 0xff
+	}
+	f.Add(mutated2)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
@@ -47,6 +62,63 @@ func FuzzReader(f *testing.F) {
 			if verr := b.Validate(); verr != nil {
 				t.Fatalf("reader returned invalid block: %v", verr)
 			}
+		}
+	})
+}
+
+// FuzzRoundTripV2 checks that any generator prefix survives a v2
+// encode/decode round trip bit-exactly, across chunk sizes, through
+// both the streaming reader and the chunk index.
+func FuzzRoundTripV2(f *testing.F) {
+	f.Add(uint64(1), uint16(200), uint8(64))
+	f.Add(uint64(7), uint16(1), uint8(1))
+	f.Add(uint64(42), uint16(1000), uint8(0))
+	f.Add(uint64(3), uint16(513), uint8(255))
+
+	prog := workload.MustBuildProgram(workload.Web(), 0)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, chunk uint8) {
+		var buf bytes.Buffer
+		if err := RecordV2(&buf, "Web", 0, workload.NewGenerator(prog, seed), uint64(n), int(chunk)); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+
+		ref := workload.NewGenerator(prog, seed)
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir, err := OpenIndexed(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ir.Blocks() != uint64(n) {
+			t.Fatalf("index blocks = %d, want %d", ir.Blocks(), n)
+		}
+		var want, a, b isa.Block
+		for i := 0; i < int(n); i++ {
+			ref.Next(&want)
+			if err := r.Read(&a); err != nil {
+				t.Fatalf("stream block %d: %v", i, err)
+			}
+			if err := ir.Read(&b); err != nil {
+				t.Fatalf("indexed block %d: %v", i, err)
+			}
+			for _, got := range []*isa.Block{&a, &b} {
+				if got.PC != want.PC || got.CTI != want.CTI || got.NumInstrs != want.NumInstrs ||
+					len(got.MemOps) != len(want.MemOps) {
+					t.Fatalf("block %d mismatch", i)
+				}
+				if want.CTI.ChangesFlow() && got.Target != want.Target {
+					t.Fatalf("block %d target mismatch", i)
+				}
+			}
+		}
+		if err := r.Read(&a); err != io.EOF {
+			t.Fatalf("stream tail = %v, want EOF", err)
+		}
+		if err := ir.Read(&b); err != io.EOF {
+			t.Fatalf("indexed tail = %v, want EOF", err)
 		}
 	})
 }

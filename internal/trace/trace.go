@@ -16,10 +16,15 @@
 //	         per memop: addrDelta zigzag-varint (from previous memop) | kind byte
 //
 // Deltas make hot-loop records 3-6 bytes each.
+//
+// A second container format, IPFTRC02 (see v2.go), wraps the same record
+// encoding in compressed, CRC-protected chunks with a trailing index for
+// O(1) seek and parallel decode. NewReader transparently accepts both.
 package trace
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -34,11 +39,124 @@ const magic = "IPFTRC01"
 // ErrBadMagic is returned when the input is not a trace.
 var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
 
+// putUvarint / putSvarint append one varint to dst using scratch as the
+// encode buffer (scratch must be at least binary.MaxVarintLen64 long).
+func putUvarint(dst *bytes.Buffer, scratch []byte, v uint64) {
+	dst.Write(scratch[:binary.PutUvarint(scratch, v)])
+}
+
+func putSvarint(dst *bytes.Buffer, scratch []byte, v int64) {
+	dst.Write(scratch[:binary.PutVarint(scratch, v)])
+}
+
+// encodeRecord appends one block record to dst using prevNext as the
+// delta base, returning the new base (the block's NextPC). Both the v1
+// stream and v2 chunk payloads are sequences of these records.
+func encodeRecord(dst *bytes.Buffer, scratch []byte, prevNext isa.Addr, b *isa.Block) isa.Addr {
+	putSvarint(dst, scratch, int64(b.PC)-int64(prevNext))
+	putUvarint(dst, scratch, uint64(b.NumInstrs))
+	dst.WriteByte(byte(b.CTI))
+	if b.CTI.ChangesFlow() {
+		putSvarint(dst, scratch, int64(b.Target)-int64(b.End()))
+	}
+	putUvarint(dst, scratch, uint64(len(b.MemOps)))
+	prev := b.PC
+	for _, m := range b.MemOps {
+		putSvarint(dst, scratch, int64(m.Addr)-int64(prev))
+		dst.WriteByte(byte(m.Kind))
+		prev = m.Addr
+	}
+	return b.NextPC()
+}
+
+// recordReader is what the record decoder needs from its input; both
+// bufio.Reader (v1 streams) and bytes.Reader (v2 chunk payloads)
+// satisfy it.
+type recordReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// readRecord decodes one record into *b (reusing MemOps capacity),
+// advancing *prevNext to the block's NextPC. blockIdx labels error
+// messages. A clean end of input before the first byte returns bare
+// io.EOF; any later cut returns io.ErrUnexpectedEOF (wrapped). Errors
+// other than io.EOF carry a "block N" prefix but no package prefix —
+// callers add stream- or chunk-level context.
+func readRecord(r recordReader, prevNext *isa.Addr, blockIdx uint64, b *isa.Block) error {
+	truncated := func(err error) error {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("block %d truncated: %w", blockIdx, err)
+	}
+	pcDelta, err := binary.ReadVarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("block %d: %w", blockIdx, err)
+	}
+	b.PC = isa.Addr(int64(*prevNext) + pcDelta)
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return truncated(err)
+	}
+	b.NumInstrs = int(n)
+	ctiByte, err := r.ReadByte()
+	if err != nil {
+		return truncated(err)
+	}
+	b.CTI = isa.CTIKind(ctiByte)
+	if int(b.CTI) >= isa.NumCTIKinds {
+		return fmt.Errorf("block %d: invalid CTI %d", blockIdx, ctiByte)
+	}
+	b.Target = 0
+	if b.CTI.ChangesFlow() {
+		d, err := binary.ReadVarint(r)
+		if err != nil {
+			return truncated(err)
+		}
+		b.Target = isa.Addr(int64(b.End()) + d)
+	}
+	nOps, err := binary.ReadUvarint(r)
+	if err != nil {
+		return truncated(err)
+	}
+	if nOps > 1<<16 {
+		return fmt.Errorf("block %d: implausible memop count %d", blockIdx, nOps)
+	}
+	b.MemOps = b.MemOps[:0]
+	prev := b.PC
+	for i := uint64(0); i < nOps; i++ {
+		d, err := binary.ReadVarint(r)
+		if err != nil {
+			return truncated(err)
+		}
+		kindByte, err := r.ReadByte()
+		if err != nil {
+			return truncated(err)
+		}
+		if kindByte > byte(isa.MemStore) {
+			return fmt.Errorf("block %d: invalid memop kind %d", blockIdx, kindByte)
+		}
+		addr := isa.Addr(int64(prev) + d)
+		b.MemOps = append(b.MemOps, isa.MemOp{Addr: addr, Kind: isa.MemKind(kindByte)})
+		prev = addr
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("block %d: %w", blockIdx, err)
+	}
+	*prevNext = b.NextPC()
+	return nil
+}
+
 // Writer encodes a block stream.
 type Writer struct {
 	w        *bufio.Writer
 	prevNext isa.Addr
 	buf      []byte
+	recBuf   bytes.Buffer
 	blocks   uint64
 }
 
@@ -63,30 +181,16 @@ func (t *Writer) uvarint(v uint64) {
 	t.w.Write(t.buf[:n])
 }
 
-func (t *Writer) svarint(v int64) {
-	n := binary.PutVarint(t.buf, v)
-	t.w.Write(t.buf[:n])
-}
-
 // Write appends one block to the trace.
 func (t *Writer) Write(b *isa.Block) error {
 	if err := b.Validate(); err != nil {
 		return err
 	}
-	t.svarint(int64(b.PC) - int64(t.prevNext))
-	t.uvarint(uint64(b.NumInstrs))
-	t.w.WriteByte(byte(b.CTI))
-	if b.CTI.ChangesFlow() {
-		t.svarint(int64(b.Target) - int64(b.End()))
+	t.recBuf.Reset()
+	t.prevNext = encodeRecord(&t.recBuf, t.buf, t.prevNext, b)
+	if _, err := t.w.Write(t.recBuf.Bytes()); err != nil {
+		return err
 	}
-	t.uvarint(uint64(len(b.MemOps)))
-	prev := b.PC
-	for _, m := range b.MemOps {
-		t.svarint(int64(m.Addr) - int64(prev))
-		t.w.WriteByte(byte(m.Kind))
-		prev = m.Addr
-	}
-	t.prevNext = b.NextPC()
 	t.blocks++
 	return nil
 }
@@ -98,28 +202,63 @@ func (t *Writer) Blocks() uint64 { return t.blocks }
 // writer.
 func (t *Writer) Flush() error { return t.w.Flush() }
 
-// Reader decodes a block stream.
+// countingReader tracks how many bytes have been consumed, so the v2
+// decode path can cross-check frame offsets against the chunk index.
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// Reader decodes a block stream in either container format: the v1
+// flat stream or the v2 chunked container (decoded strictly, with every
+// chunk CRC and count verified as it streams past).
 type Reader struct {
-	r        *bufio.Reader
+	r        *countingReader
+	format   string
 	name     string
 	asid     uint64
 	prevNext isa.Addr
 	blocks   uint64
+
+	// v2 streaming state (see v2.go).
+	chunk       int
+	remRecs     uint64
+	chunkInstrs uint64
+	wantInstrs  uint64
+	cur         bytes.Reader
+	rawBuf      []byte
+	compBuf     []byte
+	seen        []ChunkInfo
+	done        bool
 }
 
 // NewReader validates the header and returns a reader positioned at the
-// first record.
+// first record. Both IPFTRC01 and IPFTRC02 inputs are accepted.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<16)}
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
+	if _, err := io.ReadFull(cr, head); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(head) != magic {
+	if string(head) != magic && string(head) != magicV2 {
 		return nil, ErrBadMagic
 	}
-	tr := &Reader{r: br}
-	nameLen, err := binary.ReadUvarint(br)
+	tr := &Reader{r: cr, format: string(head)}
+	nameLen, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
@@ -127,11 +266,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
 	}
 	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
+	if _, err := io.ReadFull(cr, nameBuf); err != nil {
 		return nil, fmt.Errorf("trace: reading name: %w", err)
 	}
 	tr.name = string(nameBuf)
-	if tr.asid, err = binary.ReadUvarint(br); err != nil {
+	if tr.asid, err = binary.ReadUvarint(cr); err != nil {
 		return nil, fmt.Errorf("trace: reading asid: %w", err)
 	}
 	return tr, nil
@@ -143,79 +282,34 @@ func (t *Reader) Name() string { return t.name }
 // ASID returns the address-space id recorded in the header.
 func (t *Reader) ASID() uint64 { return t.asid }
 
+// Format returns the container magic ("IPFTRC01" or "IPFTRC02").
+func (t *Reader) Format() string { return t.format }
+
 // Blocks returns the number of blocks read so far.
 func (t *Reader) Blocks() uint64 { return t.blocks }
 
-// Read decodes the next block into *b (reusing MemOps capacity). It
-// returns io.EOF at a clean end of stream.
-func (t *Reader) Read(b *isa.Block) error {
-	pcDelta, err := binary.ReadVarint(t.r)
-	if err != nil {
-		if err == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("trace: block %d: %w", t.blocks, err)
-	}
-	b.PC = isa.Addr(int64(t.prevNext) + pcDelta)
-	n, err := binary.ReadUvarint(t.r)
-	if err != nil {
-		return t.corrupt(err)
-	}
-	b.NumInstrs = int(n)
-	ctiByte, err := t.r.ReadByte()
-	if err != nil {
-		return t.corrupt(err)
-	}
-	b.CTI = isa.CTIKind(ctiByte)
-	if int(b.CTI) >= isa.NumCTIKinds {
-		return fmt.Errorf("trace: block %d: invalid CTI %d", t.blocks, ctiByte)
-	}
-	b.Target = 0
-	if b.CTI.ChangesFlow() {
-		d, err := binary.ReadVarint(t.r)
-		if err != nil {
-			return t.corrupt(err)
-		}
-		b.Target = isa.Addr(int64(b.End()) + d)
-	}
-	nOps, err := binary.ReadUvarint(t.r)
-	if err != nil {
-		return t.corrupt(err)
-	}
-	if nOps > 1<<16 {
-		return fmt.Errorf("trace: block %d: implausible memop count %d", t.blocks, nOps)
-	}
-	b.MemOps = b.MemOps[:0]
-	prev := b.PC
-	for i := uint64(0); i < nOps; i++ {
-		d, err := binary.ReadVarint(t.r)
-		if err != nil {
-			return t.corrupt(err)
-		}
-		kindByte, err := t.r.ReadByte()
-		if err != nil {
-			return t.corrupt(err)
-		}
-		if kindByte > byte(isa.MemStore) {
-			return fmt.Errorf("trace: block %d: invalid memop kind %d", t.blocks, kindByte)
-		}
-		addr := isa.Addr(int64(prev) + d)
-		b.MemOps = append(b.MemOps, isa.MemOp{Addr: addr, Kind: isa.MemKind(kindByte)})
-		prev = addr
-	}
-	if err := b.Validate(); err != nil {
-		return fmt.Errorf("trace: block %d: %w", t.blocks, err)
-	}
-	t.prevNext = b.NextPC()
-	t.blocks++
-	return nil
-}
+// Chunks returns the chunk descriptors seen so far (v2 containers
+// only; empty for v1). Complete once Read has returned io.EOF.
+func (t *Reader) Chunks() []ChunkInfo { return append([]ChunkInfo(nil), t.seen...) }
 
-func (t *Reader) corrupt(err error) error {
-	if err == io.EOF {
-		err = io.ErrUnexpectedEOF
+// Read decodes the next block into *b (reusing MemOps capacity). It
+// returns io.EOF at a clean end of stream and io.ErrUnexpectedEOF
+// (wrapped, with the offending chunk named for v2) when the input is
+// cut mid-record or mid-container.
+func (t *Reader) Read(b *isa.Block) error {
+	if t.format == magicV2 {
+		return t.readV2(b)
 	}
-	return fmt.Errorf("trace: block %d truncated: %w", t.blocks, err)
+	err := readRecord(t.r, &t.prevNext, t.blocks, b)
+	switch {
+	case err == nil:
+		t.blocks++
+		return nil
+	case err == io.EOF:
+		return io.EOF
+	default:
+		return fmt.Errorf("trace: %w", err)
+	}
 }
 
 // Record captures n blocks from src into w.

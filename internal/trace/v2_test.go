@@ -1,0 +1,482 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func blocksEqual(a, b *isa.Block) bool {
+	if a.PC != b.PC || a.NumInstrs != b.NumInstrs || a.CTI != b.CTI || a.Target != b.Target ||
+		len(a.MemOps) != len(b.MemOps) {
+		return false
+	}
+	for i := range a.MemOps {
+		if a.MemOps[i] != b.MemOps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordV2Bytes captures n generator blocks into a v2 container.
+func recordV2Bytes(t testing.TB, name string, seed, n uint64, chunk int) []byte {
+	t.Helper()
+	prog := workload.MustBuildProgram(workload.Web(), 3)
+	var buf bytes.Buffer
+	if err := RecordV2(&buf, name, 3, workload.NewGenerator(prog, seed), n, chunk); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drainV2 reads a container to the end, returning the blocks and the
+// terminal error (io.EOF for a clean end).
+func drainV2(raw []byte) ([]isa.Block, error) {
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	var out []isa.Block
+	for {
+		var b isa.Block
+		if err := r.Read(&b); err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+}
+
+func TestV2RoundTripMatchesV1(t *testing.T) {
+	const n = 20000
+	prog := workload.MustBuildProgram(workload.Web(), 3)
+
+	var v1 bytes.Buffer
+	if err := Record(&v1, "Web", 3, workload.NewGenerator(prog, 9), n); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := RecordV2(&v2, "Web", 3, workload.NewGenerator(prog, 9), n, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Errorf("v2 container (%d bytes) not smaller than v1 stream (%d bytes)", v2.Len(), v1.Len())
+	}
+
+	r1, err := NewReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReader(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Format() != magicV2 {
+		t.Fatalf("v2 format = %q", r2.Format())
+	}
+	if r2.Name() != "Web" || r2.ASID() != 3 {
+		t.Fatalf("v2 header = %q/%d", r2.Name(), r2.ASID())
+	}
+	var a, b isa.Block
+	for i := 0; i < n; i++ {
+		if err := r1.Read(&a); err != nil {
+			t.Fatalf("v1 block %d: %v", i, err)
+		}
+		if err := r2.Read(&b); err != nil {
+			t.Fatalf("v2 block %d: %v", i, err)
+		}
+		if !blocksEqual(&a, &b) {
+			t.Fatalf("block %d differs: v1 %+v v2 %+v", i, a, b)
+		}
+	}
+	if err := r2.Read(&b); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if r2.Blocks() != n {
+		t.Fatalf("v2 reader blocks = %d", r2.Blocks())
+	}
+	wantChunks := (n + DefaultChunkRecords - 1) / DefaultChunkRecords
+	if got := len(r2.Chunks()); got != wantChunks {
+		t.Fatalf("chunks = %d, want %d", got, wantChunks)
+	}
+}
+
+func TestIndexedReaderSeekAndRead(t *testing.T) {
+	const n, chunk = 5000, 512
+	raw := recordV2Bytes(t, "Web", 9, n, chunk)
+	want, err := drainV2(raw)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+
+	ir, err := OpenIndexed(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Name() != "Web" || ir.ASID() != 3 {
+		t.Fatalf("header = %q/%d", ir.Name(), ir.ASID())
+	}
+	if ir.Blocks() != n {
+		t.Fatalf("index blocks = %d", ir.Blocks())
+	}
+	if got, want := ir.NumChunks(), (n+chunk-1)/chunk; got != want {
+		t.Fatalf("chunks = %d, want %d", got, want)
+	}
+	var sum uint64
+	for _, c := range ir.Chunks() {
+		sum += c.Instrs
+	}
+	if sum != ir.Instructions() {
+		t.Fatalf("index instrs %d != sum %d", ir.Instructions(), sum)
+	}
+
+	// Full sequential read matches the streaming decode.
+	var b isa.Block
+	for i := range want {
+		if err := ir.Read(&b); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if !blocksEqual(&b, &want[i]) {
+			t.Fatalf("block %d differs from streaming decode", i)
+		}
+	}
+	if err := ir.Read(&b); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+
+	// Seek lands exactly on chunk boundaries.
+	for _, start := range []int{0, 3, ir.NumChunks() - 1} {
+		if err := ir.Seek(start); err != nil {
+			t.Fatal(err)
+		}
+		skip := 0
+		for _, c := range ir.Chunks()[:start] {
+			skip += int(c.Records)
+		}
+		for i := skip; i < len(want); i++ {
+			if err := ir.Read(&b); err != nil {
+				t.Fatalf("seek %d block %d: %v", start, i, err)
+			}
+			if !blocksEqual(&b, &want[i]) {
+				t.Fatalf("after Seek(%d), block %d differs", start, i)
+			}
+		}
+		if err := ir.Read(&b); err != io.EOF {
+			t.Fatalf("expected EOF after seek, got %v", err)
+		}
+	}
+	if err := ir.Seek(ir.NumChunks()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Read(&b); err != io.EOF {
+		t.Fatalf("seek-to-end read = %v, want EOF", err)
+	}
+	if err := ir.Seek(ir.NumChunks() + 1); err == nil {
+		t.Fatal("out-of-range seek accepted")
+	}
+}
+
+func TestParallelShardDecode(t *testing.T) {
+	const n, chunk, shards = 8000, 256, 4
+	raw := recordV2Bytes(t, "Web", 11, n, chunk)
+	want, err := drainV2(raw)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	ir, err := OpenIndexed(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each shard decodes a strided subset of chunks concurrently;
+	// DecodeChunk shares no cursor state, so the results must agree
+	// exactly with the sequential decode.
+	decoded := make([][]isa.Block, ir.NumChunks())
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < ir.NumChunks(); i += shards {
+				blocks, err := ir.DecodeChunk(i)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				decoded[i] = blocks
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	var got []isa.Block
+	for _, blocks := range decoded {
+		got = append(got, blocks...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded decode yielded %d blocks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !blocksEqual(&got[i], &want[i]) {
+			t.Fatalf("block %d differs under sharded decode", i)
+		}
+	}
+}
+
+// TestV2TruncationTable cuts a container at every byte offset: no proper
+// prefix may ever read to a clean io.EOF, and once the header parses,
+// the failure must be flagged as truncation or corruption.
+func TestV2TruncationTable(t *testing.T) {
+	raw := recordV2Bytes(t, "Web", 5, 40, 16)
+	for cut := 1; cut < len(raw); cut++ {
+		prefix := raw[:cut]
+		blocks, err := drainV2(prefix)
+		if err == nil || err == io.EOF {
+			t.Fatalf("cut %d/%d: truncated container read cleanly (%d blocks)", cut, len(raw), len(blocks))
+		}
+		if cut > len(magicV2)+8 { // header parsed; classify the failure
+			if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut %d/%d: error %v is neither truncation nor corruption", cut, len(raw), err)
+			}
+		}
+		if _, err := OpenIndexed(bytes.NewReader(prefix), int64(cut)); err == nil {
+			t.Fatalf("cut %d/%d: OpenIndexed accepted truncated container", cut, len(raw))
+		}
+	}
+}
+
+// TestV1TruncationTable cuts a flat v1 stream at every byte offset: a
+// cut at a record boundary is indistinguishable from a shorter capture
+// (clean io.EOF with the full records so far), while any mid-record cut
+// must surface io.ErrUnexpectedEOF.
+func TestV1TruncationTable(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "unit", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	boundaries := map[int]int{buf.Len(): 0} // offset -> records before it
+	in := sampleBlocks()
+	for i := range in {
+		if err := w.Write(&in[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries[buf.Len()] = i + 1
+	}
+	raw := buf.Bytes()
+	headerLen := 0
+	for off, recs := range boundaries {
+		if recs == 0 {
+			headerLen = off
+		}
+	}
+	for cut := headerLen; cut <= len(raw); cut++ {
+		r, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		var b isa.Block
+		n := 0
+		var readErr error
+		for {
+			if readErr = r.Read(&b); readErr != nil {
+				break
+			}
+			n++
+		}
+		if want, ok := boundaries[cut]; ok {
+			if readErr != io.EOF || n != want {
+				t.Fatalf("cut %d at boundary: got %d blocks, err %v (want %d, io.EOF)", cut, n, readErr, want)
+			}
+		} else if !errors.Is(readErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d mid-record: err = %v, want io.ErrUnexpectedEOF", cut, readErr)
+		}
+	}
+}
+
+// TestCorruptChunkNamesChunk flips a byte inside one chunk's payload:
+// both decode paths must reject the container with a diagnostic naming
+// that chunk, and the indexed path must still decode the others.
+func TestCorruptChunkNamesChunk(t *testing.T) {
+	raw := recordV2Bytes(t, "Web", 7, 48, 16) // 3 chunks
+	ir, err := OpenIndexed(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := ir.Chunks()
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	bad := append([]byte(nil), raw...)
+	bad[chunks[2].Offset-1] ^= 0xff // last payload byte of chunk 1
+
+	_, err = drainV2(bad)
+	if err == nil || err == io.EOF {
+		t.Fatal("streaming reader accepted corrupted chunk")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("streaming error %v does not wrap ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "chunk 1") {
+		t.Fatalf("streaming error %q does not name chunk 1", err)
+	}
+
+	irBad, err := OpenIndexed(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err) // index and footer are untouched
+	}
+	if _, err := irBad.DecodeChunk(1); err == nil {
+		t.Fatal("DecodeChunk accepted corrupted chunk")
+	} else if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "chunk 1") {
+		t.Fatalf("DecodeChunk error %q: want ErrCorrupt naming chunk 1", err)
+	}
+	for _, i := range []int{0, 2} {
+		if _, err := irBad.DecodeChunk(i); err != nil {
+			t.Fatalf("intact chunk %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestCorruptIndexEntryRejected(t *testing.T) {
+	raw := recordV2Bytes(t, "Web", 7, 48, 16)
+	// Flip a byte inside the index region (between the last chunk's end
+	// and the footer): either the index CRC or the entry cross-check
+	// must catch it on both paths.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-footerSize-2] ^= 0x01
+	if _, err := drainV2(bad); err == nil || err == io.EOF {
+		t.Fatal("streaming reader accepted corrupted index")
+	}
+	if _, err := OpenIndexed(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Fatal("OpenIndexed accepted corrupted index")
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	raw := recordV2Bytes(t, "Web", 7, 20, 16)
+	bad := append(append([]byte(nil), raw...), 0x00)
+	if _, err := drainV2(bad); err == nil || err == io.EOF {
+		t.Fatal("streaming reader accepted trailing garbage")
+	}
+}
+
+func TestEmptyV2Container(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, "empty", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := drainV2(buf.Bytes())
+	if err != io.EOF || len(blocks) != 0 {
+		t.Fatalf("empty container: %d blocks, err %v", len(blocks), err)
+	}
+	ir, err := OpenIndexed(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.NumChunks() != 0 || ir.Blocks() != 0 {
+		t.Fatalf("empty container index: %d chunks, %d blocks", ir.NumChunks(), ir.Blocks())
+	}
+}
+
+func TestOpenIndexedRejectsV1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(&buf, "x", 0, &loopSource{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenIndexed(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err == nil || !strings.Contains(err.Error(), "chunk index") {
+		t.Fatalf("v1 input: err = %v, want chunk-index diagnostic", err)
+	}
+}
+
+func TestRecordV2ContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := RecordV2Context(ctx, &buf, "unit", 0, &loopSource{}, 1<<40, 16)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RecordV2Context = %v, want context.Canceled", err)
+	}
+	// Cancellation still finalises the container: index + footer present,
+	// zero blocks (the poll fired before the first record).
+	blocks, err := drainV2(buf.Bytes())
+	if err != io.EOF {
+		t.Fatalf("interrupted container unreadable: %v", err)
+	}
+	if len(blocks) != 0 {
+		t.Fatalf("interrupted container holds %d blocks, want 0", len(blocks))
+	}
+}
+
+func TestWriterV2RejectsWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, "x", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	b := sampleBlocks()[0]
+	if err := w.Write(&b); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+}
+
+func BenchmarkWriteV2(b *testing.B) {
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	g := workload.NewGenerator(prog, 1)
+	var blk isa.Block
+	w, err := NewWriterV2(io.Discard, "DB", 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&blk)
+		w.Write(&blk)
+	}
+}
+
+func BenchmarkDecodeChunk(b *testing.B) {
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	var buf bytes.Buffer
+	if err := RecordV2(&buf, "DB", 0, workload.NewGenerator(prog, 1), 100000, 0); err != nil {
+		b.Fatal(err)
+	}
+	ir, err := OpenIndexed(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.DecodeChunk(i % ir.NumChunks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// fakeTrace is an in-memory ChunkedTrace: chunks of synthetic blocks,
+// with an optional chunk that fails to decode.
+type fakeTrace struct {
+	chunks  [][]isa.Block
+	failAt  int // chunk index that errors (-1 = none)
+	decodes int
+}
+
+func (f *fakeTrace) NumChunks() int { return len(f.chunks) }
+
+func (f *fakeTrace) Blocks() uint64 {
+	var n uint64
+	for _, c := range f.chunks {
+		n += uint64(len(c))
+	}
+	return n
+}
+
+func (f *fakeTrace) DecodeChunk(i int) ([]isa.Block, error) {
+	f.decodes++
+	if i == f.failAt {
+		return nil, errors.New("synthetic decode failure")
+	}
+	return f.chunks[i], nil
+}
+
+func fakeBlocks(start, n int) []isa.Block {
+	out := make([]isa.Block, n)
+	for i := range out {
+		out[i] = isa.Block{PC: isa.Addr(0x1000 + 0x40*(start+i)), NumInstrs: 4, CTI: isa.CTINone}
+	}
+	return out
+}
+
+func TestFromTraceReplaysAndWraps(t *testing.T) {
+	ft := &fakeTrace{
+		chunks: [][]isa.Block{fakeBlocks(0, 3), fakeBlocks(3, 3), fakeBlocks(6, 2)},
+		failAt: -1,
+	}
+	src, err := FromTrace(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(ft.Blocks())
+	var b isa.Block
+	// Two full passes: the replayer must wrap to chunk 0 at the end.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < total; i++ {
+			src.Next(&b)
+			want := isa.Addr(0x1000 + 0x40*i)
+			if b.PC != want {
+				t.Fatalf("pass %d block %d: PC %#x, want %#x", pass, i, uint64(b.PC), uint64(want))
+			}
+		}
+	}
+}
+
+func TestFromTraceRejectsEmpty(t *testing.T) {
+	if _, err := FromTrace(&fakeTrace{failAt: -1}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestFromTracePanicsOnMidReplayFailure(t *testing.T) {
+	ft := &fakeTrace{
+		chunks: [][]isa.Block{fakeBlocks(0, 2), fakeBlocks(2, 2), fakeBlocks(4, 2)},
+		failAt: 2,
+	}
+	src, err := FromTrace(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mid-replay decode failure did not panic")
+		}
+		if !strings.Contains(r.(string), "trace replay") {
+			t.Fatalf("panic %v lacks replay context", r)
+		}
+	}()
+	var b isa.Block
+	for i := 0; i < 6; i++ {
+		src.Next(&b)
+	}
+}
+
+func TestFromTraceSurfacesFirstChunkError(t *testing.T) {
+	ft := &fakeTrace{chunks: [][]isa.Block{fakeBlocks(0, 2)}, failAt: 0}
+	if _, err := FromTrace(ft); err == nil {
+		t.Fatal("first-chunk decode failure not surfaced as error")
+	}
+}

@@ -309,8 +309,10 @@ func TestAnalyzeTrace(t *testing.T) {
 	if err := AnalyzeTrace(&sb, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "workload DB (recorded trace)") {
-		t.Fatalf("bad report:\n%s", sb.String())
+	for _, want := range []string{"workload DB (recorded trace, IPFTRC01)", "container size", "bits/block"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
 	}
 	if err := AnalyzeTrace(&sb, strings.NewReader("garbage")); err == nil {
 		t.Fatal("garbage accepted")

@@ -68,10 +68,34 @@ func RecordTraceContext(ctx context.Context, w io.Writer, name string, seed uint
 	return trace.RecordContext(ctx, w, name, 0, workload.NewGenerator(prog, seed), n)
 }
 
+// RecordTraceV2 is RecordTrace writing the chunked IPFTRC02 container
+// (per-chunk compression + CRC + seekable index). chunkRecords is the
+// blocks-per-chunk (0 = default).
+func RecordTraceV2(w io.Writer, name string, seed, n uint64, chunkRecords int) error {
+	return RecordTraceV2Context(context.Background(), w, name, seed, n, chunkRecords)
+}
+
+// RecordTraceV2Context is RecordTraceV2 with cooperative cancellation;
+// an interrupted capture still finalises the container, leaving a
+// valid, shorter trace.
+func RecordTraceV2Context(ctx context.Context, w io.Writer, name string, seed, n uint64, chunkRecords int) error {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	prog, err := workload.BuildProgram(prof, 0)
+	if err != nil {
+		return err
+	}
+	return trace.RecordV2Context(ctx, w, name, 0, workload.NewGenerator(prog, seed), n, chunkRecords)
+}
+
 // TraceStats summarises a recorded trace.
 type TraceStats struct {
 	// Workload is the application name from the trace header.
 	Workload string
+	// Format is the container magic ("IPFTRC01" or "IPFTRC02").
+	Format string
 	// Blocks and Instructions count the records read.
 	Blocks       uint64
 	Instructions uint64
@@ -89,7 +113,7 @@ func ReadTraceStats(r io.Reader) (TraceStats, error) {
 	if err != nil {
 		return TraceStats{}, err
 	}
-	out := TraceStats{Workload: tr.Name(), CTIMix: map[string]float64{}}
+	out := TraceStats{Workload: tr.Name(), Format: tr.Format(), CTIMix: map[string]float64{}}
 	counts := map[isa.CTIKind]uint64{}
 	var b isa.Block
 	for {
@@ -159,12 +183,14 @@ func AnalyzeTrace(w io.Writer, r io.Reader) error {
 // it returns ctx's error without writing a report when ctx fires
 // mid-stream.
 func AnalyzeTraceContext(ctx context.Context, w io.Writer, r io.Reader) error {
-	tr, err := trace.NewReader(r)
+	cr := &countingByteReader{r: r}
+	tr, err := trace.NewReader(cr)
 	if err != nil {
 		return err
 	}
 	p := analysis.NewProfile(64)
 	var b isa.Block
+	var blocks uint64
 	for i := 0; ; i++ {
 		if i%8192 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -179,8 +205,26 @@ func AnalyzeTraceContext(ctx context.Context, w io.Writer, r io.Reader) error {
 			return fmt.Errorf("repro: trace invalid: %w", err)
 		}
 		p.Observe(&b)
+		blocks++
 	}
-	fmt.Fprintf(w, "workload %s (recorded trace)\n", tr.Name())
+	fmt.Fprintf(w, "workload %s (recorded trace, %s)\n", tr.Name(), tr.Format())
 	p.Report(w)
+	if blocks > 0 {
+		fmt.Fprintf(w, "container size      %d bytes (%.1f bits/block)\n",
+			cr.n, float64(cr.n*8)/float64(blocks))
+	}
 	return nil
+}
+
+// countingByteReader counts the bytes consumed from r so trace
+// analysis can report the container's encoded size and bits/block.
+type countingByteReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingByteReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
