@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist fuzz-smoke bench bench-sweep bench-dist bench-trace
+.PHONY: build vet test race race-dist race-core fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ race:
 # Focused race pass over the concurrency-heavy layers (what CI runs).
 race-dist:
 	$(GO) test -race ./internal/dist/... ./internal/service/... ./internal/sweep/... ./internal/corpus/...
+
+# Repeated race pass over the simulation hot path (queue/index/table
+# rewrites); -count=2 catches state leaked across test-internal resets.
+race-core:
+	$(GO) test -race -count=2 ./internal/core/... ./internal/prefetch/... ./internal/cmp/...
 
 # Short fuzz passes over the trace codecs; CI runs the same smoke.
 fuzz-smoke:
@@ -43,3 +48,9 @@ bench-dist:
 # decode throughput, compression ratio, 1-vs-4-shard decode scaling).
 bench-trace:
 	$(GO) run ./cmd/tracebench -o BENCH_trace.json
+
+# Simulation hot-path trajectory: writes BENCH_core.json
+# (instructions/sec per scheme × core count). The build picks up
+# cmd/corebench/default.pgo automatically for profile-guided optimisation.
+bench-core:
+	$(GO) run ./cmd/corebench -o BENCH_core.json

@@ -1,0 +1,166 @@
+// Command corebench measures the per-point simulation hot path —
+// cmp.System stepping cores through the fetch/prefetch front-end — and
+// writes a BENCH_core.json snapshot so successive changes can track the
+// trend. Unlike sweepbench (which measures sweep orchestration and
+// memoisation), corebench times the core loop itself: simulated
+// instructions per wall-clock second for the no-prefetch baseline, the
+// sequential n4l-tagged scheme, and the paper's discontinuity
+// prefetcher, each on a single core and on the 4-way CMP.
+//
+// Usage:
+//
+//	corebench [-n instrs] [-warm instrs] [-seed n] [-workload name]
+//	          [-schemes a,b,c] [-cores 1,4]
+//	          [-cpuprofile prof.out] [-o BENCH_core.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cmp"
+)
+
+// point is one (scheme, cores) measurement.
+type point struct {
+	Scheme        string  `json:"scheme"`
+	Cores         int     `json:"cores"`
+	Instructions  uint64  `json:"instructions"`
+	Seconds       float64 `json:"seconds"`
+	InstrsPerSec  float64 `json:"instrs_per_sec"`
+	AggregateIPC  float64 `json:"aggregate_ipc"`
+	L1IMissPer1k  float64 `json:"l1i_misses_per_1k_instrs"`
+	PrefetchesPer float64 `json:"prefetches_issued_per_1k_instrs"`
+}
+
+// report is the BENCH_core.json schema.
+type report struct {
+	Name          string    `json:"name"`
+	Timestamp     time.Time `json:"timestamp"`
+	GoMaxProcs    int       `json:"gomaxprocs"`
+	Workload      string    `json:"workload"`
+	WarmInstrs    uint64    `json:"warm_instrs"`
+	MeasureInstrs uint64    `json:"measure_instrs"`
+	Seed          uint64    `json:"seed"`
+	Points        []point   `json:"points"`
+}
+
+func main() {
+	var (
+		measure  = flag.Uint64("n", 2_000_000, "measured instructions per core")
+		warm     = flag.Uint64("warm", 200_000, "warm-up instructions per core")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		wl       = flag.String("workload", "DB", "workload name (homogeneous)")
+		schemes  = flag.String("schemes", "none,n4l-tagged,discontinuity", "comma-separated schemes to measure")
+		coreSet  = flag.String("cores", "1,4", "comma-separated core counts to measure")
+		profPath = flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
+		out      = flag.String("o", "BENCH_core.json", "output report path")
+	)
+	flag.Parse()
+
+	rep := report{
+		Name:          "core",
+		Timestamp:     time.Now().UTC(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Workload:      *wl,
+		WarmInstrs:    *warm,
+		MeasureInstrs: *measure,
+		Seed:          *seed,
+	}
+
+	if *profPath != "" {
+		f, err := os.Create(*profPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	coreCounts, err := parseCores(*coreSet)
+	if err != nil {
+		fatal(err)
+	}
+	for _, scheme := range strings.Split(*schemes, ",") {
+		for _, cores := range coreCounts {
+			p, err := run(scheme, cores, *wl, *warm, *measure, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Points = append(rep.Points, p)
+			fmt.Printf("%-14s %d-core: %8.2f Minstr/s (IPC %.3f)\n",
+				scheme, cores, p.InstrsPerSec/1e6, p.AggregateIPC)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// run builds one machine, warms it, and times the measured window.
+func run(scheme string, cores int, wl string, warm, measure, seed uint64) (point, error) {
+	cfg := cmp.DefaultConfig(cores)
+	cfg.PrefetcherName = scheme
+	srcs, err := cmp.SourcesFor([]string{wl}, cores, seed)
+	if err != nil {
+		return point{}, err
+	}
+	sys, err := cmp.New(cfg, srcs, nil)
+	if err != nil {
+		return point{}, err
+	}
+	sys.Run(warm)
+	sys.ResetStats()
+
+	start := time.Now()
+	sys.Run(measure)
+	secs := time.Since(start).Seconds()
+
+	sys.Finalize()
+	t := sys.TotalStats()
+	per1k := func(n uint64) float64 { return 1000 * float64(n) / float64(t.Instructions) }
+	return point{
+		Scheme:        scheme,
+		Cores:         cores,
+		Instructions:  t.Instructions,
+		Seconds:       secs,
+		InstrsPerSec:  float64(t.Instructions) / secs,
+		AggregateIPC:  sys.AggregateIPC(),
+		L1IMissPer1k:  per1k(t.L1I.Misses),
+		PrefetchesPer: per1k(t.Prefetch.Issued),
+	}, nil
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corebench:", err)
+	os.Exit(1)
+}

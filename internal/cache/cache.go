@@ -13,6 +13,14 @@
 //
 // Replacement is true LRU, maintained as an MRU→LRU ordered list per set,
 // which is exact and fast for the small associativities modelled (≤ 32).
+//
+// Internally each set is a slice of two parallel arrays — line tags and a
+// packed metadata byte per way — instead of an array of way structs. Tag
+// lookup is the hottest loop in the simulator (every fetch, probe and
+// fill runs it), and with parallel arrays an 8-way set's tags occupy one
+// 64-byte cache line instead of being strided across 128 bytes of struct
+// padding. The observable behaviour (hit/miss outcomes, LRU order,
+// victims, flags) is unchanged.
 package cache
 
 import (
@@ -102,10 +110,44 @@ type Flags struct {
 	Dirty bool
 }
 
-type way struct {
-	line  isa.Line
-	valid bool
-	flags Flags
+// Packed metadata bits: the valid bit plus one bit per Flags field.
+const (
+	mValid uint8 = 1 << iota
+	mPrefetched
+	mUsed
+	mInst
+	mUseless
+	mDirty
+)
+
+func packFlags(f Flags) uint8 {
+	var m uint8
+	if f.Prefetched {
+		m |= mPrefetched
+	}
+	if f.Used {
+		m |= mUsed
+	}
+	if f.Inst {
+		m |= mInst
+	}
+	if f.UselessPrefetch {
+		m |= mUseless
+	}
+	if f.Dirty {
+		m |= mDirty
+	}
+	return m
+}
+
+func unpackFlags(m uint8) Flags {
+	return Flags{
+		Prefetched:      m&mPrefetched != 0,
+		Used:            m&mUsed != 0,
+		Inst:            m&mInst != 0,
+		UselessPrefetch: m&mUseless != 0,
+		Dirty:           m&mDirty != 0,
+	}
 }
 
 // Victim describes a line evicted by an insert.
@@ -118,9 +160,16 @@ type Victim struct {
 // use; the simulator interleaves cores deterministically on one
 // goroutine.
 type Cache struct {
-	cfg      Config
-	setMask  uint64
-	sets     [][]way // each set ordered MRU (index 0) → LRU (last)
+	cfg     Config
+	setMask uint64
+	assoc   int
+	// Parallel per-way arrays; set s occupies [s*assoc, (s+1)*assoc),
+	// ordered MRU (first) → LRU (last) within the set.
+	lines []isa.Line
+	meta  []uint8
+	// fill counts valid ways per set, letting Insert skip the
+	// invalid-way scan once a set is full (the steady state).
+	fill     []uint8
 	inserted uint64
 	evicted  uint64
 	rngState uint64 // deterministic victim selection for Random policy
@@ -132,55 +181,60 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := cfg.NumSets()
-	sets := make([][]way, n)
-	backing := make([]way, n*cfg.Assoc)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	n := cfg.NumSets() * cfg.Assoc
+	return &Cache{
+		cfg:      cfg,
+		setMask:  uint64(cfg.NumSets() - 1),
+		assoc:    cfg.Assoc,
+		lines:    make([]isa.Line, n),
+		meta:     make([]uint8, n),
+		fill:     make([]uint8, cfg.NumSets()),
+		rngState: 0x9e3779b97f4a7c15,
 	}
-	return &Cache{cfg: cfg, setMask: uint64(n - 1), sets: sets, rngState: 0x9e3779b97f4a7c15}
 }
 
 // Config returns the cache's geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-// setOf returns the set index for a line.
-func (c *Cache) setOf(l isa.Line) int {
-	return int(uint64(l) & c.setMask)
+// base returns the first way index of l's set.
+func (c *Cache) base(l isa.Line) int {
+	return int(uint64(l)&c.setMask) * c.assoc
 }
 
-// find returns the way index of l within its set, or -1.
-func (c *Cache) find(set []way, l isa.Line) int {
-	for i := range set {
-		if set[i].valid && set[i].line == l {
+// find returns the way offset of l within the set starting at base, or -1.
+func (c *Cache) find(base int, l isa.Line) int {
+	lines := c.lines[base : base+c.assoc]
+	meta := c.meta[base : base+c.assoc]
+	for i := range lines {
+		if lines[i] == l && meta[i]&mValid != 0 {
 			return i
 		}
 	}
 	return -1
 }
 
-// touch moves way i of the set to the MRU position.
-func touch(set []way, i int) {
+// touch moves way offset i of the set at base to the MRU position.
+func (c *Cache) touch(base, i int) {
 	if i == 0 {
 		return
 	}
-	w := set[i]
-	copy(set[1:i+1], set[0:i])
-	set[0] = w
+	l, m := c.lines[base+i], c.meta[base+i]
+	copy(c.lines[base+1:base+i+1], c.lines[base:base+i])
+	copy(c.meta[base+1:base+i+1], c.meta[base:base+i])
+	c.lines[base], c.meta[base] = l, m
 }
 
 // Probe reports whether line l is present, without updating replacement
 // state or flags. This models a prefetcher's tag inspection.
 func (c *Cache) Probe(l isa.Line) bool {
-	set := c.sets[c.setOf(l)]
-	return c.find(set, l) >= 0
+	return c.find(c.base(l), l) >= 0
 }
 
 // PeekFlags returns the flags of line l without any side effects.
 func (c *Cache) PeekFlags(l isa.Line) (Flags, bool) {
-	set := c.sets[c.setOf(l)]
-	if i := c.find(set, l); i >= 0 {
-		return set[i].flags, true
+	base := c.base(l)
+	if i := c.find(base, l); i >= 0 {
+		return unpackFlags(c.meta[base+i]), true
 	}
 	return Flags{}, false
 }
@@ -192,18 +246,17 @@ func (c *Cache) PeekFlags(l isa.Line) (Flags, bool) {
 // miss it returns hit=false; the caller is responsible for filling via
 // Insert after the miss is serviced.
 func (c *Cache) Access(l isa.Line) (hit bool, prior Flags) {
-	set := c.sets[c.setOf(l)]
-	i := c.find(set, l)
+	base := c.base(l)
+	i := c.find(base, l)
 	if i < 0 {
 		return false, Flags{}
 	}
-	prior = set[i].flags
-	set[i].flags.Prefetched = false
-	set[i].flags.Used = true
-	set[i].flags.UselessPrefetch = false
+	m := c.meta[base+i]
+	prior = unpackFlags(m)
+	c.meta[base+i] = (m &^ (mPrefetched | mUseless)) | mUsed
 	if c.cfg.Policy == LRU {
 		// FIFO and Random keep fill order; only LRU promotes on use.
-		touch(set, i)
+		c.touch(base, i)
 	}
 	return true, prior
 }
@@ -213,64 +266,76 @@ func (c *Cache) Access(l isa.Line) (hit bool, prior Flags) {
 // If l is already present, its flags are overwritten and it is promoted
 // to MRU with no eviction.
 func (c *Cache) Insert(l isa.Line, f Flags) (victim Victim, evicted bool) {
-	set := c.sets[c.setOf(l)]
-	if i := c.find(set, l); i >= 0 {
-		set[i].flags = f
-		touch(set, i)
+	set := int(uint64(l) & c.setMask)
+	base := set * c.assoc
+	if i := c.find(base, l); i >= 0 {
+		c.meta[base+i] = packFlags(f) | mValid
+		c.touch(base, i)
 		return Victim{}, false
 	}
 	c.inserted++
 	// Look for an invalid way (take the last one so valid MRU ordering
-	// is preserved).
+	// is preserved); a full set — the steady state — skips the scan.
 	slot := -1
-	for i := len(set) - 1; i >= 0; i-- {
-		if !set[i].valid {
-			slot = i
-			break
+	if int(c.fill[set]) < c.assoc {
+		c.fill[set]++
+		for i := c.assoc - 1; i >= 0; i-- {
+			if c.meta[base+i]&mValid == 0 {
+				slot = i
+				break
+			}
 		}
 	}
 	if slot < 0 {
 		// Pick a victim: the last element is the LRU (or oldest fill,
 		// for FIFO, since fills also move to the front); Random picks a
 		// deterministic pseudo-random way.
-		slot = len(set) - 1
+		slot = c.assoc - 1
 		if c.cfg.Policy == Random {
 			c.rngState ^= c.rngState << 13
 			c.rngState ^= c.rngState >> 7
 			c.rngState ^= c.rngState << 17
-			slot = int(c.rngState % uint64(len(set)))
+			slot = int(c.rngState % uint64(c.assoc))
 		}
-		victim = Victim{Line: set[slot].line, Flags: set[slot].flags}
+		victim = Victim{Line: c.lines[base+slot], Flags: unpackFlags(c.meta[base+slot])}
 		evicted = true
 		c.evicted++
 	}
-	set[slot] = way{line: l, valid: true, flags: f}
-	touch(set, slot)
+	c.lines[base+slot] = l
+	c.meta[base+slot] = packFlags(f) | mValid
+	c.touch(base, slot)
 	return victim, evicted
 }
 
 // Invalidate removes line l if present, returning its flags.
 func (c *Cache) Invalidate(l isa.Line) (Flags, bool) {
-	set := c.sets[c.setOf(l)]
-	i := c.find(set, l)
+	set := int(uint64(l) & c.setMask)
+	base := set * c.assoc
+	i := c.find(base, l)
 	if i < 0 {
 		return Flags{}, false
 	}
-	f := set[i].flags
+	c.fill[set]--
+	f := unpackFlags(c.meta[base+i])
 	// Shift the invalidated way to the end as an invalid slot.
-	w := set[i]
-	copy(set[i:], set[i+1:])
-	w.valid = false
-	set[len(set)-1] = w
+	l2, m := c.lines[base+i], c.meta[base+i]
+	copy(c.lines[base+i:base+c.assoc-1], c.lines[base+i+1:base+c.assoc])
+	copy(c.meta[base+i:base+c.assoc-1], c.meta[base+i+1:base+c.assoc])
+	c.lines[base+c.assoc-1] = l2
+	c.meta[base+c.assoc-1] = m &^ mValid
 	return f, true
 }
 
 // SetUselessPrefetch sets (or clears) the useless-prefetch marker of
 // line l if present, returning whether the line was found.
 func (c *Cache) SetUselessPrefetch(l isa.Line, v bool) bool {
-	set := c.sets[c.setOf(l)]
-	if i := c.find(set, l); i >= 0 {
-		set[i].flags.UselessPrefetch = v
+	base := c.base(l)
+	if i := c.find(base, l); i >= 0 {
+		if v {
+			c.meta[base+i] |= mUseless
+		} else {
+			c.meta[base+i] &^= mUseless
+		}
 		return true
 	}
 	return false
@@ -279,9 +344,9 @@ func (c *Cache) SetUselessPrefetch(l isa.Line, v bool) bool {
 // MarkDirty sets the Dirty bit of line l if present, returning whether
 // the line was found.
 func (c *Cache) MarkDirty(l isa.Line) bool {
-	set := c.sets[c.setOf(l)]
-	if i := c.find(set, l); i >= 0 {
-		set[i].flags.Dirty = true
+	base := c.base(l)
+	if i := c.find(base, l); i >= 0 {
+		c.meta[base+i] |= mDirty
 		return true
 	}
 	return false
@@ -291,10 +356,9 @@ func (c *Cache) MarkDirty(l isa.Line) bool {
 // The front-end uses it when a demand fetch consumes a line that is
 // known-present via other paths.
 func (c *Cache) MarkUsed(l isa.Line) bool {
-	set := c.sets[c.setOf(l)]
-	if i := c.find(set, l); i >= 0 {
-		set[i].flags.Used = true
-		set[i].flags.Prefetched = false
+	base := c.base(l)
+	if i := c.find(base, l); i >= 0 {
+		c.meta[base+i] = (c.meta[base+i] &^ mPrefetched) | mUsed
 		return true
 	}
 	return false
@@ -310,11 +374,9 @@ func (c *Cache) Evicted() uint64 { return c.evicted }
 // Reset invalidates all lines and zeroes lifetime counters, preserving
 // geometry. The simulator uses it between warm-up configurations.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = way{}
-		}
-	}
+	clear(c.lines)
+	clear(c.meta)
+	clear(c.fill)
 	c.inserted = 0
 	c.evicted = 0
 }
@@ -322,11 +384,9 @@ func (c *Cache) Reset() {
 // CountValid returns the number of valid lines (diagnostics/tests).
 func (c *Cache) CountValid() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, m := range c.meta {
+		if m&mValid != 0 {
+			n++
 		}
 	}
 	return n
@@ -337,11 +397,9 @@ func (c *Cache) CountValid() int {
 // when analysing pollution.
 func (c *Cache) CountValidWhere(pred func(Flags) bool) int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && pred(set[i].flags) {
-				n++
-			}
+	for _, m := range c.meta {
+		if m&mValid != 0 && pred(unpackFlags(m)) {
+			n++
 		}
 	}
 	return n

@@ -154,6 +154,16 @@ const ctxCheckInterval = 1 << 14
 // RunContext is Run with cooperative cancellation: the simulation polls
 // ctx every few thousand steps and returns ctx.Err() if it fires,
 // leaving the machine in a consistent (but mid-run) state.
+//
+// The scheduling policy is "always step the core with the smallest
+// local clock, lowest index on ties". A per-step scan over all cores
+// would implement that directly but costs O(NumCores) per step, so the
+// loop instead caches the runner-up: after one scan selects the lagging
+// core, that core is stepped in a batch for as long as the scan would
+// keep selecting it — until its clock passes the second-smallest clock
+// (which cannot change while the others are idle) or it reaches its
+// instruction target. The step sequence is identical to the per-step
+// scan's, so simulation results are bit-for-bit unchanged.
 func (s *System) RunContext(ctx context.Context, nPerCore uint64) error {
 	targets := make([]uint64, len(s.cores))
 	for i, c := range s.cores {
@@ -161,24 +171,39 @@ func (s *System) RunContext(ctx context.Context, nPerCore uint64) error {
 	}
 	steps := 0
 	for {
-		// Step the lagging unfinished core.
-		best := -1
-		var bestClock float64
+		// Scan for the lagging unfinished core and the runner-up clock.
+		best, second := -1, -1
+		var bestClock, secondClock float64
 		for i, c := range s.cores {
 			if c.Stats().Instructions >= targets[i] {
 				continue
 			}
-			if best < 0 || c.Clock() < bestClock {
-				best, bestClock = i, c.Clock()
+			cl := c.Clock()
+			switch {
+			case best < 0 || cl < bestClock:
+				second, secondClock = best, bestClock
+				best, bestClock = i, cl
+			case second < 0 || cl < secondClock:
+				second, secondClock = i, cl
 			}
 		}
 		if best < 0 {
 			return nil
 		}
-		s.cores[best].Step()
-		if steps++; steps&(ctxCheckInterval-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+		c, target := s.cores[best], targets[best]
+		for c.Stats().Instructions < target {
+			if second >= 0 {
+				// Would the scan still pick this core? Smaller clock
+				// always wins; an exact tie goes to the lower index.
+				if cl := c.Clock(); cl > secondClock || (cl == secondClock && best > second) {
+					break
+				}
+			}
+			c.Step()
+			if steps++; steps&(ctxCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -1,0 +1,100 @@
+package cmp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// runReference is the naive statement of the interleaving policy that
+// RunContext optimises: scan every core each step and advance the one
+// with the smallest local clock (lowest index on ties) until all cores
+// reach their instruction targets. RunContext's cached-runner-up batching
+// must be observationally indistinguishable from this loop.
+func runReference(cores []*cpu.Core, nPerCore uint64) {
+	targets := make([]uint64, len(cores))
+	for i, c := range cores {
+		targets[i] = c.Stats().Instructions + nPerCore
+	}
+	for {
+		best := -1
+		var bestClock float64
+		for i, c := range cores {
+			if c.Stats().Instructions >= targets[i] {
+				continue
+			}
+			if cl := c.Clock(); best < 0 || cl < bestClock {
+				best, bestClock = i, cl
+			}
+		}
+		if best < 0 {
+			return
+		}
+		cores[best].Step()
+	}
+}
+
+// buildPair constructs two identical machines over identically seeded
+// workload threads, so any divergence between the two run loops shows up
+// as a stats difference.
+func buildPair(t *testing.T, numCores int, scheme string) (*System, *System) {
+	t.Helper()
+	cfg := DefaultConfig(numCores)
+	cfg.PrefetcherName = scheme
+	mk := func() *System {
+		srcs, err := SourcesFor([]string{"DB"}, numCores, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(cfg, srcs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return mk(), mk()
+}
+
+// TestRunContextMatchesReferenceScan drives the optimised batched loop
+// and the per-step reference scan over identical machines — including a
+// warm-up phase, a stats reset, and a measured phase, mirroring how the
+// experiment harness uses RunContext — and requires every statistic on
+// every core, and every core's final clock, to be bit-identical.
+func TestRunContextMatchesReferenceScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential run is slow")
+	}
+	for _, tc := range []struct {
+		numCores int
+		scheme   string
+	}{
+		{1, "discontinuity"},
+		{2, "n4l-tagged"},
+		{4, "discontinuity"},
+	} {
+		opt, ref := buildPair(t, tc.numCores, tc.scheme)
+
+		opt.Run(20000)
+		runReference(ref.Cores(), 20000)
+		opt.ResetStats()
+		ref.ResetStats()
+		opt.Run(100000)
+		runReference(ref.Cores(), 100000)
+		opt.Finalize()
+		ref.Finalize()
+
+		for i := 0; i < tc.numCores; i++ {
+			so, sr := opt.CoreStats(i), ref.CoreStats(i)
+			if !reflect.DeepEqual(so, sr) {
+				t.Errorf("%d-core %s: core %d stats diverge:\noptimised: %+v\nreference: %+v",
+					tc.numCores, tc.scheme, i, so, sr)
+			}
+			co, cr := opt.Cores()[i].Clock(), ref.Cores()[i].Clock()
+			if co != cr {
+				t.Errorf("%d-core %s: core %d clock diverges: %v vs %v",
+					tc.numCores, tc.scheme, i, co, cr)
+			}
+		}
+	}
+}

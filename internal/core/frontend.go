@@ -209,12 +209,15 @@ func (f *FrontEnd) pushCandidates(cands []isa.Line) {
 // issuePrefetches pops up to slots queued prefetches, tag-probes them,
 // and initiates fills for the ones not already present or in flight.
 func (f *FrontEnd) issuePrefetches(slots int, now uint64) {
-	pop := f.queue.PopNewest
-	if f.cfg.QueueFIFO {
-		pop = f.queue.PopOldest
-	}
+	fifo := f.cfg.QueueFIFO
 	for i := 0; i < slots; i++ {
-		l, ok := pop()
+		var l isa.Line
+		var ok bool
+		if fifo {
+			l, ok = f.queue.PopOldest()
+		} else {
+			l, ok = f.queue.PopNewest()
+		}
 		if !ok {
 			return
 		}
@@ -284,4 +287,5 @@ func (f *FrontEnd) Reset() {
 	f.inflight.Reset()
 	f.qBaseOverflow = 0
 	f.qBaseInvalidated = 0
+	f.qBaseHoisted = 0
 }

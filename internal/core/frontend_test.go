@@ -356,3 +356,43 @@ func TestUselessMarkerSecondChance(t *testing.T) {
 		t.Fatalf("flags after demand use: %+v", f)
 	}
 }
+
+// TestResetClearsQueueBaselines is a regression test for a uint64
+// underflow: FrontEnd.Reset zeroed the queue's lifetime counters but
+// left qBaseHoisted at its pre-reset value, so a Finalize after Reset
+// computed Hoisted() - qBaseHoisted on a fresh queue and wrapped to a
+// garbage hoist count.
+func TestResetClearsQueueBaselines(t *testing.T) {
+	fe, _, cs := testFE(prefetch.NewNone(), false)
+	q := fe.Queue()
+
+	// Produce nonzero lifetime counters: a hoist (duplicate waiting
+	// push), an invalidation (demand fetch of a waiting line), and an
+	// overflow (fill the queue past capacity with waiting entries).
+	q.Push(100)
+	q.Push(100) // hoist
+	q.OnDemandFetch(100)
+	for i := 0; i <= q.Capacity(); i++ {
+		q.Push(isa.Line(1000 + i))
+	}
+	if q.Hoisted() == 0 || q.Invalidated() == 0 || q.DroppedOverflow() == 0 {
+		t.Fatalf("setup failed: hoisted=%d invalidated=%d overflow=%d",
+			q.Hoisted(), q.Invalidated(), q.DroppedOverflow())
+	}
+
+	// Warm-up ends: baselines capture the current counters. Then the
+	// front-end is fully reset and finalized without further activity.
+	fe.ResetStatsBaseline()
+	fe.Reset()
+	fe.Finalize()
+
+	if cs.Prefetch.Hoisted != 0 {
+		t.Errorf("hoist count underflowed after Reset: %d", cs.Prefetch.Hoisted)
+	}
+	if cs.Prefetch.Invalidated != 0 {
+		t.Errorf("invalidated count underflowed after Reset: %d", cs.Prefetch.Invalidated)
+	}
+	if cs.Prefetch.DroppedOverflow != 0 {
+		t.Errorf("overflow count underflowed after Reset: %d", cs.Prefetch.DroppedOverflow)
+	}
+}

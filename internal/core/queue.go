@@ -41,9 +41,30 @@ type queueEntry struct {
 //     extend the duplicate filter, and are reclaimed first on overflow;
 //   - when all slots hold waiting prefetches, the oldest waiting entry
 //     is dropped to admit the new one.
+//
+// The semantics above are naturally expressed as linear scans over the
+// slot array (match by line; min/max by seq), but those scans run per
+// prefetch candidate on the simulator's hot path. The implementation
+// instead keeps a line→slot index (a line appears in at most one
+// non-empty slot, because pushes deduplicate) plus two intrusive
+// seq-ordered lists — waiting entries and issued/invalidated "marker"
+// entries — so every operation the scans performed is O(1) lookups and
+// list splices with identical observable behaviour. queue_model_test.go
+// checks that equivalence against a scan-based reference model.
 type PrefetchQueue struct {
 	entries []queueEntry
 	nextSeq uint64
+
+	idx *lineIndex // line → slot, for every non-empty slot
+
+	// Intrusive doubly-linked lists over slots, ordered by seq
+	// ascending (head = oldest). A slot is on the waiting list, on the
+	// marker list, or empty; the link arrays are shared.
+	next, prev   []int32
+	wHead, wTail int32 // waiting entries
+	mHead, mTail int32 // issued/invalidated markers
+	waiting      int
+	filled       int // slots in use; slots are claimed in index order
 
 	pushed      uint64
 	droppedDup  uint64
@@ -57,7 +78,83 @@ func NewPrefetchQueue(capacity int) *PrefetchQueue {
 	if capacity < 1 {
 		panic("core: prefetch queue capacity must be >= 1")
 	}
-	return &PrefetchQueue{entries: make([]queueEntry, capacity)}
+	q := &PrefetchQueue{
+		entries: make([]queueEntry, capacity),
+		idx:     newLineIndex(capacity),
+		next:    make([]int32, capacity),
+		prev:    make([]int32, capacity),
+	}
+	q.wHead, q.wTail, q.mHead, q.mTail = -1, -1, -1, -1
+	return q
+}
+
+// listAppend links slot s at the tail of the list rooted at head/tail.
+func (q *PrefetchQueue) listAppend(head, tail *int32, s int32) {
+	q.prev[s] = *tail
+	q.next[s] = -1
+	if *tail >= 0 {
+		q.next[*tail] = s
+	} else {
+		*head = s
+	}
+	*tail = s
+}
+
+// listRemove unlinks slot s from the list rooted at head/tail.
+func (q *PrefetchQueue) listRemove(head, tail *int32, s int32) {
+	if p := q.prev[s]; p >= 0 {
+		q.next[p] = q.next[s]
+	} else {
+		*head = q.next[s]
+	}
+	if n := q.next[s]; n >= 0 {
+		q.prev[n] = q.prev[s]
+	} else {
+		*tail = q.prev[s]
+	}
+}
+
+// markerInsert links slot s into the marker list, keeping it ordered by
+// seq. Newly issued entries usually carry a recent seq (LIFO pops the
+// newest), so the insertion point is found from the tail.
+func (q *PrefetchQueue) markerInsert(s int32) {
+	seq := q.entries[s].seq
+	// Fast paths: append (seq above the current tail) and prepend (seq
+	// below the current head) cover the common LIFO issue patterns.
+	if q.mTail < 0 || q.entries[q.mTail].seq < seq {
+		q.listAppend(&q.mHead, &q.mTail, s)
+		return
+	}
+	if q.entries[q.mHead].seq > seq {
+		q.prev[s] = -1
+		q.next[s] = q.mHead
+		q.prev[q.mHead] = s
+		q.mHead = s
+		return
+	}
+	after := q.mTail
+	for after >= 0 && q.entries[after].seq > seq {
+		after = q.prev[after]
+	}
+	if after < 0 {
+		q.prev[s] = -1
+		q.next[s] = q.mHead
+		if q.mHead >= 0 {
+			q.prev[q.mHead] = s
+		} else {
+			q.mTail = s
+		}
+		q.mHead = s
+		return
+	}
+	q.prev[s] = after
+	q.next[s] = q.next[after]
+	if q.next[after] >= 0 {
+		q.prev[q.next[after]] = s
+	} else {
+		q.mTail = s
+	}
+	q.next[after] = s
 }
 
 // Push offers a prefetch candidate. It returns true if the candidate was
@@ -65,110 +162,88 @@ func NewPrefetchQueue(capacity int) *PrefetchQueue {
 // as a duplicate.
 func (q *PrefetchQueue) Push(l isa.Line) bool {
 	q.pushed++
-	for i := range q.entries {
-		e := &q.entries[i]
-		if e.state == stateEmpty || e.line != l {
-			continue
-		}
-		switch e.state {
-		case stateWaiting:
+	if slot, ok := q.idx.get(l); ok {
+		e := &q.entries[slot]
+		if e.state == stateWaiting {
 			// Hoist: make it the newest so LIFO issue picks it next.
 			q.nextSeq++
 			e.seq = q.nextSeq
 			q.hoisted++
+			q.listRemove(&q.wHead, &q.wTail, slot)
+			q.listAppend(&q.wHead, &q.wTail, slot)
 			return true
-		case stateIssued, stateInvalid:
-			q.droppedDup++
-			return false
 		}
+		q.droppedDup++
+		return false
 	}
-	// New entry: empty slot, else reclaim oldest issued/invalid marker,
-	// else drop the oldest waiting prefetch.
-	slot := q.findSlot()
+	// New entry: unclaimed slot, else reclaim the oldest issued/invalid
+	// marker, else drop the oldest waiting prefetch.
+	var slot int32
+	switch {
+	case q.filled < len(q.entries):
+		slot = int32(q.filled)
+		q.filled++
+	case q.mHead >= 0:
+		slot = q.mHead
+		q.listRemove(&q.mHead, &q.mTail, slot)
+		q.idx.del(q.entries[slot].line)
+	default:
+		q.droppedOld++
+		slot = q.wHead
+		q.listRemove(&q.wHead, &q.wTail, slot)
+		q.idx.del(q.entries[slot].line)
+		q.waiting--
+	}
 	q.nextSeq++
 	q.entries[slot] = queueEntry{line: l, state: stateWaiting, seq: q.nextSeq}
+	q.idx.set(l, slot)
+	q.listAppend(&q.wHead, &q.wTail, slot)
+	q.waiting++
 	return true
-}
-
-func (q *PrefetchQueue) findSlot() int {
-	oldestMarker, oldestWaiting := -1, -1
-	var markerSeq, waitingSeq uint64
-	for i := range q.entries {
-		e := &q.entries[i]
-		switch e.state {
-		case stateEmpty:
-			return i
-		case stateIssued, stateInvalid:
-			if oldestMarker < 0 || e.seq < markerSeq {
-				oldestMarker, markerSeq = i, e.seq
-			}
-		case stateWaiting:
-			if oldestWaiting < 0 || e.seq < waitingSeq {
-				oldestWaiting, waitingSeq = i, e.seq
-			}
-		}
-	}
-	if oldestMarker >= 0 {
-		return oldestMarker
-	}
-	q.droppedOld++
-	return oldestWaiting
 }
 
 // PopNewest removes and returns the newest waiting entry (LIFO issue
 // order, the paper's policy). The slot transitions to issued, retaining
 // the line as a duplicate-filter marker.
 func (q *PrefetchQueue) PopNewest() (isa.Line, bool) {
-	return q.pop(func(a, b uint64) bool { return a > b })
+	return q.popSlot(q.wTail)
 }
 
 // PopOldest removes and returns the oldest waiting entry (FIFO issue
 // order; the A4 ablation).
 func (q *PrefetchQueue) PopOldest() (isa.Line, bool) {
-	return q.pop(func(a, b uint64) bool { return a < b })
+	return q.popSlot(q.wHead)
 }
 
-func (q *PrefetchQueue) pop(better func(a, b uint64) bool) (isa.Line, bool) {
-	best := -1
-	var bestSeq uint64
-	for i := range q.entries {
-		e := &q.entries[i]
-		if e.state == stateWaiting && (best < 0 || better(e.seq, bestSeq)) {
-			best, bestSeq = i, e.seq
-		}
-	}
-	if best < 0 {
+func (q *PrefetchQueue) popSlot(slot int32) (isa.Line, bool) {
+	if slot < 0 {
 		return 0, false
 	}
-	q.entries[best].state = stateIssued
-	return q.entries[best].line, true
+	q.listRemove(&q.wHead, &q.wTail, slot)
+	q.waiting--
+	q.entries[slot].state = stateIssued
+	q.markerInsert(slot)
+	return q.entries[slot].line, true
 }
 
 // OnDemandFetch invalidates any waiting entry for line l (the demand
 // fetch supersedes the prefetch). It returns true if an entry was
 // invalidated.
 func (q *PrefetchQueue) OnDemandFetch(l isa.Line) bool {
-	for i := range q.entries {
-		e := &q.entries[i]
-		if e.state == stateWaiting && e.line == l {
-			e.state = stateInvalid
-			q.invalidated++
-			return true
-		}
+	slot, ok := q.idx.get(l)
+	if !ok || q.entries[slot].state != stateWaiting {
+		return false
 	}
-	return false
+	q.listRemove(&q.wHead, &q.wTail, slot)
+	q.waiting--
+	q.entries[slot].state = stateInvalid
+	q.invalidated++
+	q.markerInsert(slot)
+	return true
 }
 
 // Waiting returns the number of waiting entries.
-func (q *PrefetchQueue) Waiting() int {
-	n := 0
-	for i := range q.entries {
-		if q.entries[i].state == stateWaiting {
-			n++
-		}
-	}
-	return n
-}
+func (q *PrefetchQueue) Waiting() int { return q.waiting }
 
 // Capacity returns the queue's slot count.
 func (q *PrefetchQueue) Capacity() int { return len(q.entries) }
@@ -190,6 +265,10 @@ func (q *PrefetchQueue) Reset() {
 	for i := range q.entries {
 		q.entries[i] = queueEntry{}
 	}
+	q.idx.reset()
+	q.wHead, q.wTail, q.mHead, q.mTail = -1, -1, -1, -1
+	q.waiting = 0
+	q.filled = 0
 	q.nextSeq = 0
 	q.pushed = 0
 	q.droppedDup = 0
@@ -201,10 +280,15 @@ func (q *PrefetchQueue) Reset() {
 // RecentList is the paper's filter over the most recent demand fetches
 // (Section 4.1): a small ring of line addresses; prefetch candidates
 // matching any of them are dropped before reaching the queue.
+//
+// Contains runs once per prefetch candidate, so instead of scanning the
+// ring it consults a line→occurrence-count index maintained by Add (the
+// ring may hold the same line several times).
 type RecentList struct {
-	ring []isa.Line
-	used int
-	head int
+	ring   []isa.Line
+	used   int
+	head   int
+	counts *lineIndex
 }
 
 // NewRecentList creates a list tracking the last n demand fetches
@@ -213,30 +297,31 @@ func NewRecentList(n int) *RecentList {
 	if n < 1 {
 		panic("core: recent list size must be >= 1")
 	}
-	return &RecentList{ring: make([]isa.Line, n)}
+	return &RecentList{ring: make([]isa.Line, n), counts: newLineIndex(n)}
 }
 
-// Add records a demand fetch.
+// Add records a demand fetch, forgetting the oldest one when full.
 func (r *RecentList) Add(l isa.Line) {
+	if r.used == len(r.ring) {
+		r.counts.dec(r.ring[r.head])
+	}
 	r.ring[r.head] = l
 	r.head = (r.head + 1) % len(r.ring)
 	if r.used < len(r.ring) {
 		r.used++
 	}
+	r.counts.inc(l)
 }
 
 // Contains reports whether l is among the tracked recent fetches.
 func (r *RecentList) Contains(l isa.Line) bool {
-	for i := 0; i < r.used; i++ {
-		if r.ring[i] == l {
-			return true
-		}
-	}
-	return false
+	_, ok := r.counts.get(l)
+	return ok
 }
 
 // Reset forgets all history.
 func (r *RecentList) Reset() {
 	r.used = 0
 	r.head = 0
+	r.counts.reset()
 }

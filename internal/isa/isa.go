@@ -10,7 +10,10 @@
 // required, so blocks carry only addresses, lengths and CTI classes.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a byte address in a simulated 64-bit address space. The top
 // bits are used by the CMP harness as an address-space identifier so that
@@ -26,9 +29,10 @@ const InstrBytes = 4
 type Line uint64
 
 // LineOf returns the line containing addr for the given line size in
-// bytes (which must be a power of two).
+// bytes (which must be a power of two). The shift replaces a hardware
+// division: this runs on every modelled memory operation.
 func LineOf(addr Addr, lineBytes int) Line {
-	return Line(uint64(addr) / uint64(lineBytes))
+	return Line(uint64(addr) >> uint(bits.TrailingZeros(uint(lineBytes))))
 }
 
 // Base returns the first byte address of the line.

@@ -88,15 +88,90 @@ func (p *Port) Reset() {
 // its line in flight waits only for the remaining latency instead of
 // initiating a second transfer; this is how partially-timely prefetches
 // hide part of the miss latency.
+//
+// Every instruction fetch, data access and prefetch issue consults this
+// tracker, so it is implemented as an open-addressed hash table (linear
+// probing, backward-shift deletion) rather than a Go map: the table
+// keeps keys and completion times in flat arrays with no per-operation
+// allocation or hashing indirection. The tracked set and every query
+// result are identical to the previous map-backed implementation.
 type InFlight struct {
-	m   map[isa.Line]uint64
-	cap int
+	keys  []isa.Line
+	vals  []uint64
+	live  []bool
+	mask  uint64
+	shift uint
+	n     int
+	cap   int
 }
 
 // NewInFlight creates a tracker with the given capacity. Capacity 0
 // means unbounded.
 func NewInFlight(capacity int) *InFlight {
-	return &InFlight{m: make(map[isa.Line]uint64), cap: capacity}
+	f := &InFlight{cap: capacity}
+	f.alloc(64)
+	return f
+}
+
+func (f *InFlight) alloc(size int) {
+	f.keys = make([]isa.Line, size)
+	f.vals = make([]uint64, size)
+	f.live = make([]bool, size)
+	f.mask = uint64(size - 1)
+	shift := uint(0)
+	for s := size; s > 1; s >>= 1 {
+		shift++
+	}
+	f.shift = 64 - shift
+}
+
+// home returns the key's preferred table position (Fibonacci hashing:
+// line addresses are near-sequential and need multiplicative mixing).
+func (f *InFlight) home(l isa.Line) uint64 {
+	const phi = 0x9E3779B97F4A7C15
+	return (uint64(l) * phi) >> f.shift
+}
+
+// grow doubles the table and rehashes all live entries.
+func (f *InFlight) grow() {
+	keys, vals, live := f.keys, f.vals, f.live
+	f.alloc(2 * len(keys))
+	for i, ok := range live {
+		if !ok {
+			continue
+		}
+		l, v := keys[i], vals[i]
+		for h := f.home(l); ; h = (h + 1) & f.mask {
+			if !f.live[h] {
+				f.keys[h], f.vals[h], f.live[h] = l, v, true
+				break
+			}
+		}
+	}
+}
+
+// remove deletes the entry at table position h, compacting the probe
+// chain behind it (backward-shift deletion for linear probing).
+func (f *InFlight) remove(h uint64) {
+	i := h
+	f.live[i] = false
+	f.n--
+	for j := (i + 1) & f.mask; f.live[j]; j = (j + 1) & f.mask {
+		k := f.home(f.keys[j])
+		// Move j's entry into the hole at i unless its home position
+		// lies strictly inside the cyclic interval (i, j].
+		var inInterval bool
+		if i < j {
+			inInterval = k > i && k <= j
+		} else {
+			inInterval = k > i || k <= j
+		}
+		if !inInterval {
+			f.keys[i], f.vals[i], f.live[i] = f.keys[j], f.vals[j], true
+			f.live[j] = false
+			i = j
+		}
+	}
 }
 
 // Start records that line l completes at the given cycle. It returns
@@ -104,16 +179,23 @@ func NewInFlight(capacity int) *InFlight {
 // exhaustion. Starting an already-tracked line keeps the earlier
 // completion time.
 func (f *InFlight) Start(l isa.Line, completeAt uint64) bool {
-	if old, ok := f.m[l]; ok {
-		if completeAt < old {
-			f.m[l] = completeAt
+	h := f.home(l)
+	for ; f.live[h]; h = (h + 1) & f.mask {
+		if f.keys[h] == l {
+			if completeAt < f.vals[h] {
+				f.vals[h] = completeAt
+			}
+			return true
 		}
-		return true
 	}
-	if f.cap > 0 && len(f.m) >= f.cap {
+	if f.cap > 0 && f.n >= f.cap {
 		return false
 	}
-	f.m[l] = completeAt
+	f.keys[h], f.vals[h], f.live[h] = l, completeAt, true
+	f.n++
+	if 2*f.n > len(f.keys) {
+		f.grow()
+	}
 	return true
 }
 
@@ -121,42 +203,60 @@ func (f *InFlight) Start(l isa.Line, completeAt uint64) bool {
 // cycle now. Entries whose completion is at or before now are treated as
 // landed and removed.
 func (f *InFlight) Lookup(l isa.Line, now uint64) (uint64, bool) {
-	c, ok := f.m[l]
-	if !ok {
+	for h := f.home(l); f.live[h]; h = (h + 1) & f.mask {
+		if f.keys[h] != l {
+			continue
+		}
+		if c := f.vals[h]; c > now {
+			return c, true
+		}
+		f.remove(h)
 		return 0, false
 	}
-	if c <= now {
-		delete(f.m, l)
-		return 0, false
-	}
-	return c, true
+	return 0, false
 }
 
 // Contains reports whether l is tracked (regardless of completion time).
 func (f *InFlight) Contains(l isa.Line) bool {
-	_, ok := f.m[l]
-	return ok
+	for h := f.home(l); f.live[h]; h = (h + 1) & f.mask {
+		if f.keys[h] == l {
+			return true
+		}
+	}
+	return false
 }
 
 // Complete removes line l from the tracker (its fill has been consumed).
 func (f *InFlight) Complete(l isa.Line) {
-	delete(f.m, l)
-}
-
-// Expire removes all entries whose completion cycle is at or before now.
-// The simulator calls it periodically to bound map growth.
-func (f *InFlight) Expire(now uint64) {
-	for l, c := range f.m {
-		if c <= now {
-			delete(f.m, l)
+	for h := f.home(l); f.live[h]; h = (h + 1) & f.mask {
+		if f.keys[h] == l {
+			f.remove(h)
+			return
 		}
 	}
 }
 
+// Expire removes all entries whose completion cycle is at or before now.
+// The simulator calls it periodically to bound table growth. Landed
+// entries are collected first and then deleted one by one, because
+// backward-shift deletion moves entries while a scan is in progress.
+func (f *InFlight) Expire(now uint64) {
+	var landed []isa.Line
+	for i, ok := range f.live {
+		if ok && f.vals[i] <= now {
+			landed = append(landed, f.keys[i])
+		}
+	}
+	for _, l := range landed {
+		f.Complete(l)
+	}
+}
+
 // Len returns the number of in-flight lines.
-func (f *InFlight) Len() int { return len(f.m) }
+func (f *InFlight) Len() int { return f.n }
 
 // Reset clears all entries.
 func (f *InFlight) Reset() {
-	clear(f.m)
+	clear(f.live)
+	f.n = 0
 }

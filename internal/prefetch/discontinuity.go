@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -56,30 +57,44 @@ func (c DiscontinuityConfig) Validate() error {
 // TableBits estimates the prediction table's storage cost in bits:
 // per entry, a trigger tag and a target line address (the paper's
 // 64 B lines in a 41-bit physical space leave 35 line bits; the
-// direct-mapped index bits come off the trigger tag), the 2-bit
-// eviction counter, the 3-bit confidence counter when enabled, and a
-// valid bit. This is the x-axis of pareto-front extraction over
-// table-size-bits vs. speedup in design-space sweeps.
+// direct-mapped index bits come off the trigger tag), the eviction
+// counter (wide enough to hold CounterMax — 2 bits for the paper's
+// saturation value of 3 — and absent entirely under NoCounter), the
+// confidence counter when enabled (sized from ConfidenceMax the same
+// way), and a valid bit. This is the x-axis of pareto-front extraction
+// over table-size-bits vs. speedup in design-space sweeps, so it must
+// track the configured widths, not the paper defaults.
 func (c DiscontinuityConfig) TableBits() int {
 	const lineAddrBits = 35
 	indexBits := 0
 	for n := c.TableEntries; n > 1; n >>= 1 {
 		indexBits++
 	}
-	entry := (lineAddrBits - indexBits) + lineAddrBits + 2 + 1
+	entry := (lineAddrBits - indexBits) + lineAddrBits + 1
+	if !c.NoCounter {
+		// Mirror NewDiscontinuity's defaulting: an unset CounterMax
+		// means the paper's 2-bit counter saturating at 3.
+		max := c.CounterMax
+		if max == 0 {
+			max = 3
+		}
+		entry += bits.Len8(max)
+	}
 	if c.ConfidenceFilter {
-		entry += 3
+		max := c.ConfidenceMax
+		if max == 0 {
+			max = 7
+		}
+		entry += bits.Len8(max)
 	}
 	return c.TableEntries * entry
 }
 
-type dentry struct {
-	trigger isa.Line
-	target  isa.Line
-	ctr     uint8
-	conf    uint8
-	valid   bool
-}
+// The prediction table is stored as parallel per-slot arrays rather
+// than an array of entry structs: OnFetch probes PrefetchAhead+1 random
+// slots on every fetch, and keeping the trigger tags densely packed
+// (8 bytes per slot instead of a 24-byte struct) means the probe loop
+// — which usually misses — touches a third of the memory.
 
 // Discontinuity is the paper's discontinuity prefetcher paired with its
 // next-N-line sequential component.
@@ -106,15 +121,20 @@ type dentry struct {
 //   - Usefulness: when a prefetched target line is demand-used, the
 //     entry that predicted it gets its counter credited.
 type Discontinuity struct {
-	cfg     DiscontinuityConfig
-	name    string
-	mask    uint64
-	entries []dentry
+	cfg      DiscontinuityConfig
+	name     string
+	mask     uint64
+	triggers []isa.Line
+	targets  []isa.Line
+	ctr      []uint8
+	conf     []uint8
+	valid    []bool
 
 	// pending maps issued target lines to the table slot that predicted
-	// them, for usefulness credit. Bounded; stale entries are simply
-	// dropped.
-	pending map[isa.Line]int32
+	// them, for usefulness credit. A fixed-size open-addressed table
+	// (not a Go map — this is written on every probe hit); bounded, and
+	// stale entries are simply dropped.
+	pending *creditTable
 
 	allocations  uint64
 	replacements uint64
@@ -123,8 +143,9 @@ type Discontinuity struct {
 	suppressed   uint64
 
 	// targetSlots maps target lines to predicting slots for confidence
-	// feedback on L1 evictions; bounded like pending.
-	targetSlots map[isa.Line]int32
+	// feedback on L1 evictions; bounded like pending, and only
+	// allocated when the confidence filter is active.
+	targetSlots *creditTable
 }
 
 const pendingCap = 512
@@ -150,14 +171,21 @@ func NewDiscontinuity(cfg DiscontinuityConfig) *Discontinuity {
 	if cfg.PrefetchAhead == 4 {
 		name = "discontinuity"
 	}
-	return &Discontinuity{
-		cfg:         cfg,
-		name:        name,
-		mask:        uint64(cfg.TableEntries - 1),
-		entries:     make([]dentry, cfg.TableEntries),
-		pending:     make(map[isa.Line]int32, pendingCap),
-		targetSlots: make(map[isa.Line]int32, pendingCap),
+	p := &Discontinuity{
+		cfg:      cfg,
+		name:     name,
+		mask:     uint64(cfg.TableEntries - 1),
+		triggers: make([]isa.Line, cfg.TableEntries),
+		targets:  make([]isa.Line, cfg.TableEntries),
+		ctr:      make([]uint8, cfg.TableEntries),
+		conf:     make([]uint8, cfg.TableEntries),
+		valid:    make([]bool, cfg.TableEntries),
+		pending:  newCreditTable(pendingCap),
 	}
+	if cfg.ConfidenceFilter {
+		p.targetSlots = newCreditTable(4 * pendingCap)
+	}
+	return p
 }
 
 // Name implements Prefetcher.
@@ -165,10 +193,6 @@ func (p *Discontinuity) Name() string { return p.name }
 
 // Config returns the active configuration.
 func (p *Discontinuity) Config() DiscontinuityConfig { return p.cfg }
-
-func (p *Discontinuity) slot(trigger isa.Line) *dentry {
-	return &p.entries[uint64(trigger)&p.mask]
-}
 
 // OnFetch implements Prefetcher.
 func (p *Discontinuity) OnFetch(ev Event, out []isa.Line) []isa.Line {
@@ -181,49 +205,38 @@ func (p *Discontinuity) OnFetch(ev Event, out []isa.Line) []isa.Line {
 	}
 	// Discontinuity component: probe with the demand line and each line
 	// of the prefetch-ahead window.
+	p.probes += uint64(n + 1)
 	for i := 0; i <= n; i++ {
 		probe := ev.Line + isa.Line(i)
-		p.probes++
-		e := p.slot(probe)
-		if !e.valid || e.trigger != probe {
+		h := uint64(probe) & p.mask
+		if p.triggers[h] != probe || !p.valid[h] {
 			continue
 		}
 		p.probeHits++
-		if p.cfg.ConfidenceFilter && e.conf < p.cfg.ConfidenceThreshold {
+		if p.cfg.ConfidenceFilter && p.conf[h] < p.cfg.ConfidenceThreshold {
 			p.suppressed++
 			continue
 		}
+		// A hit at L+i covers the remainder of the prefetch-ahead window
+		// past the target: G, G+1 … G+(N−i). At the window edge (i == N)
+		// only the target itself is emitted.
+		target := p.targets[h]
 		rem := n - i
-		if rem < 1 {
-			rem = 1
-		}
 		for j := 0; j <= rem; j++ {
-			out = append(out, e.target+isa.Line(j))
+			out = append(out, target+isa.Line(j))
 		}
-		p.credit(e.target, int32(uint64(probe)&p.mask))
+		p.credit(target, int32(h))
 	}
 	return out
 }
 
 // credit remembers which slot predicted target so a later demand use can
-// increment its counter.
+// increment its counter. Both tables evict a stale credit when full;
+// losing credit is harmless.
 func (p *Discontinuity) credit(target isa.Line, slot int32) {
-	if len(p.pending) >= pendingCap {
-		// Drop an arbitrary stale credit; losing credit is harmless.
-		for k := range p.pending {
-			delete(p.pending, k)
-			break
-		}
-	}
-	p.pending[target] = slot
+	p.pending.put(target, slot)
 	if p.cfg.ConfidenceFilter {
-		if len(p.targetSlots) >= 4*pendingCap {
-			for k := range p.targetSlots {
-				delete(p.targetSlots, k)
-				break
-			}
-		}
-		p.targetSlots[target] = slot
+		p.targetSlots.put(target, slot)
 	}
 }
 
@@ -235,21 +248,20 @@ func (p *Discontinuity) OnL1Eviction(line isa.Line, wasUsed bool) {
 	if !p.cfg.ConfidenceFilter {
 		return
 	}
-	slot, ok := p.targetSlots[line]
+	slot, ok := p.targetSlots.get(line)
 	if !ok {
 		return
 	}
-	e := &p.entries[slot]
-	if !e.valid || e.target != line {
-		delete(p.targetSlots, line)
+	if !p.valid[slot] || p.targets[slot] != line {
+		p.targetSlots.del(line)
 		return
 	}
 	if wasUsed {
-		if e.conf < p.cfg.ConfidenceMax {
-			e.conf++
+		if p.conf[slot] < p.cfg.ConfidenceMax {
+			p.conf[slot]++
 		}
-	} else if e.conf > 0 {
-		e.conf--
+	} else if p.conf[slot] > 0 {
+		p.conf[slot]--
 	}
 }
 
@@ -263,58 +275,68 @@ func (p *Discontinuity) OnDiscontinuity(trigger, target isa.Line, targetMissed b
 	if target > trigger && target <= trigger+isa.Line(p.cfg.PrefetchAhead) {
 		return
 	}
-	e := p.slot(trigger)
-	if e.valid && e.trigger == trigger {
-		if e.target == target {
+	h := uint64(trigger) & p.mask
+	if p.valid[h] && p.triggers[h] == trigger {
+		if p.targets[h] == target {
 			return // already represented
 		}
 		// Same trigger, new target: treat like a conflicting candidate.
-		if p.cfg.NoCounter || e.ctr == 0 {
-			e.target = target
-			e.ctr = p.cfg.CounterMax
-			e.conf = p.cfg.ConfidenceThreshold
+		if p.cfg.NoCounter || p.ctr[h] == 0 {
+			p.targets[h] = target
+			p.ctr[h] = p.cfg.CounterMax
+			p.conf[h] = p.cfg.ConfidenceThreshold
 			p.replacements++
 			return
 		}
-		e.ctr--
+		p.ctr[h]--
 		return
 	}
-	if !e.valid {
-		*e = dentry{trigger: trigger, target: target, ctr: p.cfg.CounterMax,
-			conf: p.cfg.ConfidenceThreshold, valid: true}
+	if !p.valid[h] {
+		p.setEntry(h, trigger, target)
 		p.allocations++
 		return
 	}
 	// Conflict with a different trigger mapping to the same slot.
-	if p.cfg.NoCounter || e.ctr == 0 {
-		*e = dentry{trigger: trigger, target: target, ctr: p.cfg.CounterMax,
-			conf: p.cfg.ConfidenceThreshold, valid: true}
+	if p.cfg.NoCounter || p.ctr[h] == 0 {
+		p.setEntry(h, trigger, target)
 		p.replacements++
 		return
 	}
-	e.ctr--
+	p.ctr[h]--
+}
+
+// setEntry installs a fresh table entry at slot h.
+func (p *Discontinuity) setEntry(h uint64, trigger, target isa.Line) {
+	p.triggers[h] = trigger
+	p.targets[h] = target
+	p.ctr[h] = p.cfg.CounterMax
+	p.conf[h] = p.cfg.ConfidenceThreshold
+	p.valid[h] = true
 }
 
 // OnPrefetchUseful implements Prefetcher: credit the predicting entry.
 func (p *Discontinuity) OnPrefetchUseful(line isa.Line) {
-	slot, ok := p.pending[line]
+	slot, ok := p.pending.get(line)
 	if !ok {
 		return
 	}
-	delete(p.pending, line)
-	e := &p.entries[slot]
-	if e.valid && e.target == line && e.ctr < p.cfg.CounterMax {
-		e.ctr++
+	p.pending.del(line)
+	if p.valid[slot] && p.targets[slot] == line && p.ctr[slot] < p.cfg.CounterMax {
+		p.ctr[slot]++
 	}
 }
 
 // Reset implements Prefetcher.
 func (p *Discontinuity) Reset() {
-	for i := range p.entries {
-		p.entries[i] = dentry{}
+	clear(p.triggers)
+	clear(p.targets)
+	clear(p.ctr)
+	clear(p.conf)
+	clear(p.valid)
+	p.pending.reset()
+	if p.targetSlots != nil {
+		p.targetSlots.reset()
 	}
-	clear(p.pending)
-	clear(p.targetSlots)
 	p.allocations = 0
 	p.replacements = 0
 	p.probes = 0
@@ -325,8 +347,8 @@ func (p *Discontinuity) Reset() {
 // Occupancy returns the number of valid table entries.
 func (p *Discontinuity) Occupancy() int {
 	n := 0
-	for i := range p.entries {
-		if p.entries[i].valid {
+	for _, v := range p.valid {
+		if v {
 			n++
 		}
 	}
@@ -352,9 +374,9 @@ func (p *Discontinuity) Suppressed() uint64 { return p.suppressed }
 
 // Lookup exposes the stored target for a trigger line (tests).
 func (p *Discontinuity) Lookup(trigger isa.Line) (isa.Line, bool) {
-	e := p.slot(trigger)
-	if e.valid && e.trigger == trigger {
-		return e.target, true
+	h := uint64(trigger) & p.mask
+	if p.valid[h] && p.triggers[h] == trigger {
+		return p.targets[h], true
 	}
 	return 0, false
 }

@@ -58,10 +58,11 @@ func NewNone() *None { return &None{} }
 // Name implements Prefetcher.
 func (*None) Name() string { return "none" }
 
-// OnFetch implements Prefetcher.
-func (*None) OnFetch(Event, []isa.Line) []isa.Line { return nil }
+// OnFetch implements Prefetcher: no candidates, out returned untouched
+// so callers keep their preallocated buffer.
+func (*None) OnFetch(_ Event, out []isa.Line) []isa.Line { return out }
 
-// OnFetch never returns candidates; keep out untouched semantics simple.
+// OnDiscontinuity implements Prefetcher.
 func (*None) OnDiscontinuity(isa.Line, isa.Line, bool) {}
 
 // OnPrefetchUseful implements Prefetcher.

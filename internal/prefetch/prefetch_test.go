@@ -140,9 +140,10 @@ func TestDiscontinuityLearnsAndPredicts(t *testing.T) {
 	if !equalLines(out, want) {
 		t.Fatalf("out = %v, want %v", out, want)
 	}
-	// Probe at window end (i=N): remainder clamps to 1.
+	// Probe at window end (i=N): the remainder is empty, so exactly the
+	// target is emitted.
 	out = p.OnFetch(Event{Line: 96, Miss: true}, nil)
-	want = lines(97, 98, 99, 100, 1000, 1001)
+	want = lines(97, 98, 99, 100, 1000)
 	if !equalLines(out, want) {
 		t.Fatalf("out = %v, want %v", out, want)
 	}
@@ -277,8 +278,8 @@ func TestDiscontinuityPendingBounded(t *testing.T) {
 		p.OnDiscontinuity(tr, tr+1000, true)
 		p.OnFetch(Event{Line: tr, Miss: true}, nil)
 	}
-	if len(p.pending) > pendingCap {
-		t.Fatalf("pending grew to %d", len(p.pending))
+	if p.pending.len() > pendingCap {
+		t.Fatalf("pending grew to %d", p.pending.len())
 	}
 }
 
@@ -373,5 +374,64 @@ func BenchmarkDiscontinuityOnFetch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out = p.OnFetch(Event{Line: isa.Line(i & 0xfff), Miss: true}, out[:0])
+	}
+}
+
+func TestDiscontinuityWindowEdgeEmission(t *testing.T) {
+	// A table hit at probe L+i must emit the stored target G plus the
+	// remainder of the prefetch-ahead window, G+1 … G+(N−i). At the
+	// window edge (i == N) that remainder is empty: exactly G, nothing
+	// more. An earlier clamp emitted G and G+1 there, inflating traffic.
+	cfg := DefaultDiscontinuityConfig()
+	n := cfg.PrefetchAhead // 4
+	p := NewDiscontinuity(cfg)
+
+	// Store a discontinuity triggered at exactly L+N.
+	trigger := isa.Line(100 + n)
+	p.OnDiscontinuity(trigger, 500, true)
+
+	out := p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	want := lines(101, 102, 103, 104, 500)
+	if !equalLines(out, want) {
+		t.Fatalf("i==N emission: got %v, want %v", out, want)
+	}
+
+	// Mid-window hit for contrast: a trigger at L+2 covers G … G+(N−2).
+	p.Reset()
+	p.OnDiscontinuity(102, 500, true)
+	out = p.OnFetch(Event{Line: 100, Miss: true}, nil)
+	want = lines(101, 102, 103, 104, 500, 501, 502)
+	if !equalLines(out, want) {
+		t.Fatalf("i==2 emission: got %v, want %v", out, want)
+	}
+}
+
+func TestTableBitsAccounting(t *testing.T) {
+	// 8192 entries -> 13 index bits; per entry: (35-13)-bit trigger tag,
+	// 35-bit target, valid bit = 58 bits before counters.
+	base := func(c DiscontinuityConfig) int { return c.TableBits() / c.TableEntries }
+	cases := []struct {
+		name string
+		cfg  DiscontinuityConfig
+		want int // per-entry bits
+	}{
+		{"paper default (2-bit counter)", DefaultDiscontinuityConfig(), 60},
+		{"unset CounterMax defaults to 3", DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4}, 60},
+		{"3-bit counter", DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4, CounterMax: 7}, 61},
+		{"1-bit counter", DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4, CounterMax: 1}, 59},
+		{"no counter", DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4, NoCounter: true}, 58},
+		{"confidence adds 3 bits by default", DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4, CounterMax: 3, ConfidenceFilter: true}, 63},
+		{"4-bit confidence", DiscontinuityConfig{TableEntries: 8192, PrefetchAhead: 4, CounterMax: 3, ConfidenceFilter: true, ConfidenceMax: 15}, 64},
+	}
+	for _, tc := range cases {
+		if got := base(tc.cfg); got != tc.want {
+			t.Errorf("%s: %d bits/entry, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Smaller tables widen the trigger tag: 256 entries -> 8 index bits,
+	// so the paper-default entry is 65 bits.
+	small := DiscontinuityConfig{TableEntries: 256, PrefetchAhead: 4, CounterMax: 3}
+	if got := small.TableBits(); got != 256*65 {
+		t.Errorf("256-entry table: %d bits, want %d", got, 256*65)
 	}
 }

@@ -148,3 +148,34 @@ func TestPaperSchemesAreRegistered(t *testing.T) {
 		}
 	}
 }
+
+// TestOnFetchReturnsInputSlice pins the OnFetch buffer contract for
+// every registered scheme: the returned slice must be the caller's out
+// slice (possibly extended), never a fresh or nil slice, so front-ends
+// can recycle one preallocated candidate buffer forever. None used to
+// return nil here, permanently discarding the buffer after the first
+// fetch.
+func TestOnFetchReturnsInputSlice(t *testing.T) {
+	events := []Event{
+		{Line: 10},                     // plain hit
+		{Line: 64, Miss: true},         // demand miss
+		{Line: 128, PrefetchHit: true}, // first use of a prefetched line
+	}
+	for _, name := range SchemeNames() {
+		p := MustNew(name)
+		buf := make([]isa.Line, 0, 64)
+		for _, ev := range events {
+			ret := p.OnFetch(ev, buf[:0])
+			if len(ret) > cap(buf) {
+				continue // grown past the buffer; reallocation is legitimate
+			}
+			if cap(ret) == 0 {
+				t.Errorf("%s: OnFetch(%+v) discarded the caller's buffer (returned zero-cap slice)", name, ev)
+				continue
+			}
+			if &ret[:1][0] != &buf[:1][0] {
+				t.Errorf("%s: OnFetch(%+v) returned a different backing array", name, ev)
+			}
+		}
+	}
+}

@@ -6,7 +6,10 @@
 // releases.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // SplitMix64 is the seeding generator recommended by Vigna for
 // initialising other generators. It is also a perfectly good generator in
@@ -35,38 +38,37 @@ type Source interface {
 }
 
 // Rand is a xoshiro256** generator with convenience methods. The zero
-// value is not usable; construct with New.
+// value is not usable; construct with New. The state words are separate
+// fields (not an array) and the rotates use the math/bits intrinsics to
+// keep Uint64 under the compiler's inlining budget: every hot-loop draw
+// (Float64, BoolThr, Intn, the CDF samplers) then inlines the whole
+// generator step instead of paying a call per random number.
 type Rand struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a Rand seeded deterministically from seed via SplitMix64.
 func New(seed uint64) *Rand {
 	sm := NewSplitMix64(seed)
-	r := &Rand{}
-	for i := range r.s {
-		r.s[i] = sm.Uint64()
-	}
+	r := &Rand{s0: sm.Uint64(), s1: sm.Uint64(), s2: sm.Uint64(), s3: sm.Uint64()}
 	// xoshiro must not be seeded to the all-zero state; SplitMix64 cannot
 	// produce four consecutive zeros, but guard anyway.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
 	}
 	return r
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
 	return result
 }
 
@@ -102,6 +104,36 @@ func (r *Rand) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// BoolThreshold precomputes the integer threshold T such that
+// BoolThr(T) decides exactly like Bool(p) — Float64() < p iff the
+// 53-bit draw underlying Float64 is < T. Hoisting the float arithmetic
+// to construction time keeps tight generation loops (two probability
+// draws per simulated instruction) in integer compares.
+func BoolThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	// Float64() = x / 2^53 with x an exact 53-bit integer, so
+	// Float64() < p iff x < p*2^53. The product is exact (scaling by a
+	// power of two only moves the exponent); x < v for integer x means
+	// x < trunc(v) when v is integral, x <= trunc(v) otherwise.
+	v := p * (1 << 53)
+	t := uint64(v)
+	if float64(t) != v {
+		t++
+	}
+	return t
+}
+
+// BoolThr returns true with the probability baked into t by
+// BoolThreshold, consuming one Uint64 exactly like Bool.
+func (r *Rand) BoolThr(t uint64) bool {
+	return r.Uint64()>>11 < t
+}
+
 // Geometric returns a sample from a geometric distribution with success
 // probability p, i.e. the number of failures before the first success
 // (support {0, 1, 2, ...}, mean (1-p)/p). p must be in (0, 1].
@@ -127,12 +159,58 @@ func (r *Rand) Fork() *Rand {
 	return New(r.Uint64())
 }
 
+// quantBuckets is the size of the acceleration index used by the CDF
+// samplers: bucket k narrows the inverse-CDF search for u in
+// [k/quantBuckets, (k+1)/quantBuckets). 4096 buckets (16 KB of index
+// per sampler) make the residual search range a handful of entries even
+// in the dense tail of a several-thousand-entry Zipf CDF.
+const quantBuckets = 4096
+
+// buildQuantIndex precomputes, for each bucket boundary k/quantBuckets,
+// the first CDF entry at or above it. Sample then only has to binary
+// search inside one bucket's range, which for the skewed distributions
+// used here is almost always a single entry. The index narrows the
+// search range without changing which entry a given u selects, so
+// sampling results are bit-identical to a full binary search.
+func buildQuantIndex(cdf []float64) []int32 {
+	qidx := make([]int32, quantBuckets+1)
+	i := int32(0)
+	n := int32(len(cdf) - 1)
+	for k := 0; k <= quantBuckets; k++ {
+		bound := float64(k) / quantBuckets
+		for i < n && cdf[i] < bound {
+			i++
+		}
+		qidx[k] = i
+	}
+	return qidx
+}
+
+// sampleCDF returns the first index with cdf[i] >= u. The bucket's
+// [lo, hi] range is exact: entries before lo are < bucketLow <= u, and
+// cdf[hi] >= bucketHigh > u, so the answer always lies inside it.
+func sampleCDF(cdf []float64, qidx []int32, u float64) int {
+	b := int(u * quantBuckets)
+	if b >= quantBuckets {
+		b = quantBuckets - 1
+	}
+	// The bucket ranges are a handful of entries at most, so a linear
+	// first-≥ scan beats binary search (no mispredicted halving branches)
+	// while selecting exactly the same entry.
+	lo, hi := int(qidx[b]), int(qidx[b+1])
+	for lo < hi && cdf[lo] < u {
+		lo++
+	}
+	return lo
+}
+
 // Zipf samples ranks in [0, n) with probability proportional to
 // 1/(rank+1)^s. It uses the inverse-CDF over a precomputed table, which is
 // exact and fast for the table sizes used by the workload generators
 // (thousands of functions).
 type Zipf struct {
-	cdf []float64
+	cdf  []float64
+	qidx []int32
 }
 
 // NewZipf builds a Zipf sampler over n items with exponent s > 0.
@@ -151,7 +229,7 @@ func NewZipf(n int, s float64) *Zipf {
 		cdf[i] *= inv
 	}
 	cdf[n-1] = 1 // guard against FP round-off
-	return &Zipf{cdf: cdf}
+	return &Zipf{cdf: cdf, qidx: buildQuantIndex(cdf)}
 }
 
 // N returns the number of ranks.
@@ -159,23 +237,13 @@ func (z *Zipf) N() int { return len(z.cdf) }
 
 // Sample draws a rank in [0, N()) using r.
 func (z *Zipf) Sample(r *Rand) int {
-	u := r.Float64()
-	// Binary search for the first cdf entry >= u.
-	lo, hi := 0, len(z.cdf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if z.cdf[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return sampleCDF(z.cdf, z.qidx, r.Float64())
 }
 
 // Categorical samples indices with fixed, arbitrary weights.
 type Categorical struct {
-	cdf []float64
+	cdf  []float64
+	qidx []int32
 }
 
 // NewCategorical builds a sampler over the given non-negative weights.
@@ -198,20 +266,10 @@ func NewCategorical(weights []float64) *Categorical {
 		cdf[i] *= inv
 	}
 	cdf[len(cdf)-1] = 1
-	return &Categorical{cdf: cdf}
+	return &Categorical{cdf: cdf, qidx: buildQuantIndex(cdf)}
 }
 
 // Sample draws an index using r.
 func (c *Categorical) Sample(r *Rand) int {
-	u := r.Float64()
-	lo, hi := 0, len(c.cdf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.cdf[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return sampleCDF(c.cdf, c.qidx, r.Float64())
 }

@@ -27,16 +27,19 @@ type Config struct {
 
 // TLB is one translation buffer with LRU replacement. Not safe for
 // concurrent use.
+//
+// Sets live in two flat parallel arrays (page tags and valid bits,
+// assoc entries per set, MRU first) rather than per-set slices: the
+// lookup runs on every simulated instruction fetch and data access, and
+// the flat layout removes a pointer indirection and keeps a set's tags
+// in one cache line.
 type TLB struct {
-	sets     [][]entry
+	pages    []Page
+	valid    []bool
+	assoc    int
 	setMask  uint64
 	accesses uint64
 	misses   uint64
-}
-
-type entry struct {
-	page  Page
-	valid bool
 }
 
 // New builds a TLB, panicking on invalid sizing.
@@ -48,39 +51,40 @@ func New(cfg Config) *TLB {
 	if n&(n-1) != 0 {
 		panic("tlb: number of sets must be a power of two")
 	}
-	sets := make([][]entry, n)
-	backing := make([]entry, cfg.Entries)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	return &TLB{
+		pages:   make([]Page, cfg.Entries),
+		valid:   make([]bool, cfg.Entries),
+		assoc:   cfg.Assoc,
+		setMask: uint64(n - 1),
 	}
-	return &TLB{sets: sets, setMask: uint64(n - 1)}
 }
 
 // Access looks up page p, filling on miss, and reports whether it hit.
 func (t *TLB) Access(p Page) bool {
 	t.accesses++
-	set := t.sets[uint64(p)&t.setMask]
-	for i := range set {
-		if set[i].valid && set[i].page == p {
+	base := int(uint64(p)&t.setMask) * t.assoc
+	for i := 0; i < t.assoc; i++ {
+		if t.pages[base+i] == p && t.valid[base+i] {
 			// Promote to MRU.
-			e := set[i]
-			copy(set[1:i+1], set[0:i])
-			set[0] = e
+			copy(t.pages[base+1:base+i+1], t.pages[base:base+i])
+			copy(t.valid[base+1:base+i+1], t.valid[base:base+i])
+			t.pages[base], t.valid[base] = p, true
 			return true
 		}
 	}
 	t.misses++
 	// Fill, evicting LRU (last slot).
-	copy(set[1:], set[:len(set)-1])
-	set[0] = entry{page: p, valid: true}
+	copy(t.pages[base+1:base+t.assoc], t.pages[base:base+t.assoc-1])
+	copy(t.valid[base+1:base+t.assoc], t.valid[base:base+t.assoc-1])
+	t.pages[base], t.valid[base] = p, true
 	return false
 }
 
 // Probe reports whether page p is present without side effects.
 func (t *TLB) Probe(p Page) bool {
-	set := t.sets[uint64(p)&t.setMask]
-	for i := range set {
-		if set[i].valid && set[i].page == p {
+	base := int(uint64(p)&t.setMask) * t.assoc
+	for i := 0; i < t.assoc; i++ {
+		if t.pages[base+i] == p && t.valid[base+i] {
 			return true
 		}
 	}
@@ -95,11 +99,8 @@ func (t *TLB) Misses() uint64 { return t.misses }
 
 // Reset invalidates all entries and clears statistics.
 func (t *TLB) Reset() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i] = entry{}
-		}
-	}
+	clear(t.pages)
+	clear(t.valid)
 	t.accesses = 0
 	t.misses = 0
 }

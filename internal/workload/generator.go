@@ -38,6 +38,17 @@ type Generator struct {
 	nearZipf *rng.Zipf
 	farZipf  *rng.Zipf
 
+	// coldMask is ColdDataBytes-1 when that size is a power of two
+	// (the common case), letting dataAddr mask instead of divide; 0
+	// selects the general Uint64n path.
+	coldMask uint64
+
+	// Precomputed rng.BoolThreshold values for the profile's per-
+	// instruction and per-access probabilities, so the generation loops
+	// compare integers instead of converting to float64 every draw.
+	loadThr, storeThr         uint64
+	stackThr, nearThr, farThr uint64
+
 	// base is the address-space base of this process; tidStackOff and
 	// tidNearOff displace this thread's private regions.
 	base        isa.Addr
@@ -66,6 +77,15 @@ func NewGeneratorThread(prog *Program, seed uint64, tid int) *Generator {
 		farZipf:  rng.NewZipf(prog.Profile.HotDataBytes/64, prog.Profile.DataZipfS),
 		base:     SpaceBase(prog.ASID),
 	}
+	if c := prog.Profile.ColdDataBytes; c&(c-1) == 0 {
+		g.coldMask = uint64(c - 1)
+	}
+	pr := &prog.Profile
+	g.loadThr = rng.BoolThreshold(pr.LoadsPerInstr)
+	g.storeThr = rng.BoolThreshold(pr.StoresPerInstr)
+	g.stackThr = rng.BoolThreshold(pr.PStack)
+	g.nearThr = rng.BoolThreshold(pr.PStack + pr.PNear)
+	g.farThr = rng.BoolThreshold(pr.PStack + pr.PNear + pr.PFar)
 	g.r = rng.New(seed ^ prog.Profile.Seed ^ (prog.ASID * 0x9e3779b9) ^ (uint64(tid) << 32))
 	g.tidStackOff = isa.Addr(tid) * threadStackStride
 	g.tidNearOff = isa.Addr(tid) * threadNearStride
@@ -185,14 +205,26 @@ func (g *Generator) Next(b *isa.Block) {
 	}
 }
 
+// drawBool decides a precomputed-threshold probability, replicating
+// Bool's draw-skipping for the degenerate never/always thresholds so
+// the random sequence matches a Bool-based generation exactly.
+func (g *Generator) drawBool(t uint64) bool {
+	if t == 0 {
+		return false
+	}
+	if t == 1<<53 {
+		return true
+	}
+	return g.r.BoolThr(t)
+}
+
 // genMemOps appends this block's data accesses to dst and returns it.
 func (g *Generator) genMemOps(dst []isa.MemOp, numInstrs int) []isa.MemOp {
-	p := &g.prog.Profile
 	for i := 0; i < numInstrs; i++ {
-		if g.r.Bool(p.LoadsPerInstr) {
+		if g.drawBool(g.loadThr) {
 			dst = append(dst, isa.MemOp{Addr: g.dataAddr(), Kind: isa.MemLoad})
 		}
-		if g.r.Bool(p.StoresPerInstr) {
+		if g.drawBool(g.storeThr) {
 			dst = append(dst, isa.MemOp{Addr: g.dataAddr(), Kind: isa.MemStore})
 		}
 	}
@@ -205,21 +237,33 @@ func (g *Generator) genMemOps(dst []isa.MemOp, numInstrs int) []isa.MemOp {
 // from L2 pollution), and cold (streaming, always misses).
 func (g *Generator) dataAddr() isa.Addr {
 	p := &g.prog.Profile
-	u := g.r.Float64()
+	// One 53-bit draw compared against precomputed cumulative
+	// thresholds — the integer image of `u := Float64(); u < P…`.
+	u := g.r.Uint64() >> 11
 	switch {
-	case u < p.PStack:
+	case u < g.stackThr:
 		// Stack frame region scales with call depth; accesses cluster
-		// near the current frame.
+		// near the current frame. The offset only exceeds the region for
+		// very deep stacks, so the wrap-around division is kept off the
+		// common path.
 		off := uint64(len(g.stack))*192 + uint64(g.r.Intn(192))
-		return g.base + stackBase + g.tidStackOff + isa.Addr(off%uint64(p.StackBytes))&^7
-	case u < p.PStack+p.PNear:
+		if off >= uint64(p.StackBytes) {
+			off %= uint64(p.StackBytes)
+		}
+		return g.base + stackBase + g.tidStackOff + isa.Addr(off)&^7
+	case u < g.nearThr:
 		line := uint64(g.nearZipf.Sample(g.r))
 		return g.base + nearBase + g.tidNearOff + isa.Addr(line*64+uint64(g.r.Intn(8))*8)
-	case u < p.PStack+p.PNear+p.PFar:
+	case u < g.farThr:
 		line := uint64(g.farZipf.Sample(g.r))
 		return g.base + hotBase + isa.Addr(line*64+uint64(g.r.Intn(8))*8)
 	default:
-		off := g.r.Uint64n(uint64(p.ColdDataBytes)) &^ 7
+		var off uint64
+		if g.coldMask != 0 {
+			off = g.r.Uint64() & g.coldMask &^ 7
+		} else {
+			off = g.r.Uint64n(uint64(p.ColdDataBytes)) &^ 7
+		}
 		return g.base + coldBase + isa.Addr(off)
 	}
 }

@@ -1,0 +1,74 @@
+package repro
+
+import "testing"
+
+// goldenScenario pins the exact counters a machine configuration must
+// produce. The values were captured from the reference implementation
+// (straight min-clock core interleaving, linear-scan prefetch queue and
+// recent-list, map-based discontinuity credit tracking) immediately
+// after the stats-underflow and window-edge bug fixes; the optimized
+// hot paths must reproduce them bit for bit. Any intentional behaviour
+// change must re-derive these numbers and say why in the commit.
+type goldenScenario struct {
+	name       string
+	cfg        MachineConfig
+	warm, run  uint64
+	wantInstrs uint64
+	wantCycles uint64
+	wantIssued uint64
+	wantUseful uint64
+}
+
+var goldenScenarios = []goldenScenario{
+	{
+		name: "1-core DB discontinuity",
+		cfg:  MachineConfig{Workloads: []string{"DB"}, Prefetcher: PrefetcherDiscontinuity, Seed: 1},
+		warm: 100_000, run: 200_000,
+		wantInstrs: 200_006, wantCycles: 970_419, wantIssued: 18_721, wantUseful: 6_405,
+	},
+	{
+		name: "4-core mix discontinuity bypass",
+		cfg: MachineConfig{Cores: 4, Workloads: []string{"DB", "TPC-W", "jApp", "Web"},
+			Prefetcher: PrefetcherDiscontinuity, BypassL2: true, Seed: 7},
+		warm: 50_000, run: 100_000,
+		wantInstrs: 400_016, wantCycles: 1_076_084, wantIssued: 30_030, wantUseful: 10_187,
+	},
+	{
+		name: "4-core Web n4l-tagged",
+		cfg:  MachineConfig{Cores: 4, Workloads: []string{"Web"}, Prefetcher: PrefetcherNext4Tagged, Seed: 3},
+		warm: 50_000, run: 100_000,
+		wantInstrs: 400_019, wantCycles: 516_821, wantIssued: 21_224, wantUseful: 8_864,
+	},
+	{
+		name: "1-core TPC-W no prefetch",
+		cfg:  MachineConfig{Workloads: []string{"TPC-W"}, Prefetcher: PrefetcherNone, Seed: 5},
+		warm: 100_000, run: 200_000,
+		wantInstrs: 200_003, wantCycles: 1_426_269, wantIssued: 0, wantUseful: 0,
+	},
+}
+
+// TestGoldenHeadlineFigures locks the simulator's headline numbers to
+// the reference behaviour so performance work on the hot paths (core
+// interleaving, queue/filter indexing, prefetcher credit tables) cannot
+// silently change simulation results.
+func TestGoldenHeadlineFigures(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			m, err := NewMachine(sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run(sc.warm)
+			m.ResetStats()
+			m.Run(sc.run)
+			got := m.Metrics()
+			if got.Instructions != sc.wantInstrs || got.Cycles != sc.wantCycles ||
+				got.PrefetchIssued != sc.wantIssued || got.PrefetchUseful != sc.wantUseful {
+				t.Errorf("headline figures drifted:\n got  instrs=%d cycles=%d issued=%d useful=%d\n want instrs=%d cycles=%d issued=%d useful=%d",
+					got.Instructions, got.Cycles, got.PrefetchIssued, got.PrefetchUseful,
+					sc.wantInstrs, sc.wantCycles, sc.wantIssued, sc.wantUseful)
+			}
+		})
+	}
+}
