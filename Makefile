@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist race-core fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core
+.PHONY: build vet test race race-dist race-core fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ race-dist:
 
 # Repeated race pass over the simulation hot path (queue/index/table
 # rewrites); -count=2 catches state leaked across test-internal resets.
+# ./internal/prefetch/... includes the hybrid arbitration subpackage.
 race-core:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/prefetch/... ./internal/cmp/...
 
@@ -54,3 +55,10 @@ bench-trace:
 # cmd/corebench/default.pgo automatically for profile-guided optimisation.
 bench-core:
 	$(GO) run ./cmd/corebench -o BENCH_core.json
+
+# Prefetcher-zoo trajectory: writes BENCH_pref.json (per-scheme
+# Minstr/s, accuracy and miss coverage vs the no-prefetch baseline on
+# the four paper workloads, with per-component attribution for
+# hybrid:* composites).
+bench-pref:
+	$(GO) run ./cmd/prefbench -o BENCH_pref.json

@@ -1,0 +1,160 @@
+// Command prefbench measures the prefetcher zoo: for each scheme ×
+// paper workload it reports simulation throughput (Minstr/s), prefetch
+// accuracy (useful/issued) and miss coverage (L1I miss reduction versus
+// the no-prefetch baseline on the same workload), and writes a
+// BENCH_pref.json snapshot so scheme and arbitration changes can track
+// the trend across PRs. Composite ("hybrid:...") schemes additionally
+// report their per-component attribution.
+//
+// Usage:
+//
+//	prefbench [-n instrs] [-warm instrs] [-seed n]
+//	          [-schemes a,b,c] [-workloads DB,TPC-W,...] [-o BENCH_pref.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cmp"
+)
+
+// component is one attribution row of a composite point.
+type component struct {
+	Name     string  `json:"name"`
+	Issued   uint64  `json:"issued"`
+	Useful   uint64  `json:"useful"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// point is one (scheme, workload) measurement.
+type point struct {
+	Scheme       string      `json:"scheme"`
+	Workload     string      `json:"workload"`
+	Instructions uint64      `json:"instructions"`
+	Seconds      float64     `json:"seconds"`
+	InstrsPerSec float64     `json:"instrs_per_sec"`
+	IPC          float64     `json:"ipc"`
+	Issued       uint64      `json:"issued"`
+	Useful       uint64      `json:"useful"`
+	Accuracy     float64     `json:"accuracy"`
+	Coverage     float64     `json:"coverage"`
+	L1IMissPer1k float64     `json:"l1i_misses_per_1k_instrs"`
+	Components   []component `json:"components,omitempty"`
+}
+
+// report is the BENCH_pref.json schema.
+type report struct {
+	Name          string    `json:"name"`
+	Timestamp     time.Time `json:"timestamp"`
+	GoMaxProcs    int       `json:"gomaxprocs"`
+	WarmInstrs    uint64    `json:"warm_instrs"`
+	MeasureInstrs uint64    `json:"measure_instrs"`
+	Seed          uint64    `json:"seed"`
+	Points        []point   `json:"points"`
+}
+
+func main() {
+	var (
+		measure   = flag.Uint64("n", 1_000_000, "measured instructions per core")
+		warm      = flag.Uint64("warm", 100_000, "warm-up instructions per core")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		schemes   = flag.String("schemes", "discontinuity,streams,mana,progmap,hybrid:discontinuity+streams+mana", "comma-separated schemes to measure")
+		workloads = flag.String("workloads", "DB,TPC-W,jApp,Web", "comma-separated workloads")
+		out       = flag.String("o", "BENCH_pref.json", "output report path")
+	)
+	flag.Parse()
+
+	rep := report{
+		Name:          "pref",
+		Timestamp:     time.Now().UTC(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		WarmInstrs:    *warm,
+		MeasureInstrs: *measure,
+		Seed:          *seed,
+	}
+
+	for _, wl := range strings.Split(*workloads, ",") {
+		wl = strings.TrimSpace(wl)
+		// The no-prefetch baseline anchors coverage for this workload.
+		base, err := run("none", wl, *warm, *measure, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		baseMissRate := base.L1IMissPer1k
+		for _, scheme := range strings.Split(*schemes, ",") {
+			scheme = strings.TrimSpace(scheme)
+			p, err := run(scheme, wl, *warm, *measure, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if baseMissRate > 0 {
+				p.Coverage = 1 - p.L1IMissPer1k/baseMissRate
+			}
+			rep.Points = append(rep.Points, p)
+			fmt.Printf("%-36s %-6s %7.2f Minstr/s  acc %5.1f%%  cov %5.1f%%\n",
+				scheme, wl, p.InstrsPerSec/1e6, 100*p.Accuracy, 100*p.Coverage)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// run builds a single-core machine, warms it, and times the window.
+func run(scheme, wl string, warm, measure, seed uint64) (point, error) {
+	cfg := cmp.DefaultConfig(1)
+	cfg.PrefetcherName = scheme
+	srcs, err := cmp.SourcesFor([]string{wl}, 1, seed)
+	if err != nil {
+		return point{}, err
+	}
+	sys, err := cmp.New(cfg, srcs, nil)
+	if err != nil {
+		return point{}, err
+	}
+	sys.Run(warm)
+	sys.ResetStats()
+
+	start := time.Now()
+	sys.Run(measure)
+	secs := time.Since(start).Seconds()
+
+	sys.Finalize()
+	t := sys.TotalStats()
+	p := point{
+		Scheme:       scheme,
+		Workload:     wl,
+		Instructions: t.Instructions,
+		Seconds:      secs,
+		InstrsPerSec: float64(t.Instructions) / secs,
+		IPC:          t.IPC(),
+		Issued:       t.Prefetch.Issued,
+		Useful:       t.Prefetch.Useful,
+		Accuracy:     t.Prefetch.Accuracy(),
+		L1IMissPer1k: 1000 * float64(t.L1I.Misses) / float64(t.Instructions),
+	}
+	for _, c := range t.Components {
+		p.Components = append(p.Components, component{
+			Name: c.Name, Issued: c.Issued, Useful: c.Useful, Accuracy: c.Accuracy(),
+		})
+	}
+	return p, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefbench:", err)
+	os.Exit(1)
+}

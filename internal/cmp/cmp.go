@@ -19,6 +19,12 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/workload"
+
+	// Register the "hybrid:a+b+c" composite scheme family with the
+	// prefetch registry; every machine consumer (sim, sweep, service,
+	// dist workers, CLIs) assembles through this package, so the import
+	// here makes hybrid names resolve everywhere.
+	_ "repro/internal/prefetch/hybrid"
 )
 
 // Config describes a whole machine.

@@ -71,9 +71,16 @@ type FrontEnd struct {
 
 	candBuf []isa.Line
 
+	// issueObs / compRep are pf's optional attribution extensions,
+	// resolved once at construction to keep type assertions off the
+	// issue hot path. Both are nil for ordinary single schemes.
+	issueObs prefetch.IssueObserver
+	compRep  prefetch.ComponentReporter
+
 	// Baselines let per-run statistics be carved out of the queue's
 	// lifetime counters after a warm-up phase.
 	qBaseOverflow, qBaseInvalidated, qBaseHoisted uint64
+	compBase                                      []prefetch.ComponentCounters
 	expireTick                                    uint64
 }
 
@@ -83,7 +90,7 @@ func NewFrontEnd(cfg FrontEndConfig, pf prefetch.Prefetcher, mem *MemSystem, cs 
 	if cfg.IssueSlotsHit < 0 || cfg.IssueSlotsMiss < 0 {
 		panic("core: negative issue slots")
 	}
-	return &FrontEnd{
+	f := &FrontEnd{
 		cfg:      cfg,
 		l1:       cache.New(cfg.L1I),
 		pf:       pf,
@@ -94,6 +101,9 @@ func NewFrontEnd(cfg FrontEndConfig, pf prefetch.Prefetcher, mem *MemSystem, cs 
 		cs:       cs,
 		candBuf:  make([]isa.Line, 0, 32),
 	}
+	f.issueObs, _ = pf.(prefetch.IssueObserver)
+	f.compRep, _ = pf.(prefetch.ComponentReporter)
+	return f
 }
 
 // L1 exposes the instruction cache (tests/diagnostics).
@@ -236,6 +246,9 @@ func (f *FrontEnd) issuePrefetches(slots int, now uint64) {
 			continue
 		}
 		f.cs.Prefetch.Issued++
+		if f.issueObs != nil {
+			f.issueObs.OnPrefetchIssued(l)
+		}
 		avail, _ := f.mem.PrefetchInstr(l, now, !f.cfg.BypassL2)
 		f.inflight.Start(l, avail)
 		f.insertL1(l, cache.Flags{Inst: true, Prefetched: true})
@@ -269,13 +282,48 @@ func (f *FrontEnd) ResetStatsBaseline() {
 	f.qBaseOverflow = f.queue.DroppedOverflow()
 	f.qBaseInvalidated = f.queue.Invalidated()
 	f.qBaseHoisted = f.queue.Hoisted()
+	if f.compRep != nil {
+		f.compBase = append(f.compBase[:0], f.compRep.ComponentCounters()...)
+	}
 }
 
-// Finalize copies queue-resident counters into the stats record.
+// Finalize copies queue-resident counters into the stats record, and
+// for composite prefetchers the per-component attribution deltas since
+// the last baseline.
 func (f *FrontEnd) Finalize() {
 	f.cs.Prefetch.DroppedOverflow = f.queue.DroppedOverflow() - f.qBaseOverflow
 	f.cs.Prefetch.Invalidated = f.queue.Invalidated() - f.qBaseInvalidated
 	f.cs.Prefetch.Hoisted = f.queue.Hoisted() - f.qBaseHoisted
+	if f.compRep == nil {
+		return
+	}
+	cur := f.compRep.ComponentCounters()
+	comps := make([]stats.ComponentPrefetchStats, 0, len(cur))
+	for i, cc := range cur {
+		// ComponentReporter fixes the row order for the instance's
+		// lifetime, so baselines subtract by index; the name check
+		// guards against a reporter violating that contract.
+		if i < len(f.compBase) && f.compBase[i].Name == cc.Name {
+			b := f.compBase[i]
+			cc.Generated -= b.Generated
+			cc.Emitted -= b.Emitted
+			cc.Suppressed -= b.Suppressed
+			cc.BudgetClipped -= b.BudgetClipped
+			cc.Issued -= b.Issued
+			cc.Useful -= b.Useful
+			cc.ShadowUseful -= b.ShadowUseful
+		}
+		comps = append(comps, stats.ComponentPrefetchStats{
+			Name:         cc.Name,
+			Generated:    cc.Generated,
+			Emitted:      cc.Emitted,
+			Suppressed:   cc.Suppressed,
+			Issued:       cc.Issued,
+			Useful:       cc.Useful,
+			ShadowUseful: cc.ShadowUseful,
+		})
+	}
+	f.cs.Components = comps
 }
 
 // Reset clears all front-end state (cache, queue, filter, predictor).
@@ -288,4 +336,5 @@ func (f *FrontEnd) Reset() {
 	f.qBaseOverflow = 0
 	f.qBaseInvalidated = 0
 	f.qBaseHoisted = 0
+	f.compBase = f.compBase[:0]
 }

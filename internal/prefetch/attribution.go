@@ -1,0 +1,55 @@
+package prefetch
+
+import "repro/internal/isa"
+
+// IssueObserver is implemented by prefetchers that track their
+// candidates past the queue: the front-end reports every prefetch it
+// actually issues (post recent-filter, dedup and tag probe), so a
+// composite can attribute real issue traffic — not just proposals — to
+// the component that originated the line.
+type IssueObserver interface {
+	OnPrefetchIssued(line isa.Line)
+}
+
+// ComponentCounters is one component's share of a composite
+// prefetcher's activity. The sum of Issued (resp. Useful) across a
+// composite's components — including its trailing "unattributed" bucket
+// — equals the front-end's total issued (resp. useful) count exactly.
+type ComponentCounters struct {
+	// Name is the component scheme's reporting name, disambiguated with
+	// a "#n" suffix when the same scheme appears twice in a composite.
+	Name string
+	// Generated counts candidates the component proposed.
+	Generated uint64
+	// Emitted counts proposals the arbiter forwarded to the front-end.
+	Emitted uint64
+	// Suppressed counts proposals withheld by per-PC gating (the
+	// component still shadow-trains on them).
+	Suppressed uint64
+	// BudgetClipped counts proposals dropped by the per-fetch budget.
+	BudgetClipped uint64
+	// Issued counts forwarded proposals that initiated fills.
+	Issued uint64
+	// Useful counts issued fills demand-used before eviction.
+	Useful uint64
+	// ShadowUseful counts suppressed proposals whose line was later
+	// demand-used while prefetched — useful work the gate denied credit
+	// for, which is what earns a component its budget back.
+	ShadowUseful uint64
+}
+
+// Accuracy returns Useful/Issued, or 0 when nothing was issued.
+func (c ComponentCounters) Accuracy() float64 {
+	if c.Issued == 0 {
+		return 0
+	}
+	return float64(c.Useful) / float64(c.Issued)
+}
+
+// ComponentReporter is implemented by composite prefetchers that can
+// break their activity down per component. The returned slice has a
+// fixed length and order for the life of the instance, so callers may
+// take baselines by index.
+type ComponentReporter interface {
+	ComponentCounters() []ComponentCounters
+}

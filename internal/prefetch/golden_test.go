@@ -1,0 +1,103 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// candidateStream drives p through a fixed synthetic fetch script —
+// sequential runs broken by far jumps, usefulness feedback on a
+// deterministic subset of candidates, and branch events for observer
+// schemes — and returns every candidate emitted, in order.
+func candidateStream(p Prefetcher) []isa.Line {
+	out := make([]isa.Line, 0, 8192)
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func(n uint64) uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x % n
+	}
+	line := isa.Line(0x10000)
+	for i := 0; i < 2048; i++ {
+		ev := Event{Line: line, Miss: next(3) == 0, PrefetchHit: next(5) == 0}
+		before := len(out)
+		out = p.OnFetch(ev, out)
+		for _, c := range out[before:] {
+			if next(4) == 0 {
+				p.OnPrefetchUseful(c)
+			}
+		}
+		if bo, ok := p.(BranchObserver); ok && next(7) == 0 {
+			out = bo.OnBranch(line+1, line+2, next(2) == 0, out)
+		}
+		switch next(10) {
+		case 0: // call-like far transfer
+			target := isa.Line(0x10000 + next(1<<14))
+			p.OnDiscontinuity(line, target, next(2) == 0)
+			line = target
+		case 1: // return-like transfer, unreported
+			line = isa.Line(0x10000 + next(1<<12))
+		default:
+			line++
+		}
+	}
+	return out
+}
+
+// streamHash folds a candidate stream into one FNV-1a word.
+func streamHash(cands []isa.Line) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range cands {
+		v := uint64(c)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 0x100000001b3
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// goldenStreams pins every registered scheme's exact candidate stream
+// over the synthetic script. These hashes are behaviour: registry
+// refactors (like parameterized names) and composite work must leave
+// single-scheme prediction bit-identical. An intentional prediction
+// change must re-derive the affected hash and say why in the commit.
+var goldenStreams = map[string]struct {
+	count uint64
+	hash  uint64
+}{
+	"discont-2nl":   {count: 1846, hash: 0xf0fa45658d6054db},
+	"discontinuity": {count: 3957, hash: 0x71c6fc82b24aa76},
+	"lookahead4":    {count: 954, hash: 0x247de15cc94c21ea},
+	"mana":          {count: 2, hash: 0x8701e97c365365ce},
+	"markov":        {count: 95, hash: 0x255fd351d85bf564},
+	"n2l-tagged":    {count: 1824, hash: 0x1773ef86663e0349},
+	"n4l-tagged":    {count: 3812, hash: 0xf40b6f36398fe13e},
+	"n8l-tagged":    {count: 7528, hash: 0xfbc96b52adf4a894},
+	"nl-always":     {count: 2048, hash: 0x64926f6740d20e52},
+	"nl-miss":       {count: 693, hash: 0xa5345e562b97203f},
+	"nl-tagged":     {count: 954, hash: 0x1fa14995891eb1d6},
+	"none":          {count: 0, hash: 0xcbf29ce484222325},
+	"progmap":       {count: 114, hash: 0xdf9657802c136195},
+	"streams":       {count: 2343, hash: 0x7f8781ce4675ed44},
+	"target":        {count: 143, hash: 0x1c7753cdb65bc618},
+	"wrong-path":    {count: 1244, hash: 0x5bb6e1be101c7601},
+}
+
+func TestGoldenCandidateStreams(t *testing.T) {
+	for _, name := range SchemeNames() {
+		want, ok := goldenStreams[name]
+		if !ok {
+			t.Errorf("scheme %q has no golden stream entry — add one", name)
+			continue
+		}
+		got := candidateStream(MustNew(name))
+		if uint64(len(got)) != want.count || streamHash(got) != want.hash {
+			t.Errorf("%s: candidate stream drifted: count=%d hash=%#x, want count=%d hash=%#x",
+				name, len(got), streamHash(got), want.count, want.hash)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package hybrid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cmp"
+)
+
+// TestAttributionSumsMatchFrontEndTotals runs a real workload through a
+// full machine with a composite prefetcher and checks the acceptance
+// invariant end to end: per-component issued/useful counts (including
+// the unattributed bucket) must sum exactly to the front-end's
+// composite totals, through warmup baseline reset and Finalize.
+func TestAttributionSumsMatchFrontEndTotals(t *testing.T) {
+	cfg := cmp.DefaultConfig(1)
+	cfg.PrefetcherName = "hybrid:discontinuity+streams+mana"
+	srcs, err := cmp.SourcesFor([]string{"DB"}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cmp.New(cfg, srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(20_000) // warmup
+	sys.ResetStats()
+	sys.Run(100_000)
+	sys.Finalize()
+
+	total := sys.TotalStats()
+	if total.Prefetch.Issued == 0 {
+		t.Fatal("composite issued no prefetches on DB — nothing to attribute")
+	}
+	if len(total.Components) == 0 {
+		t.Fatal("no per-component stats surfaced")
+	}
+
+	wantNames := map[string]bool{
+		"discontinuity": false, "streams4x4": false, "mana": false, "unattributed": false,
+	}
+	var sumIssued, sumUseful uint64
+	for _, c := range total.Components {
+		if _, ok := wantNames[c.Name]; !ok {
+			t.Errorf("unexpected component row %q", c.Name)
+		}
+		wantNames[c.Name] = true
+		sumIssued += c.Issued
+		sumUseful += c.Useful
+	}
+	for name, seen := range wantNames {
+		if !seen {
+			t.Errorf("missing component row %q", name)
+		}
+	}
+	if sumIssued != total.Prefetch.Issued {
+		t.Errorf("sum(component issued) = %d, front-end issued = %d", sumIssued, total.Prefetch.Issued)
+	}
+	if sumUseful != total.Prefetch.Useful {
+		t.Errorf("sum(component useful) = %d, front-end useful = %d", sumUseful, total.Prefetch.Useful)
+	}
+
+	// On a real looping workload the arbitration should attribute the
+	// bulk of the traffic, not dump it in the unattributed bucket.
+	var attributed uint64
+	for _, c := range total.Components {
+		if c.Name != "unattributed" {
+			attributed += c.Issued
+		}
+	}
+	if attributed == 0 {
+		t.Error("no prefetch attributed to any component")
+	}
+}
+
+// TestSingleSchemeHasNoComponentRows: non-composite machines must not
+// grow component tables — the stats stay exactly as before.
+func TestSingleSchemeHasNoComponentRows(t *testing.T) {
+	cfg := cmp.DefaultConfig(1)
+	cfg.PrefetcherName = "discontinuity"
+	srcs, err := cmp.SourcesFor([]string{"DB"}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cmp.New(cfg, srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(50_000)
+	sys.Finalize()
+	if n := len(sys.TotalStats().Components); n != 0 {
+		t.Errorf("single scheme surfaced %d component rows", n)
+	}
+}
+
+// TestCompositeDeterministicAcrossRuns: two identical machine runs with
+// the composite must produce identical attribution tables.
+func TestCompositeDeterministicAcrossRuns(t *testing.T) {
+	run := func() []string {
+		cfg := cmp.DefaultConfig(1)
+		cfg.PrefetcherName = "hybrid:discontinuity+streams"
+		srcs, err := cmp.SourcesFor([]string{"Web"}, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := cmp.MustNew(cfg, srcs, nil)
+		sys.Run(60_000)
+		sys.Finalize()
+		var rows []string
+		for _, c := range sys.TotalStats().Components {
+			rows = append(rows, fmt.Sprintf("%s=%d/%d", c.Name, c.Issued, c.Useful))
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("attribution row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attribution tables differ at %d", i)
+		}
+	}
+}

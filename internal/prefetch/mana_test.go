@@ -1,0 +1,76 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// walkRegion feeds MANA a demand walk of anchor plus the given offsets
+// within the region, then one far fetch to force the region commit.
+func walkRegion(p *MANA, anchor isa.Line, offsets []int) {
+	p.OnFetch(Event{Line: anchor, Miss: true}, nil)
+	for _, off := range offsets {
+		p.OnFetch(Event{Line: anchor + isa.Line(off)}, nil)
+	}
+	p.OnFetch(Event{Line: anchor + 0x1000, Miss: true}, nil)
+}
+
+func TestMANARecordsAndReplaysFootprint(t *testing.T) {
+	p := NewMANA(DefaultMANAConfig())
+	anchor := isa.Line(0x4000)
+	walkRegion(p, anchor, []int{1, 2, 5})
+
+	foot, ok := p.Lookup(anchor)
+	if !ok {
+		t.Fatal("region not committed")
+	}
+	if want := uint32(1<<0 | 1<<1 | 1<<4); foot != want {
+		t.Fatalf("footprint = %#b, want %#b", foot, want)
+	}
+
+	// A missing revisit of the anchor replays the footprint.
+	got := p.OnFetch(Event{Line: anchor, Miss: true}, nil)
+	want := []isa.Line{anchor + 1, anchor + 2, anchor + 5}
+	if len(got) != len(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay = %v, want %v", got, want)
+		}
+	}
+
+	// A hit revisit (nothing missing) stays quiet.
+	p.OnFetch(Event{Line: anchor + 0x2000, Miss: true}, nil) // leave region again
+	if got := p.OnFetch(Event{Line: anchor}, nil); len(got) != 0 {
+		t.Errorf("hit-revisit emitted %v", got)
+	}
+}
+
+func TestMANASharesRecordsAcrossTriggers(t *testing.T) {
+	p := NewMANA(DefaultMANAConfig())
+	// Three regions with the same footprint shape, one different.
+	walkRegion(p, 0x1000, []int{1, 2})
+	walkRegion(p, 0x2000, []int{1, 2})
+	walkRegion(p, 0x3000, []int{1, 2})
+	walkRegion(p, 0x5000, []int{3, 7})
+	if p.Commits() != 4 {
+		t.Fatalf("commits = %d, want 4", p.Commits())
+	}
+	if p.RecordDedups() != 2 {
+		t.Errorf("record dedups = %d, want 2 (metadata compression not sharing)", p.RecordDedups())
+	}
+}
+
+func TestMANAReset(t *testing.T) {
+	p := NewMANA(DefaultMANAConfig())
+	walkRegion(p, 0x1000, []int{1, 2})
+	p.Reset()
+	if _, ok := p.Lookup(0x1000); ok {
+		t.Error("trigger table survived Reset")
+	}
+	if p.Commits() != 0 || p.RecordDedups() != 0 {
+		t.Error("counters survived Reset")
+	}
+}

@@ -1,0 +1,78 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestProgMapTraversesEdgeChain(t *testing.T) {
+	p := NewProgMap(DefaultProgMapConfig())
+	// A call chain: A -> B -> C, learned from missing discontinuities.
+	// Addresses are chosen not to alias in the direct-mapped tables.
+	a, b, c := isa.Line(0x1000), isa.Line(0x2010), isa.Line(0x3020)
+	p.OnDiscontinuity(a, b, true)
+	p.OnDiscontinuity(b, c, true)
+
+	got := p.OnFetch(Event{Line: a, Miss: true}, nil)
+	// Hop 1: B, B+1 and A's recorded return line for B (a+1).
+	// Hop 2: C, C+1 and B's recorded return line for C (b+1).
+	want := []isa.Line{b, b + 1, a + 1, c, c + 1, b + 1}
+	if len(got) != len(want) {
+		t.Fatalf("traversal = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("traversal = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProgMapDepthBoundsTraversal(t *testing.T) {
+	cfg := DefaultProgMapConfig()
+	cfg.Depth = 1
+	p := NewProgMap(cfg)
+	p.OnDiscontinuity(0x1000, 0x2010, true)
+	p.OnDiscontinuity(0x2010, 0x3020, true)
+	got := p.OnFetch(Event{Line: 0x1000, Miss: true}, nil)
+	if len(got) == 0 {
+		t.Fatal("depth-1 traversal emitted nothing")
+	}
+	for _, l := range got {
+		if l >= 0x3020 {
+			t.Fatalf("depth-1 traversal reached second hop: %v", got)
+		}
+	}
+}
+
+func TestProgMapIgnoresShortForwardSkips(t *testing.T) {
+	p := NewProgMap(DefaultProgMapConfig())
+	p.OnDiscontinuity(0x1000, 0x1003, true) // within the probe window
+	if _, ok := p.Lookup(0x1000); ok {
+		t.Error("short forward skip installed an edge")
+	}
+	p.OnDiscontinuity(0x1000, 0x0800, true) // backward: a real edge
+	if _, ok := p.Lookup(0x1000); !ok {
+		t.Error("backward transition did not install an edge")
+	}
+}
+
+func TestProgMapNonMissingTransitionsDontTrain(t *testing.T) {
+	p := NewProgMap(DefaultProgMapConfig())
+	p.OnDiscontinuity(0x1000, 0x2000, false)
+	if _, ok := p.Lookup(0x1000); ok {
+		t.Error("non-missing transition trained the edge map")
+	}
+}
+
+func TestProgMapReset(t *testing.T) {
+	p := NewProgMap(DefaultProgMapConfig())
+	p.OnDiscontinuity(0x1000, 0x2000, true)
+	p.Reset()
+	if _, ok := p.Lookup(0x1000); ok {
+		t.Error("edge map survived Reset")
+	}
+	if got := p.OnFetch(Event{Line: 0x1000, Miss: true}, nil); len(got) != 0 {
+		t.Errorf("post-Reset traversal emitted %v", got)
+	}
+}

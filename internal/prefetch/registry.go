@@ -3,6 +3,7 @@ package prefetch
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Factory builds a fresh prefetcher instance (one per core).
@@ -28,15 +29,75 @@ var registry = map[string]Factory{
 		cfg.PrefetchAhead = 2
 		return NewDiscontinuity(cfg)
 	},
+	"mana":    func() Prefetcher { return NewMANA(DefaultMANAConfig()) },
+	"progmap": func() Prefetcher { return NewProgMap(DefaultProgMapConfig()) },
 }
 
-// New returns a fresh prefetcher of the named scheme.
-func New(name string) (Prefetcher, error) {
-	f, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("prefetch: unknown scheme %q (known: %v)", name, SchemeNames())
+// FamilyBuilder builds a prefetcher from the argument portion of a
+// parameterized scheme name ("family:args"). Builders must return a
+// fresh instance per call and an error (not a panic) on bad arguments.
+type FamilyBuilder func(args string) (Prefetcher, error)
+
+// families maps scheme-family names to their parameterized builders.
+// Families registered here parse "family:key=val,..." argument lists;
+// external packages (the hybrid composite) add their own via
+// RegisterFamily.
+var families = map[string]FamilyBuilder{}
+
+func init() {
+	RegisterFamily("discontinuity", buildDiscontinuity)
+	RegisterFamily("streams", buildStreams)
+	RegisterFamily("lookahead", buildLookahead)
+	RegisterFamily("mana", buildMANA)
+	RegisterFamily("progmap", buildProgMap)
+}
+
+// RegisterFamily adds a parameterized scheme family ("name:args") to the
+// registry. It panics on duplicate registration — families are wired at
+// init time and a collision is a programming error.
+func RegisterFamily(name string, build FamilyBuilder) {
+	if strings.Contains(name, ":") {
+		panic(fmt.Sprintf("prefetch: family name %q must not contain ':'", name))
 	}
-	return f(), nil
+	if _, dup := families[name]; dup {
+		panic(fmt.Sprintf("prefetch: family %q registered twice", name))
+	}
+	families[name] = build
+}
+
+// FamilyNames returns the registered family names, sorted.
+func FamilyNames() []string {
+	out := make([]string, 0, len(families))
+	for k := range families {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New returns a fresh prefetcher of the named scheme. Three forms are
+// accepted: an exact registered name ("discontinuity"), a parameterized
+// family ("discontinuity:table=1024,ahead=2"), and a composite
+// ("hybrid:discontinuity+streams+mana"). Errors spell out the valid
+// forms so a CLI typo is self-correcting.
+func New(name string) (Prefetcher, error) {
+	if f, ok := registry[name]; ok {
+		return f(), nil
+	}
+	if family, args, ok := strings.Cut(name, ":"); ok {
+		b, known := families[family]
+		if !known {
+			return nil, fmt.Errorf("prefetch: unknown scheme family %q in %q (families: %v; valid forms: name, family:key=val,..., hybrid:a+b+c; exact names: %v)",
+				family, name, FamilyNames(), SchemeNames())
+		}
+		p, err := b(args)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch: scheme %q: %w", name, err)
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("prefetch: unknown scheme %q (known: %v; parameterized forms family:key=val,... and hybrid:a+b+c also accepted, families: %v)",
+		name, SchemeNames(), FamilyNames())
 }
 
 // MustNew is New that panics on unknown names, for use with literal

@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -36,11 +38,38 @@ type Metrics struct {
 	sweepsSaturated uint64 // sweep submissions rejected at the concurrency cap
 	sweepPoints     uint64 // grid points resolved by sweeps
 	sweepRecovered  uint64 // grid points replayed from checkpoints
+
+	// prefComponents accumulates per-component prefetch attribution
+	// from composite (hybrid:*) scheme runs, keyed by component name.
+	prefComponents map[string]*ComponentCount
+}
+
+// ComponentCount is one component's accumulated attribution totals.
+type ComponentCount struct {
+	Issued uint64 `json:"issued"`
+	Useful uint64 `json:"useful"`
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{bucketCounts: make([]uint64, len(latencyBuckets)+1)}
+	return &Metrics{
+		bucketCounts:   make([]uint64, len(latencyBuckets)+1),
+		prefComponents: make(map[string]*ComponentCount),
+	}
+}
+
+// PrefetchComponent accumulates one component's attribution from a
+// freshly simulated composite-scheme run (job or sweep point).
+func (m *Metrics) PrefetchComponent(name string, issued, useful uint64) {
+	m.mu.Lock()
+	c := m.prefComponents[name]
+	if c == nil {
+		c = &ComponentCount{}
+		m.prefComponents[name] = c
+	}
+	c.Issued += issued
+	c.Useful += useful
+	m.mu.Unlock()
 }
 
 func (m *Metrics) incr(field *uint64) {
@@ -146,6 +175,8 @@ type Snapshot struct {
 	SweepsSaturated uint64 `json:"sweeps_saturated_rejections"`
 	SweepPoints     uint64 `json:"sweep_points"`
 	SweepRecovered  uint64 `json:"sweep_points_recovered"`
+
+	PrefetchComponents map[string]ComponentCount `json:"prefetch_components,omitempty"`
 }
 
 // Snapshot returns a copy of the current counters.
@@ -169,7 +200,21 @@ func (m *Metrics) Snapshot() Snapshot {
 		SweepsSaturated: m.sweepsSaturated,
 		SweepPoints:     m.sweepPoints,
 		SweepRecovered:  m.sweepRecovered,
+
+		PrefetchComponents: m.componentsLocked(),
 	}
+}
+
+// componentsLocked copies the per-component map; callers hold m.mu.
+func (m *Metrics) componentsLocked() map[string]ComponentCount {
+	if len(m.prefComponents) == 0 {
+		return nil
+	}
+	out := make(map[string]ComponentCount, len(m.prefComponents))
+	for k, v := range m.prefComponents {
+		out[k] = *v
+	}
+	return out
 }
 
 // EngineCounters is the subset of engine state the exposition reports;
@@ -208,6 +253,22 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, workers, activeSweeps int, 
 	counter("iprefetchd_sweeps_saturated_rejections_total", "Sweep submissions rejected at the concurrent-sweep cap.", m.sweepsSaturated)
 	counter("iprefetchd_sweep_points_total", "Sweep grid points resolved.", m.sweepPoints)
 	counter("iprefetchd_sweep_points_recovered_total", "Sweep grid points replayed from checkpoints instead of simulated.", m.sweepRecovered)
+	if len(m.prefComponents) > 0 {
+		names := make([]string, 0, len(m.prefComponents))
+		for n := range m.prefComponents {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+		fmt.Fprintf(w, "# HELP iprefetchd_prefetch_component_issued_total Prefetches issued, attributed to composite-scheme components.\n# TYPE iprefetchd_prefetch_component_issued_total counter\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "iprefetchd_prefetch_component_issued_total{component=\"%s\"} %d\n", esc.Replace(n), m.prefComponents[n].Issued)
+		}
+		fmt.Fprintf(w, "# HELP iprefetchd_prefetch_component_useful_total Useful prefetches, attributed to composite-scheme components.\n# TYPE iprefetchd_prefetch_component_useful_total counter\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "iprefetchd_prefetch_component_useful_total{component=\"%s\"} %d\n", esc.Replace(n), m.prefComponents[n].Useful)
+		}
+	}
 	gauge("iprefetchd_jobs_running", "Jobs currently executing.", m.running)
 	gauge("iprefetchd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
 	gauge("iprefetchd_workers", "Worker goroutines in the pool.", int64(workers))

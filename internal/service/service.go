@@ -430,6 +430,11 @@ func (s *Service) runJob(j *job) {
 	s.mu.Unlock()
 	close(j.done)
 	s.metrics.JobFinished(outcome, finished.Sub(j.startedAt))
+	if outcome == "completed" {
+		for _, c := range res.Total.Components {
+			s.metrics.PrefetchComponent(c.Name, c.Issued, c.Useful)
+		}
+	}
 
 	if outcome == "completed" && s.store != nil {
 		entry := StoredResult{

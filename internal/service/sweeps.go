@@ -131,6 +131,13 @@ func (s *Service) SubmitSweep(spec sweep.Spec) (SweepView, error) {
 			}
 			s.mu.Unlock()
 			s.metrics.SweepPoint(res.Recovered)
+			if !res.Recovered {
+				// Attribution counters only for freshly simulated
+				// points; checkpoint replays already counted once.
+				for _, c := range res.Components {
+					s.metrics.PrefetchComponent(c.Name, c.Issued, c.Useful)
+				}
+			}
 		},
 	}
 	s.wg.Add(1)

@@ -143,6 +143,58 @@ func (p *PrefetchStats) Merge(other PrefetchStats) {
 	p.LatePartial += other.LatePartial
 }
 
+// ComponentPrefetchStats attributes a composite (hybrid) prefetcher's
+// activity to one of its component schemes. For composite runs the
+// Issued/Useful sums across a core's components — including the
+// trailing "unattributed" bucket — equal the core's PrefetchStats
+// totals exactly.
+type ComponentPrefetchStats struct {
+	Name string `json:"name"`
+	// Generated counts candidates the component proposed; Emitted the
+	// ones the arbiter forwarded; Suppressed the ones gated off (the
+	// component shadow-trains on them).
+	Generated  uint64 `json:"generated"`
+	Emitted    uint64 `json:"emitted"`
+	Suppressed uint64 `json:"suppressed"`
+	// Issued counts forwarded candidates that initiated fills; Useful
+	// the issued fills demand-used before eviction; ShadowUseful the
+	// suppressed proposals that would have been useful.
+	Issued       uint64 `json:"issued"`
+	Useful       uint64 `json:"useful"`
+	ShadowUseful uint64 `json:"shadow_useful"`
+}
+
+// Accuracy returns Useful/Issued, or 0 when nothing was issued.
+func (c ComponentPrefetchStats) Accuracy() float64 {
+	if c.Issued == 0 {
+		return 0
+	}
+	return float64(c.Useful) / float64(c.Issued)
+}
+
+// MergeComponents accumulates src's per-component rows into dst by
+// component name, appending names dst has not seen (cores may disagree
+// on component sets only in degenerate configurations, but merging by
+// name keeps the totals correct regardless of order).
+func MergeComponents(dst []ComponentPrefetchStats, src []ComponentPrefetchStats) []ComponentPrefetchStats {
+merge:
+	for _, s := range src {
+		for i := range dst {
+			if dst[i].Name == s.Name {
+				dst[i].Generated += s.Generated
+				dst[i].Emitted += s.Emitted
+				dst[i].Suppressed += s.Suppressed
+				dst[i].Issued += s.Issued
+				dst[i].Useful += s.Useful
+				dst[i].ShadowUseful += s.ShadowUseful
+				continue merge
+			}
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
 // CoreStats aggregates everything measured for one core in one run.
 type CoreStats struct {
 	Instructions uint64
@@ -160,6 +212,10 @@ type CoreStats struct {
 	BranchMispredicts uint64
 
 	Prefetch PrefetchStats
+
+	// Components carries per-component attribution when the core ran a
+	// composite (hybrid) prefetcher; empty for single schemes.
+	Components []ComponentPrefetchStats
 
 	// Stall-cycle attribution (approximate, for diagnostics).
 	FetchStallCycles uint64
@@ -196,6 +252,7 @@ func (c *CoreStats) Merge(other *CoreStats) {
 	c.BranchPredictions += other.BranchPredictions
 	c.BranchMispredicts += other.BranchMispredicts
 	c.Prefetch.Merge(other.Prefetch)
+	c.Components = MergeComponents(c.Components, other.Components)
 	c.FetchStallCycles += other.FetchStallCycles
 	c.DataStallCycles += other.DataStallCycles
 	c.BpredStallCycles += other.BpredStallCycles

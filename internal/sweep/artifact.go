@@ -27,8 +27,14 @@ type Row struct {
 	L1IMissReduction float64 `json:"l1i_miss_reduction,omitempty"`
 	L2IMissReduction float64 `json:"l2i_miss_reduction,omitempty"`
 	PrefetchAccuracy float64 `json:"prefetch_accuracy"`
+	PrefetchIssued   uint64  `json:"prefetch_issued,omitempty"`
+	PrefetchUseful   uint64  `json:"prefetch_useful,omitempty"`
 	OffChipTransfers uint64  `json:"off_chip_transfers"`
-	Recovered        bool    `json:"recovered,omitempty"`
+	// Components carries per-component attribution for composite
+	// (hybrid:*) points; the issued/useful counts sum to the point's
+	// PrefetchIssued/PrefetchUseful totals.
+	Components []ComponentSummary `json:"components,omitempty"`
+	Recovered  bool               `json:"recovered,omitempty"`
 }
 
 // ParetoPoint is one table size on the storage-vs-performance frontier:
@@ -74,7 +80,10 @@ func (o *Outcome) Artifact() *Artifact {
 			L1IMissPerInstr:  r.L1IMissPerInstr,
 			L2IMissPerInstr:  r.L2IMissPerInstr,
 			PrefetchAccuracy: r.PrefetchAccuracy,
+			PrefetchIssued:   r.PrefetchIssued,
+			PrefetchUseful:   r.PrefetchUseful,
 			OffChipTransfers: r.OffChipTransfers,
+			Components:       r.Components,
 			Recovered:        r.Recovered,
 		}
 		if b, ok := base[r.Point.groupKey()]; ok && b.IPC > 0 {
@@ -146,6 +155,24 @@ func fmtGeom(g *Geometry) string {
 	return g.String()
 }
 
+// fmtComponents renders the per-component attribution cell as
+// "name=issued/useful" terms joined with '+' (comma-free so the cell
+// survives CSV round-trips); all-zero rows are elided for readability,
+// the JSON artifact keeps them.
+func fmtComponents(cs []ComponentSummary) string {
+	var parts []string
+	for _, c := range cs {
+		if c.Issued == 0 && c.Useful == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d/%d", c.Name, c.Issued, c.Useful))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "+")
+}
+
 // Table renders the per-point rows as a stats table (grid order).
 func (a *Artifact) Table() *stats.Table {
 	title := a.Name
@@ -155,7 +182,7 @@ func (a *Artifact) Table() *stats.Table {
 	t := stats.NewTable(title,
 		"workload", "cores", "scheme", "bypass", "table", "ahead", "l1i", "l2",
 		"ipc", "speedup", "l1i miss/instr", "l2i miss/instr",
-		"l1i reduction", "l2i reduction", "accuracy")
+		"l1i reduction", "l2i reduction", "accuracy", "components")
 	for _, r := range a.Points {
 		t.AddRow(
 			r.Workload,
@@ -173,6 +200,7 @@ func (a *Artifact) Table() *stats.Table {
 			fmt.Sprintf("%.4f", r.L1IMissReduction),
 			fmt.Sprintf("%.4f", r.L2IMissReduction),
 			fmt.Sprintf("%.4f", r.PrefetchAccuracy),
+			fmtComponents(r.Components),
 		)
 	}
 	return t

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestHybridSweepCarriesComponentAttribution runs a real (tiny) sweep
+// over a composite scheme and checks the attribution columns flow into
+// point results and artifact rows: component issued/useful sums must
+// equal the composite totals, and the rendered table must carry a
+// components column.
+func TestHybridSweepCarriesComponentAttribution(t *testing.T) {
+	r := &Runner{Engine: testEngine(), Workers: 2}
+	spec := Spec{
+		Name:      "hybrid-attr",
+		Schemes:   []string{"hybrid:discontinuity+streams+mana"},
+		Workloads: []string{"DB"},
+		Cores:     []int{1},
+	}
+	out, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hybridPoints int
+	for _, res := range out.Points {
+		if !strings.HasPrefix(res.Point.Scheme, "hybrid:") {
+			if len(res.Components) != 0 {
+				t.Errorf("point %q grew component rows", res.Point.Scheme)
+			}
+			continue
+		}
+		hybridPoints++
+		if len(res.Components) == 0 {
+			t.Fatalf("hybrid point has no component attribution: %+v", res)
+		}
+		var sumIssued, sumUseful uint64
+		for _, c := range res.Components {
+			sumIssued += c.Issued
+			sumUseful += c.Useful
+		}
+		if sumIssued != res.PrefetchIssued || sumUseful != res.PrefetchUseful {
+			t.Errorf("component sums %d/%d != composite totals %d/%d",
+				sumIssued, sumUseful, res.PrefetchIssued, res.PrefetchUseful)
+		}
+		if res.PrefetchIssued == 0 {
+			t.Error("hybrid point issued nothing — attribution untestable")
+		}
+	}
+	if hybridPoints == 0 {
+		t.Fatal("sweep produced no hybrid points")
+	}
+
+	// The artifact row and rendered table must surface the same data.
+	art := out.Artifact()
+	var sawComponents bool
+	for _, row := range art.Points {
+		if !strings.HasPrefix(row.Scheme, "hybrid:") {
+			continue
+		}
+		if len(row.Components) == 0 {
+			t.Fatalf("artifact row for %q lost component attribution", row.Scheme)
+		}
+		sawComponents = true
+	}
+	if !sawComponents {
+		t.Fatal("no artifact row carried components")
+	}
+	table := art.Table().String()
+	if !strings.Contains(table, "components") {
+		t.Error("rendered table missing components column header")
+	}
+	if !strings.Contains(table, "discontinuity=") {
+		t.Errorf("rendered table missing per-component cells:\n%s", table)
+	}
+}

@@ -21,6 +21,17 @@ type Journal struct {
 	dir string
 }
 
+// ComponentSummary is the per-component attribution row recorded for
+// composite (hybrid:*) scheme points. Issued/Useful sum to the point's
+// PrefetchIssued/PrefetchUseful totals across all components, including
+// the composite's trailing "unattributed" bucket.
+type ComponentSummary struct {
+	Name     string  `json:"name"`
+	Issued   uint64  `json:"issued"`
+	Useful   uint64  `json:"useful"`
+	Accuracy float64 `json:"accuracy"`
+}
+
 // PointResult is the persisted outcome of one grid point: the point,
 // its canonical key, and the summary metrics the artifact layer
 // aggregates. It deliberately stores the summary rather than the full
@@ -36,9 +47,15 @@ type PointResult struct {
 	L1IMissPerInstr  float64 `json:"l1i_miss_per_instr"`
 	L2IMissPerInstr  float64 `json:"l2i_miss_per_instr"`
 	PrefetchAccuracy float64 `json:"prefetch_accuracy"`
+	PrefetchIssued   uint64  `json:"prefetch_issued,omitempty"`
+	PrefetchUseful   uint64  `json:"prefetch_useful,omitempty"`
 	Instructions     uint64  `json:"instructions"`
 	Cycles           uint64  `json:"cycles"`
 	OffChipTransfers uint64  `json:"off_chip_transfers"`
+
+	// Components carries per-component attribution for composite
+	// (hybrid:*) scheme points; empty for single schemes.
+	Components []ComponentSummary `json:"components,omitempty"`
 
 	CreatedAt time.Time `json:"created_at"`
 	ElapsedMS int64     `json:"elapsed_ms"`
@@ -54,19 +71,30 @@ type PointResult struct {
 // identical regardless of where the point ran.
 func NewPointResult(p Point, key string, simRes sim.Result, elapsed time.Duration) PointResult {
 	total := simRes.Total
-	return PointResult{
+	res := PointResult{
 		Key:              key,
 		Point:            p,
 		IPC:              total.IPC(),
 		L1IMissPerInstr:  total.L1I.PerInstr(total.Instructions),
 		L2IMissPerInstr:  total.L2I.PerInstr(total.Instructions),
 		PrefetchAccuracy: total.Prefetch.Accuracy(),
+		PrefetchIssued:   total.Prefetch.Issued,
+		PrefetchUseful:   total.Prefetch.Useful,
 		Instructions:     total.Instructions,
 		Cycles:           total.Cycles,
 		OffChipTransfers: simRes.OffChipTransfers,
 		CreatedAt:        time.Now().UTC(),
 		ElapsedMS:        elapsed.Milliseconds(),
 	}
+	for _, c := range total.Components {
+		res.Components = append(res.Components, ComponentSummary{
+			Name:     c.Name,
+			Issued:   c.Issued,
+			Useful:   c.Useful,
+			Accuracy: c.Accuracy(),
+		})
+	}
+	return res
 }
 
 // OpenJournal opens (creating if needed) a journal rooted at dir.
