@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist race-core fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref
+.PHONY: build vet test race race-dist race-core race-ctlplane fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ race-dist:
 # ./internal/prefetch/... includes the hybrid arbitration subpackage.
 race-core:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/prefetch/... ./internal/cmp/...
+
+# Control-plane race pass: lease ownership handoff, SSE fan-out,
+# admission buckets and the client retry loop are all cross-goroutine
+# protocols — run them twice under the race detector (what CI runs).
+race-ctlplane:
+	$(GO) test -race -count=2 ./internal/ctlplane/... ./internal/service/... ./internal/dist/...
 
 # Short fuzz passes over the trace codecs; CI runs the same smoke.
 fuzz-smoke:
@@ -55,6 +61,12 @@ bench-trace:
 # cmd/corebench/default.pgo automatically for profile-guided optimisation.
 bench-core:
 	$(GO) run ./cmd/corebench -o BENCH_core.json
+
+# Control-plane saturation trajectory: writes BENCH_service.json
+# (p50/p99/p999 job latency, sweeps/s, shed rate) from a closed-loop
+# 1k-client run against an in-process daemon with admission enabled.
+bench-service:
+	$(GO) run ./cmd/loadgen -self -clients 1024 -duration 30s -quota-per-sec 200 -out BENCH_service.json
 
 # Prefetcher-zoo trajectory: writes BENCH_pref.json (per-scheme
 # Minstr/s, accuracy and miss coverage vs the no-prefetch baseline on

@@ -41,8 +41,18 @@
 //	GET  /v1/dist/sweeps/{id}/artifacts/{name}  download artifacts
 //	POST /v1/dist/leases[/{id}/renew|complete|fail]  lease lifecycle
 //	POST /v1/dist/sweeps/{id}/points     deliver a completed point
-//	GET  /healthz         liveness + counters
-//	GET  /metrics         Prometheus text exposition (service + dist)
+//	GET  /v1/jobs/{id}/events            SSE progress stream for a job
+//	GET  /v1/sweeps/{id}/events          SSE progress stream for a sweep
+//	GET  /healthz         liveness + counters + replica role
+//	GET  /metrics         Prometheus text exposition (service + dist + ctlplane + runtime)
+//
+// Control plane at scale: -replica-id (with a shared -data directory
+// on every replica) joins the replicated-coordinator protocol —
+// replicas contend for a file lease, the owner serves writes (and
+// -advertise tells followers where to 307-redirect them), any replica
+// serves reads, and a new owner adopts sweeps its predecessor left
+// unfinished. -quotas points at a JSON admission policy (per-client
+// token buckets); SIGHUP re-reads it without a restart.
 //
 // Example:
 //
@@ -51,8 +61,9 @@
 //	curl -s localhost:8080/v1/sweeps -d '{"schemes":["discontinuity","nl-miss"],"workloads":["DB","TPC-W"],"table_entries":[512,1024,2048]}'
 //	iprefetchworker -coordinator http://localhost:8080   # as many as you like
 //
-// SIGINT/SIGTERM drain gracefully: the queue stops accepting jobs,
-// running simulations finish (up to -drain), then the process exits.
+// SIGINT/SIGTERM drain gracefully: open SSE streams receive a final
+// `shutdown` event and close, the queue stops accepting jobs, running
+// simulations finish (up to -drain), then the process exits.
 // -pprof-addr exposes net/http/pprof on a separate, opt-in listener.
 package main
 
@@ -72,6 +83,10 @@ import (
 	"repro/internal/service"
 )
 
+// version is stamped by the build (go build -ldflags "-X main.version=...")
+// and exported as iprefetchd_build_info on /metrics.
+var version = "dev"
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
@@ -87,6 +102,11 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "distributed-sweep lease lifetime between worker heartbeats")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		corpusCap  = flag.Int64("corpus-max-upload", 0, "max trace-container upload size in bytes (0 = 64 MiB default)")
+		replicaID  = flag.String("replica-id", "", "join the replicated control plane under this replica name (needs shared -data)")
+		advertise  = flag.String("advertise", "", "base URL other replicas redirect writes to when this replica owns the lease (e.g. http://host:8080)")
+		replicaTTL = flag.Duration("replica-ttl", 10*time.Second, "control-plane lease lifetime; a dead owner is superseded after this long")
+		quotas     = flag.String("quotas", "", "JSON admission-quota policy file (per-client token buckets); SIGHUP re-reads it")
+		heartbeat  = flag.Duration("sse-heartbeat", 15*time.Second, "SSE keepalive interval on event streams")
 	)
 	flag.Parse()
 
@@ -102,10 +122,38 @@ func main() {
 		MaxActiveSweeps:      *maxSweeps,
 		DistLeaseTTL:         *leaseTTL,
 		MaxCorpusUploadBytes: *corpusCap,
+		SSEHeartbeat:         *heartbeat,
+		Version:              version,
 		Logf:                 logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	if *quotas != "" {
+		if err := svc.ReloadQuotaFile(*quotas); err != nil {
+			logger.Fatal(err)
+		}
+		// SIGHUP hot-reloads the admission policy; a broken file logs
+		// and leaves the active policy untouched.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := svc.ReloadQuotaFile(*quotas); err != nil {
+					logger.Printf("quota reload: %v", err)
+				}
+			}
+		}()
+	}
+	if *replicaID != "" {
+		url := *advertise
+		if url == "" {
+			url = "http://" + *addr
+		}
+		if err := svc.EnableReplication(*replicaID, url, *replicaTTL); err != nil {
+			logger.Fatal(err)
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -136,6 +184,10 @@ func main() {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Close SSE streams (each gets a final `shutdown` event) before the
+	// HTTP server shutdown — otherwise open streams would hold
+	// srv.Shutdown until the drain deadline.
+	svc.DrainStreams()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}

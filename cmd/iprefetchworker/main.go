@@ -34,6 +34,7 @@ import (
 	_ "net/http/pprof" // registered on the opt-in -pprof-addr listener only
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	var (
-		coordinator = flag.String("coordinator", "", "coordinator base URL (e.g. http://host:8080); required")
+		coordinator = flag.String("coordinator", "", "coordinator base URL(s), comma-separated for replicated control planes (e.g. http://a:8080,http://b:8080); required")
 		name        = flag.String("name", "", "worker name in coordinator logs/metrics (default host-pid)")
 		concurrency = flag.Int("concurrency", 1, "points simulated in parallel within one lease")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "idle wait between lease polls")
@@ -72,8 +73,16 @@ func main() {
 		}()
 	}
 
+	// A comma-separated -coordinator list names every replica of a
+	// replicated control plane: the client retries against the next
+	// replica when the current one is unreachable, so a coordinator
+	// failover is invisible to the worker.
+	urls := strings.Split(*coordinator, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+	}
 	w := &dist.Worker{
-		Client:       dist.NewClient(*coordinator),
+		Client:       dist.NewClient(urls[0], urls[1:]...),
 		Name:         *name,
 		Concurrency:  *concurrency,
 		PollInterval: *poll,

@@ -1,0 +1,189 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Quota is one client class's token-bucket shape: a sustained rate and
+// a burst allowance. A quota with PerSec <= 0 admits everything
+// (explicitly-unlimited clients, and the daemon default when no quota
+// file is configured).
+type Quota struct {
+	PerSec float64 `json:"per_sec"`
+	Burst  float64 `json:"burst,omitempty"`
+}
+
+// unlimited reports whether the quota admits without accounting.
+func (q Quota) unlimited() bool { return q.PerSec <= 0 }
+
+// burst resolves the bucket capacity (at least one token, so a
+// fractional rate still admits eventually).
+func (q Quota) burst() float64 { return math.Max(q.Burst, math.Max(q.PerSec, 1)) }
+
+// QuotaConfig is the hot-reloadable admission policy: a default quota
+// for anonymous clients plus per-key overrides (API tokens, fixed peer
+// addresses). The zero config admits everything.
+type QuotaConfig struct {
+	// Default applies to every client without an override.
+	Default Quota `json:"default"`
+	// Clients overrides the default per client key (the X-API-Key
+	// value, or the remote host for keyless clients).
+	Clients map[string]Quota `json:"clients,omitempty"`
+	// MaxTracked bounds the bucket table so an address-spraying client
+	// cannot grow it without bound. Default 65536.
+	MaxTracked int `json:"max_tracked,omitempty"`
+}
+
+// LoadQuotaFile reads a QuotaConfig from a JSON file (the daemon's
+// -quotas flag; re-read on SIGHUP).
+func LoadQuotaFile(path string) (QuotaConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return QuotaConfig{}, err
+	}
+	var cfg QuotaConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return QuotaConfig{}, fmt.Errorf("ctlplane: quota file %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// bucket is one client's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is the admission-control layer: a token bucket per client
+// key, sheddable before any queue or sweep slot is consumed. All
+// methods are safe for concurrent use.
+type Limiter struct {
+	mu       sync.Mutex
+	cfg      QuotaConfig
+	buckets  map[string]*bucket
+	admitted uint64
+	shed     uint64
+
+	// now is the clock; tests substitute a fake.
+	now func() time.Time
+}
+
+// NewLimiter returns a limiter enforcing cfg.
+func NewLimiter(cfg QuotaConfig) *Limiter {
+	l := &Limiter{now: time.Now}
+	l.SetConfig(cfg)
+	return l
+}
+
+// SetConfig swaps the policy (SIGHUP hot reload). Buckets reset so new
+// quotas take effect immediately rather than inheriting stale debt.
+func (l *Limiter) SetConfig(cfg QuotaConfig) {
+	if cfg.MaxTracked <= 0 {
+		cfg.MaxTracked = 65536
+	}
+	l.mu.Lock()
+	l.cfg = cfg
+	l.buckets = make(map[string]*bucket)
+	l.mu.Unlock()
+}
+
+// Config returns the active policy.
+func (l *Limiter) Config() QuotaConfig {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg
+}
+
+// Allow charges one request to key's bucket. When the bucket is empty
+// it returns ok=false and how long the client should wait before one
+// token is available (the Retry-After value).
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q, found := l.cfg.Clients[key]
+	if !found {
+		q = l.cfg.Default
+	}
+	if q.unlimited() {
+		l.admitted++
+		return true, 0
+	}
+	now := l.now()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= l.cfg.MaxTracked {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: q.burst(), last: now}
+		l.buckets[key] = b
+	}
+	burst := q.burst()
+	b.tokens = math.Min(burst, b.tokens+now.Sub(b.last).Seconds()*q.PerSec)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		l.admitted++
+		return true, 0
+	}
+	l.shed++
+	wait := time.Duration((1 - b.tokens) / q.PerSec * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After has 1s granularity
+	}
+	return false, wait
+}
+
+// evictLocked frees table space: full (idle-refilled) buckets first,
+// then the stalest entries. Caller must hold l.mu.
+func (l *Limiter) evictLocked(now time.Time) {
+	var stalest string
+	var stalestAt time.Time
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > time.Minute {
+			delete(l.buckets, k)
+			continue
+		}
+		if stalest == "" || b.last.Before(stalestAt) {
+			stalest, stalestAt = k, b.last
+		}
+	}
+	if len(l.buckets) >= l.cfg.MaxTracked && stalest != "" {
+		delete(l.buckets, stalest)
+	}
+}
+
+// Counters returns the monotonic admitted/shed totals.
+func (l *Limiter) Counters() (admitted, shed uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.admitted, l.shed
+}
+
+// Tracked returns the live bucket count (a /metrics gauge).
+func (l *Limiter) Tracked() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// ClientKey derives the admission identity of a request: the X-API-Key
+// header when present (token-keyed quotas), otherwise the remote host
+// (address-keyed, proxy-unaware by design — the daemon fronts its own
+// fleet).
+func ClientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,160 @@
+package ctlplane
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeLimiter(cfg QuotaConfig) (*Limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	l := NewLimiter(cfg)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterTokenBucket(t *testing.T) {
+	l, clk := newFakeLimiter(QuotaConfig{Default: Quota{PerSec: 2, Burst: 4}})
+
+	// Burst admits immediately, then the bucket is dry.
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.Allow("c1"); !ok {
+			t.Fatalf("burst request %d shed", i)
+		}
+	}
+	ok, retry := l.Allow("c1")
+	if ok {
+		t.Fatal("empty bucket must shed")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After below 1s granularity: %v", retry)
+	}
+
+	// Tokens refill at PerSec; after 1s two more requests pass.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c1"); !ok {
+			t.Fatalf("refilled request %d shed", i)
+		}
+	}
+	if ok, _ := l.Allow("c1"); ok {
+		t.Fatal("third request after 1s refill must shed (rate 2/s)")
+	}
+
+	// Other clients have independent buckets.
+	if ok, _ := l.Allow("c2"); !ok {
+		t.Fatal("fresh client must not inherit c1's debt")
+	}
+
+	admitted, shed := l.Counters()
+	if admitted != 7 || shed != 2 {
+		t.Fatalf("counters: admitted=%d shed=%d", admitted, shed)
+	}
+}
+
+func TestLimiterPerClientOverridesAndUnlimited(t *testing.T) {
+	l, _ := newFakeLimiter(QuotaConfig{
+		Default: Quota{PerSec: 1, Burst: 1},
+		Clients: map[string]Quota{
+			"gold": {PerSec: 100, Burst: 100},
+			"vip":  {PerSec: -1}, // explicit unlimited
+		},
+	})
+	if ok, _ := l.Allow("anon"); !ok {
+		t.Fatal("first anon request")
+	}
+	if ok, _ := l.Allow("anon"); ok {
+		t.Fatal("anon burst is 1")
+	}
+	for i := 0; i < 50; i++ {
+		if ok, _ := l.Allow("gold"); !ok {
+			t.Fatalf("gold request %d shed under 100-burst quota", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("vip"); !ok {
+			t.Fatal("unlimited client shed")
+		}
+	}
+}
+
+func TestLimiterZeroConfigAdmitsEverything(t *testing.T) {
+	l, _ := newFakeLimiter(QuotaConfig{})
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow(fmt.Sprintf("c%d", i)); !ok {
+			t.Fatal("zero config must admit")
+		}
+	}
+	if l.Tracked() != 0 {
+		t.Fatal("unlimited admissions must not allocate buckets")
+	}
+}
+
+func TestLimiterHotReloadResetsBuckets(t *testing.T) {
+	l, _ := newFakeLimiter(QuotaConfig{Default: Quota{PerSec: 1, Burst: 1}})
+	l.Allow("c")
+	if ok, _ := l.Allow("c"); ok {
+		t.Fatal("pre-reload bucket should be dry")
+	}
+	l.SetConfig(QuotaConfig{Default: Quota{PerSec: 1, Burst: 5}})
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("post-reload burst request %d shed", i)
+		}
+	}
+}
+
+func TestLimiterEvictionBoundsTable(t *testing.T) {
+	l, clk := newFakeLimiter(QuotaConfig{Default: Quota{PerSec: 1, Burst: 1}, MaxTracked: 64})
+	for i := 0; i < 200; i++ {
+		l.Allow(fmt.Sprintf("spray-%d", i))
+		clk.advance(10 * time.Millisecond)
+	}
+	if got := l.Tracked(); got > 64 {
+		t.Fatalf("bucket table grew past MaxTracked: %d", got)
+	}
+}
+
+func TestLoadQuotaFile(t *testing.T) {
+	path := t.TempDir() + "/quotas.json"
+	if _, err := LoadQuotaFile(path); err == nil {
+		t.Fatal("missing file must error")
+	}
+	writeQuota := func(s string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeQuota(`{"default":{"per_sec":5,"burst":10},"clients":{"k1":{"per_sec":100}}}`)
+	cfg, err := LoadQuotaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.PerSec != 5 || cfg.Clients["k1"].PerSec != 100 {
+		t.Fatalf("parsed config: %+v", cfg)
+	}
+	writeQuota(`{broken`)
+	if _, err := LoadQuotaFile(path); err == nil {
+		t.Fatal("broken JSON must error")
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/jobs", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if k := ClientKey(r); k != "10.1.2.3" {
+		t.Fatalf("addr key: %q", k)
+	}
+	r.Header.Set("X-API-Key", "tok-abc")
+	if k := ClientKey(r); k != "tok-abc" {
+		t.Fatalf("token key: %q", k)
+	}
+}

@@ -1,0 +1,216 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+)
+
+// ErrBrokerClosed means the broker is draining for shutdown and
+// accepts no new subscribers.
+var ErrBrokerClosed = errors.New("ctlplane: broker closed")
+
+// Event is one server-sent event. ID is the per-topic sequence number
+// clients resume from via Last-Event-ID; unnumbered events (ID 0 —
+// snapshots, heartbeats, the final shutdown notice) do not advance the
+// client's resume cursor.
+type Event struct {
+	ID   uint64          `json:"id,omitempty"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// subscriber buffers one stream's deliveries. A subscriber that stops
+// draining (dead connection, stalled proxy) is disconnected rather
+// than allowed to block the publisher; the client reconnects with
+// Last-Event-ID and replays what it missed from the topic history.
+const subscriberBuffer = 256
+
+// Subscriber is one live event stream attached to a topic.
+type Subscriber struct {
+	// C delivers events after the replay batch returned by Subscribe.
+	// It closes when the broker shuts down or the subscriber overflows.
+	C <-chan Event
+
+	ch    chan Event
+	b     *Broker
+	topic string
+}
+
+// Close detaches the subscriber. Safe to call more than once and
+// concurrently with broker shutdown.
+func (s *Subscriber) Close() {
+	if s.b != nil {
+		s.b.unsubscribe(s)
+	}
+}
+
+// topicState holds one topic's history and live subscribers.
+type topicState struct {
+	nextID  uint64  // last assigned sequence number
+	startID uint64  // sequence number of history[0]
+	history []Event // retained numbered events, contiguous
+	subs    map[*Subscriber]struct{}
+}
+
+// Broker is the per-process SSE fan-out: publishers append numbered
+// events to per-topic histories and every subscriber sees them in
+// order, with Subscribe replaying retained history after a given
+// sequence number so dropped connections resume without loss.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*topicState
+	retain int
+	closed bool
+
+	published uint64
+	dropped   uint64 // subscribers disconnected for not draining
+}
+
+// NewBroker returns a broker retaining up to retain numbered events
+// per topic (default 1<<16, comfortably above sweep.MaxPoints so a
+// full sweep's point events always replay).
+func NewBroker(retain int) *Broker {
+	if retain <= 0 {
+		retain = 1 << 16
+	}
+	return &Broker{topics: make(map[string]*topicState), retain: retain}
+}
+
+func (b *Broker) topicLocked(name string) *topicState {
+	t, ok := b.topics[name]
+	if !ok {
+		t = &topicState{startID: 1, subs: make(map[*Subscriber]struct{})}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Publish appends one numbered event to topic and fans it out. data is
+// marshalled once; a marshal failure publishes an empty payload rather
+// than dropping the sequence number. Returns the assigned ID (0 after
+// close).
+func (b *Broker) Publish(topic, typ string, data any) uint64 {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte("{}")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	t := b.topicLocked(topic)
+	t.nextID++
+	ev := Event{ID: t.nextID, Type: typ, Data: payload}
+	t.history = append(t.history, ev)
+	if len(t.history) > b.retain {
+		drop := len(t.history) - b.retain
+		t.history = append(t.history[:0:0], t.history[drop:]...)
+		t.startID += uint64(drop)
+	}
+	b.published++
+	b.deliverLocked(t, ev)
+	return ev.ID
+}
+
+// deliverLocked fans one event out to a topic's subscribers,
+// disconnecting any whose buffer is full. Caller must hold b.mu.
+func (b *Broker) deliverLocked(t *topicState, ev Event) {
+	for s := range t.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			delete(t.subs, s)
+			close(s.ch)
+			b.dropped++
+		}
+	}
+}
+
+// Subscribe attaches to topic, returning the retained events with ID >
+// afterID (the Last-Event-ID resume batch) and a live subscriber for
+// everything after them. missed reports that afterID predates the
+// retained window, i.e. some events between afterID and the replay
+// batch are gone — callers with a durable source (the sweep journal)
+// rebuild them from there.
+func (b *Broker) Subscribe(topic string, afterID uint64) (replay []Event, sub *Subscriber, missed bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, nil, false, ErrBrokerClosed
+	}
+	t := b.topicLocked(topic)
+	if afterID+1 < t.startID {
+		missed = true
+		afterID = t.startID - 1
+	}
+	if n := int(afterID + 1 - t.startID); n < len(t.history) {
+		replay = append([]Event(nil), t.history[n:]...)
+	}
+	s := &Subscriber{ch: make(chan Event, subscriberBuffer), b: b, topic: topic}
+	s.C = s.ch
+	t.subs[s] = struct{}{}
+	return replay, s, missed, nil
+}
+
+// unsubscribe detaches s if still attached.
+func (b *Broker) unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[s.topic]
+	if !ok {
+		return
+	}
+	if _, attached := t.subs[s]; attached {
+		delete(t.subs, s)
+		close(s.ch)
+	}
+}
+
+// Close drains the broker for shutdown: every live subscriber receives
+// one final unnumbered event of the given type (the SSE "shutdown"
+// notice), every channel closes, and future Publish/Subscribe calls
+// become no-ops/errors. Idempotent.
+func (b *Broker) Close(finalType string, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte("{}")
+	}
+	final := Event{Type: finalType, Data: payload}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, t := range b.topics {
+		for s := range t.subs {
+			select {
+			case s.ch <- final:
+			default: // overflowing subscriber: skip the notice, just close
+			}
+			delete(t.subs, s)
+			close(s.ch)
+		}
+	}
+}
+
+// BrokerStats is a point-in-time view for /metrics.
+type BrokerStats struct {
+	Topics      int
+	Subscribers int
+	Published   uint64
+	Dropped     uint64
+}
+
+// Stats snapshots the broker.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BrokerStats{Topics: len(b.topics), Published: b.published, Dropped: b.dropped}
+	for _, t := range b.topics {
+		st.Subscribers += len(t.subs)
+	}
+	return st
+}

@@ -1,0 +1,187 @@
+package ctlplane
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestBrokerPublishSubscribeOrder(t *testing.T) {
+	b := NewBroker(0)
+	replay, sub, missed, err := b.Subscribe("sweep/x", 0)
+	if err != nil || missed || len(replay) != 0 {
+		t.Fatalf("fresh subscribe: replay=%d missed=%v err=%v", len(replay), missed, err)
+	}
+	defer sub.Close()
+
+	for i := 1; i <= 5; i++ {
+		if id := b.Publish("sweep/x", "point-completed", map[string]int{"i": i}); id != uint64(i) {
+			t.Fatalf("publish %d assigned id %d", i, id)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		ev := <-sub.C
+		if ev.ID != uint64(i) || ev.Type != "point-completed" {
+			t.Fatalf("event %d: got id=%d type=%q", i, ev.ID, ev.Type)
+		}
+		var got struct{ I int }
+		if err := json.Unmarshal(ev.Data, &got); err != nil || got.I != i {
+			t.Fatalf("event %d payload: %s (%v)", i, ev.Data, err)
+		}
+	}
+}
+
+func TestBrokerResumeAfterID(t *testing.T) {
+	b := NewBroker(0)
+	for i := 0; i < 10; i++ {
+		b.Publish("t", "e", i)
+	}
+	replay, sub, missed, err := b.Subscribe("t", 7)
+	if err != nil || missed {
+		t.Fatalf("resume: missed=%v err=%v", missed, err)
+	}
+	defer sub.Close()
+	if len(replay) != 3 || replay[0].ID != 8 || replay[2].ID != 10 {
+		t.Fatalf("want replay ids 8..10, got %+v", replay)
+	}
+	// Live events continue the same sequence.
+	b.Publish("t", "e", 10)
+	if ev := <-sub.C; ev.ID != 11 {
+		t.Fatalf("live event id: %d", ev.ID)
+	}
+}
+
+func TestBrokerTrimmedHistoryReportsMissed(t *testing.T) {
+	b := NewBroker(4)
+	for i := 0; i < 10; i++ {
+		b.Publish("t", "e", i)
+	}
+	// Events 1..6 are gone; resuming from 2 must flag the gap and
+	// replay what's retained.
+	replay, sub, missed, err := b.Subscribe("t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if !missed {
+		t.Fatal("resume below the retained window must report missed")
+	}
+	if len(replay) != 4 || replay[0].ID != 7 {
+		t.Fatalf("want retained ids 7..10, got %+v", replay)
+	}
+}
+
+func TestBrokerSlowSubscriberDisconnected(t *testing.T) {
+	b := NewBroker(0)
+	_, sub, _, err := b.Subscribe("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the buffer without draining; the broker must cut the
+	// subscriber loose instead of blocking publishers.
+	for i := 0; i < subscriberBuffer+8; i++ {
+		b.Publish("t", "e", i)
+	}
+	n := 0
+	for range sub.C { // channel must be closed
+		n++
+	}
+	if n != subscriberBuffer {
+		t.Fatalf("drained %d buffered events, want %d", n, subscriberBuffer)
+	}
+	if st := b.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped counter: %+v", st)
+	}
+	sub.Close() // idempotent after broker-side disconnect
+}
+
+func TestBrokerCloseDeliversFinalEvent(t *testing.T) {
+	b := NewBroker(0)
+	_, sub, _, err := b.Subscribe("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close("shutdown", map[string]string{"reason": "drain"})
+	ev, ok := <-sub.C
+	if !ok || ev.Type != "shutdown" || ev.ID != 0 {
+		t.Fatalf("want unnumbered shutdown event, got %+v ok=%v", ev, ok)
+	}
+	if _, stillOpen := <-sub.C; stillOpen {
+		t.Fatal("channel must close after the final event")
+	}
+	if _, _, _, err := b.Subscribe("t", 0); err != ErrBrokerClosed {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+	if id := b.Publish("t", "e", nil); id != 0 {
+		t.Fatalf("publish after close must be a no-op, got id %d", id)
+	}
+	b.Close("shutdown", nil) // idempotent
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{ID: 3, Type: "point-completed", Data: json.RawMessage(`{"key":"k","completed":3}`)},
+		{Type: "heartbeat", Data: json.RawMessage(`{}`)},
+		{ID: 4, Type: "sweep-completed", Data: json.RawMessage(`{"total":4}`)},
+	}
+	for _, ev := range events {
+		if err := WriteSSE(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	if strings.Contains(strings.Split(out, "\n\n")[1], "id:") {
+		t.Fatalf("unnumbered event must omit id:\n%s", out)
+	}
+	br := bufio.NewReader(strings.NewReader(out + ": keep-alive\n\n"))
+	for i, want := range events {
+		got, err := ReadSSE(br)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.Type != want.Type || string(got.Data) != string(want.Data) {
+			t.Fatalf("read %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestLastEventIDParsing(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   uint64
+	}{{"", 0}, {"17", 17}, {"garbage", 0}, {"-3", 0}} {
+		r := httptest.NewRequest("GET", "/v1/sweeps/x/events", nil)
+		if tc.header != "" {
+			r.Header.Set("Last-Event-ID", tc.header)
+		}
+		if got := LastEventID(r); got != tc.want {
+			t.Errorf("LastEventID(%q) = %d, want %d", tc.header, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkBrokerPublish(b *testing.B) {
+	br := NewBroker(1 << 10)
+	subs := make([]*Subscriber, 8)
+	for i := range subs {
+		_, s, _, _ := br.Subscribe("t", 0)
+		subs[i] = s
+		go func(s *Subscriber) {
+			for range s.C {
+			}
+		}(s)
+	}
+	payload := map[string]any{"key": "abc", "completed": 1, "total": 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Publish("t", "point-completed", payload)
+	}
+	b.StopTimer()
+	for _, s := range subs {
+		s.Close()
+	}
+}

@@ -1,0 +1,195 @@
+package ctlplane
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFileLeaseAcquireRenewExpire(t *testing.T) {
+	fl, err := NewFileLease(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0)
+	ttl := 10 * time.Second
+
+	info, ok, err := fl.Acquire("a", "http://a", ttl, t0)
+	if err != nil || !ok {
+		t.Fatalf("first acquire: ok=%v err=%v", ok, err)
+	}
+	if info.Holder != "a" || info.Token != 1 {
+		t.Fatalf("want holder a token 1, got %+v", info)
+	}
+
+	// A live lease blocks other holders and reports the owner.
+	cur, ok, err := fl.Acquire("b", "http://b", ttl, t0.Add(ttl/2))
+	if err != nil || ok {
+		t.Fatalf("contended acquire should fail: ok=%v err=%v", ok, err)
+	}
+	if cur.Holder != "a" || cur.URL != "http://a" {
+		t.Fatalf("loser should see current owner, got %+v", cur)
+	}
+
+	// Renewal by the holder keeps the token and extends expiry.
+	info2, ok, err := fl.Acquire("a", "http://a", ttl, t0.Add(ttl/2))
+	if err != nil || !ok {
+		t.Fatalf("renew: ok=%v err=%v", ok, err)
+	}
+	if info2.Token != 1 {
+		t.Fatalf("renewal must not advance the fencing token, got %d", info2.Token)
+	}
+	if !info2.Expires.After(info.Expires) {
+		t.Fatalf("renewal must extend expiry: %v -> %v", info.Expires, info2.Expires)
+	}
+
+	// Past the TTL any replica takes over, with a fenced token.
+	info3, ok, err := fl.Acquire("b", "http://b", ttl, info2.Expires.Add(time.Millisecond))
+	if err != nil || !ok {
+		t.Fatalf("takeover: ok=%v err=%v", ok, err)
+	}
+	if info3.Holder != "b" || info3.Token != 2 {
+		t.Fatalf("takeover must fence: want holder b token 2, got %+v", info3)
+	}
+
+	// The stale owner's renewal now fails; it must step down.
+	if _, ok, _ := fl.Acquire("a", "http://a", ttl, info2.Expires.Add(2*time.Millisecond)); ok {
+		t.Fatal("fenced holder must not reacquire a live lease")
+	}
+}
+
+func TestFileLeaseRelease(t *testing.T) {
+	dir := t.TempDir()
+	fl, _ := NewFileLease(dir)
+	now := time.Unix(2000, 0)
+	if _, ok, err := fl.Acquire("a", "", time.Hour, now); !ok || err != nil {
+		t.Fatalf("acquire: ok=%v err=%v", ok, err)
+	}
+
+	// A non-holder's release is a no-op.
+	if err := fl.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, exists, _ := fl.Read(); !exists {
+		t.Fatal("release by non-holder must not drop the lease")
+	}
+
+	if err := fl.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, exists, _ := fl.Read(); exists {
+		t.Fatal("release by holder must drop the lease")
+	}
+
+	// Freed lease is immediately acquirable, still fencing forward is
+	// not required after a clean release (token restarts); the new
+	// holder just needs ownership.
+	if _, ok, err := fl.Acquire("b", "", time.Hour, now.Add(time.Second)); !ok || err != nil {
+		t.Fatalf("acquire after release: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFileLeaseCorruptRecordReadsAsFree(t *testing.T) {
+	dir := t.TempDir()
+	fl, _ := NewFileLease(dir)
+	if _, ok, _ := fl.Acquire("a", "", time.Hour, time.Unix(0, 0)); !ok {
+		t.Fatal("acquire")
+	}
+	// Corrupt the record; the protocol must self-heal rather than
+	// deadlock every replica.
+	writeFile(t, fl, "owner.json", "{not json")
+	if _, ok, err := fl.Acquire("b", "", time.Hour, time.Unix(1, 0)); !ok || err != nil {
+		t.Fatalf("corrupt lease must be acquirable: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReplicaElectionAndTakeover(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 120 * time.Millisecond
+
+	acquiredA := make(chan uint64, 4)
+	a, err := StartReplica(ReplicaConfig{
+		ID: "a", URL: "http://a", Dir: dir, TTL: ttl,
+		OnAcquire: func(tok uint64) { acquiredA <- tok },
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop(true)
+	select {
+	case <-acquiredA:
+	case <-time.After(2 * time.Second):
+		t.Fatal("a never acquired the lease")
+	}
+	if !a.IsLeader() {
+		t.Fatal("a should lead")
+	}
+
+	acquiredB := make(chan uint64, 4)
+	b, err := StartReplica(ReplicaConfig{
+		ID: "b", URL: "http://b", Dir: dir, TTL: ttl,
+		OnAcquire: func(tok uint64) { acquiredB <- tok },
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop(true)
+
+	// With a alive, b stays follower and can name the leader.
+	time.Sleep(2 * ttl)
+	if b.IsLeader() {
+		t.Fatal("b must not lead while a renews")
+	}
+	if info, ok := b.Leader(); !ok || info.Holder != "a" || info.URL != "http://a" {
+		t.Fatalf("follower should see leader a, got %+v ok=%v", info, ok)
+	}
+
+	// a "crashes" (stops renewing without releasing); b takes over
+	// within one TTL of expiry, with a larger fencing token.
+	a.Abandon()
+	var tok uint64
+	select {
+	case tok = <-acquiredB:
+	case <-time.After(4 * ttl):
+		t.Fatal("b never took over after a abandoned the lease")
+	}
+	if tok < 2 {
+		t.Fatalf("takeover token must fence past a's, got %d", tok)
+	}
+	if !b.IsLeader() {
+		t.Fatal("b should lead after takeover")
+	}
+}
+
+func TestReplicaStopReleasesForFastHandoff(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 30 * time.Second // long TTL: handoff must not wait it out
+	a, err := StartReplica(ReplicaConfig{ID: "a", Dir: dir, TTL: ttl, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !a.IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("a never acquired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.Stop(true)
+
+	fl, _ := NewFileLease(dir)
+	if _, exists, _ := fl.Read(); exists {
+		t.Fatal("clean Stop must release the lease")
+	}
+}
+
+// writeFile overwrites a file under the lease dir (test helper).
+func writeFile(t *testing.T, fl *FileLease, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(fl.Dir(), name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

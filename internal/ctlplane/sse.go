@@ -1,0 +1,102 @@
+package ctlplane
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// SSE wire helpers shared by the service's /events endpoints and the
+// load generator's subscriber clients.
+
+// WriteSSE renders one event in text/event-stream framing. Payloads
+// are JSON (no raw newlines), so a single data: line suffices; an
+// unnumbered event omits the id: field and leaves the client's
+// Last-Event-ID cursor untouched.
+func WriteSSE(w io.Writer, ev Event) error {
+	if ev.ID != 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", ev.ID); err != nil {
+			return err
+		}
+	}
+	data := ev.Data
+	if len(data) == 0 {
+		data = []byte("{}")
+	}
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// LastEventID parses the resume cursor from a request, tolerating the
+// header's absence and garbage values (both read as "from the start").
+func LastEventID(r *http.Request) uint64 {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// ReadSSE parses one event off a buffered text/event-stream reader,
+// blocking until a blank line completes a frame. Comment lines (":")
+// are skipped. io.EOF surfaces when the stream ends cleanly.
+func ReadSSE(br LineReader) (Event, error) {
+	var ev Event
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && seen {
+				return ev, nil
+			}
+			return Event{}, err
+		}
+		line = trimEOL(line)
+		switch {
+		case line == "":
+			if seen {
+				return ev, nil
+			}
+		case line[0] == ':': // comment/keep-alive
+		case hasPrefix(line, "id:"):
+			if id, perr := strconv.ParseUint(trimField(line, "id:"), 10, 64); perr == nil {
+				ev.ID = id
+			}
+			seen = true
+		case hasPrefix(line, "event:"):
+			ev.Type = trimField(line, "event:")
+			seen = true
+		case hasPrefix(line, "data:"):
+			ev.Data = append(ev.Data, []byte(trimField(line, "data:"))...)
+			seen = true
+		}
+	}
+}
+
+// LineReader is the minimal line-reader interface ReadSSE needs (a
+// *bufio.Reader satisfies it).
+type LineReader interface {
+	ReadString(delim byte) (string, error)
+}
+
+func trimEOL(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+func trimField(s, p string) string {
+	s = s[len(p):]
+	return string(bytes.TrimLeft([]byte(s), " "))
+}

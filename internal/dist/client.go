@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -17,8 +18,11 @@ import (
 
 // RetryPolicy shapes the client's jittered exponential backoff. Every
 // transport error and 5xx response retries until the attempt budget is
-// spent; 4xx responses are terminal (the coordinator said no, asking
-// again the same way will not help).
+// spent; 429 and 503 also retry, sleeping out a server-provided
+// Retry-After when one is present (the server knows its own load
+// better than our backoff curve does); other 4xx responses are
+// terminal (the coordinator said no, asking again the same way will
+// not help).
 type RetryPolicy struct {
 	// MaxAttempts bounds total tries per call (first try included).
 	// Default 8.
@@ -27,6 +31,10 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential growth. Default 5s.
 	MaxDelay time.Duration
+	// MaxRetryAfter caps how long a server-provided Retry-After is
+	// honoured, so a misconfigured server cannot park the client.
+	// Default 30s.
+	MaxRetryAfter time.Duration
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -39,28 +47,47 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = 5 * time.Second
 	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = 30 * time.Second
+	}
 	return p
 }
 
 // Client talks to a coordinator mounted at <BaseURL>/v1/dist (the
 // iprefetchd daemon root). All methods retry transient failures under
-// the retry policy and honour ctx cancellation between attempts.
+// the retry policy and honour ctx cancellation between attempts. With
+// FallbackURLs set (a replicated control plane), the client rotates to
+// the next replica after a transport error or server-side failure —
+// follower replicas 307-redirect writes to the owner, which the
+// underlying http.Client follows transparently.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://host:8080"; the /v1/dist
 	// prefix is appended here.
 	BaseURL string
+	// FallbackURLs lists additional replica roots to rotate through
+	// when the current one is unreachable.
+	FallbackURLs []string
 	// HTTPClient defaults to a client with a 30s request timeout.
 	HTTPClient *http.Client
 	// Retry shapes the backoff; zero fields take defaults.
 	Retry RetryPolicy
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu     sync.Mutex
+	rng    *rand.Rand
+	urlIdx int // index into the BaseURL+FallbackURLs rotation
+
+	// test seams; nil means the real clock.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
-// NewClient returns a client for the daemon at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+// NewClient returns a client for the daemon at baseURL. Additional
+// URLs are failover replicas.
+func NewClient(baseURL string, fallback ...string) *Client {
+	for i, u := range fallback {
+		fallback[i] = strings.TrimRight(u, "/")
+	}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), FallbackURLs: fallback}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -68,6 +95,44 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) timeNow() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// currentURL returns the replica root this client is pinned to.
+func (c *Client) currentURL() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.urlIdx == 0 || len(c.FallbackURLs) == 0 {
+		return c.BaseURL
+	}
+	return c.FallbackURLs[(c.urlIdx-1)%len(c.FallbackURLs)]
+}
+
+// rotateURL advances to the next replica after a failure.
+func (c *Client) rotateURL() {
+	c.mu.Lock()
+	if len(c.FallbackURLs) > 0 {
+		c.urlIdx = (c.urlIdx + 1) % (len(c.FallbackURLs) + 1)
+	}
+	c.mu.Unlock()
 }
 
 // jitter scales d by a uniform factor in [0.5, 1.5).
@@ -91,6 +156,24 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("dist: coordinator returned %d: %s", e.status, e.msg)
 }
 
+// parseRetryAfter interprets a Retry-After header value: either
+// delta-seconds or an HTTP date.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
 // do POSTs (or GETs, when body is nil and method says so) one API call
 // with retries, decoding a JSON response into out when non-nil.
 // Returns the final HTTP status.
@@ -103,15 +186,23 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 			return 0, err
 		}
 	}
-	url := c.BaseURL + "/v1/dist" + path
 	delay := policy.BaseDelay
+	var retryAfter time.Duration // server-provided wait, consumed once
 	var lastErr error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-time.After(c.jitter(delay)):
-			case <-ctx.Done():
-				return 0, ctx.Err()
+			wait := c.jitter(delay)
+			if retryAfter > 0 {
+				// The server told us when to come back; believe it
+				// (capped) instead of guessing.
+				wait = retryAfter
+				if wait > policy.MaxRetryAfter {
+					wait = policy.MaxRetryAfter
+				}
+				retryAfter = 0
+			}
+			if err := c.doSleep(ctx, wait); err != nil {
+				return 0, err
 			}
 			if delay *= 2; delay > policy.MaxDelay {
 				delay = policy.MaxDelay
@@ -121,6 +212,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 		if payload != nil {
 			rd = bytes.NewReader(payload)
 		}
+		url := c.currentURL() + "/v1/dist" + path
 		req, err := http.NewRequestWithContext(ctx, method, url, rd)
 		if err != nil {
 			return 0, err
@@ -134,6 +226,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 				return 0, ctx.Err()
 			}
 			lastErr = err
+			c.rotateURL()
 			continue
 		}
 		data, err := io.ReadAll(resp.Body)
@@ -143,9 +236,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 			continue
 		}
 		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			// Back-pressure: retry when the server says to.
+			lastErr = &apiError{resp.StatusCode, errBody(data)}
+			if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After"), c.timeNow()); ok {
+				retryAfter = ra
+			}
+			continue
 		case resp.StatusCode >= 500:
 			lastErr = &apiError{resp.StatusCode, errBody(data)}
-			continue // server trouble is retryable
+			c.rotateURL() // this replica is in trouble; try a peer
+			continue
 		case resp.StatusCode >= 400:
 			return resp.StatusCode, &apiError{resp.StatusCode, errBody(data)}
 		}
@@ -197,7 +298,7 @@ func (c *Client) Sweep(ctx context.Context, id string) (SweepView, error) {
 // not all JSON (results.csv, pareto.csv), so the body comes back raw.
 func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/dist/sweeps/"+id+"/artifacts/"+name, nil)
+		c.currentURL()+"/v1/dist/sweeps/"+id+"/artifacts/"+name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +322,7 @@ func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) 
 // /v1/dist prefix). The caller owns the returned body and should
 // re-hash what it reads — the id names the bytes.
 func (c *Client) FetchCorpus(ctx context.Context, id string) (io.ReadCloser, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/corpus/"+id, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.currentURL()+"/v1/corpus/"+id, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -123,5 +124,148 @@ func TestClientAcquireNoWork(t *testing.T) {
 	l, err := c.Acquire(context.Background(), "w-1")
 	if err != nil || l != nil {
 		t.Fatalf("idle acquire = %v, %v; want nil, nil", l, err)
+	}
+}
+
+// fakeSleeper records requested sleep durations instead of sleeping.
+type fakeSleeper struct {
+	mu    sync.Mutex
+	slept []time.Duration
+	clock time.Time
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.slept = append(f.slept, d)
+	f.clock = f.clock.Add(d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+func (f *fakeSleeper) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.clock
+}
+
+func (f *fakeSleeper) durations() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.slept...)
+}
+
+// newThrottledClient wires a client to srv with a fake clock.
+func newThrottledClient(srv *httptest.Server) (*Client, *fakeSleeper) {
+	fs := &fakeSleeper{clock: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	c := NewClient(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	c.now = fs.now
+	c.sleep = fs.sleep
+	return c, fs
+}
+
+func TestClientHonoursRetryAfterSeconds(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"w-1","lease_ttl_ms":1000}`))
+	}))
+	t.Cleanup(srv.Close)
+	c, fs := newThrottledClient(srv)
+	if _, err := c.Register(context.Background(), "w"); err != nil {
+		t.Fatalf("register through one 429: %v", err)
+	}
+	slept := fs.durations()
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("want exactly one 7s sleep from Retry-After, got %v", slept)
+	}
+}
+
+func TestClientHonoursRetryAfterHTTPDate(t *testing.T) {
+	var calls int32
+	var c *Client
+	var fs *fakeSleeper
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			// 5s in the future relative to the fake clock.
+			w.Header().Set("Retry-After", fs.now().Add(5*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"id":"w-1","lease_ttl_ms":1000}`))
+	}))
+	t.Cleanup(srv.Close)
+	c, fs = newThrottledClient(srv)
+	if _, err := c.Register(context.Background(), "w"); err != nil {
+		t.Fatalf("register through one 503: %v", err)
+	}
+	slept := fs.durations()
+	if len(slept) != 1 || slept[0] != 5*time.Second {
+		t.Fatalf("want one 5s sleep from HTTP-date Retry-After, got %v", slept)
+	}
+}
+
+func TestClientCapsRetryAfter(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "86400") // a day; do not believe it
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"w-1","lease_ttl_ms":1000}`))
+	}))
+	t.Cleanup(srv.Close)
+	c, fs := newThrottledClient(srv)
+	c.Retry.MaxRetryAfter = 10 * time.Second
+	if _, err := c.Register(context.Background(), "w"); err != nil {
+		t.Fatal(err)
+	}
+	if slept := fs.durations(); len(slept) != 1 || slept[0] != 10*time.Second {
+		t.Fatalf("want Retry-After capped at 10s, got %v", slept)
+	}
+}
+
+func TestClientBacksOffWithoutRetryAfter(t *testing.T) {
+	// A 429 with no Retry-After falls back to jittered backoff bounded
+	// by the policy — never a multi-second stall.
+	srv, _ := newFlakyServer(t, 2, http.StatusTooManyRequests, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"w-1","lease_ttl_ms":1000}`))
+	})
+	c, fs := newThrottledClient(srv)
+	if _, err := c.Register(context.Background(), "w"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fs.durations() {
+		if d > c.Retry.MaxDelay+c.Retry.MaxDelay/2 { // jitter factor < 1.5
+			t.Fatalf("backoff sleep %v exceeds jittered MaxDelay", d)
+		}
+	}
+}
+
+func TestClientRotatesToFallbackReplica(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"w-2","lease_ttl_ms":1000}`))
+	}))
+	t.Cleanup(healthy.Close)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+
+	c := NewClient(dead.URL, healthy.URL)
+	c.Retry = fastRetry
+	fs := &fakeSleeper{clock: time.Unix(9000, 0)}
+	c.now, c.sleep = fs.now, fs.sleep
+	v, err := c.Register(context.Background(), "w")
+	if err != nil {
+		t.Fatalf("register should fail over to the healthy replica: %v", err)
+	}
+	if v.ID != "w-2" {
+		t.Fatalf("view = %+v", v)
 	}
 }

@@ -71,6 +71,13 @@ type Config struct {
 	DefaultSeed          uint64
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// OnEvent, when non-nil, receives progress notifications
+	// ("shard-leased", "point-completed", "sweep-completed",
+	// "sweep-failed") keyed by sweep id; the service layer fans them
+	// out to SSE subscribers. Called with the coordinator lock held —
+	// the hook must be fast and must not call back into the
+	// coordinator.
+	OnEvent func(sweepID, typ string, data any)
 }
 
 // SweepState is the lifecycle of a distributed sweep.
@@ -212,6 +219,20 @@ func (c *Coordinator) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
 	}
+}
+
+// event fires the progress hook, if any.
+func (c *Coordinator) event(sweepID, typ string, data any) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(sweepID, typ, data)
+	}
+}
+
+// SetOnEvent installs the progress hook after construction (the
+// service layer builds its broker after the coordinator). Not safe to
+// race with live traffic; call before serving.
+func (c *Coordinator) SetOnEvent(fn func(sweepID, typ string, data any)) {
+	c.cfg.OnEvent = fn
 }
 
 // LeaseTTL returns the configured lease lifetime (workers derive their
@@ -404,6 +425,10 @@ func (c *Coordinator) Acquire(workerID string) (*Lease, error) {
 		}
 		c.leases[l.id] = l
 		c.metrics.leasesGranted++
+		c.event(id, "shard-leased", map[string]any{
+			"lease_id": l.id, "worker_id": workerID, "points": len(idxs),
+			"completed": ds.completed, "total": len(ds.points),
+		})
 		return &Lease{
 			ID: l.id, SweepID: id, Points: pts,
 			WarmInstrs: ds.warm, MeasureInstrs: ds.measure, Seed: ds.seed,
@@ -479,6 +504,10 @@ func (c *Coordinator) SubmitPoint(sweepID, workerID string, res sweep.PointResul
 	if w, ok := c.workers[workerID]; ok {
 		w.points++
 	}
+	c.event(sweepID, "point-completed", map[string]any{
+		"key": res.Key, "index": res.Point.Index, "worker_id": workerID,
+		"ipc": res.IPC, "completed": ds.completed, "total": len(ds.points),
+	})
 	c.maybeFinishLocked(ds)
 	return false, nil
 }
@@ -605,6 +634,9 @@ func (c *Coordinator) failSweepLocked(ds *distSweep, msg string) {
 	ds.finishedAt = time.Now()
 	close(ds.done)
 	c.metrics.sweepsFailed++
+	c.event(ds.id, "sweep-failed", map[string]any{
+		"error": msg, "completed": ds.completed, "total": len(ds.points),
+	})
 	c.logf("dist: sweep %s failed: %s", ds.id, msg)
 }
 
@@ -634,6 +666,15 @@ func (c *Coordinator) maybeFinishLocked(ds *distSweep) {
 	ds.finishedAt = time.Now()
 	close(ds.done)
 	c.metrics.sweepsCompleted++
+	names := make([]string, 0, len(ds.artifacts))
+	for name := range ds.artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	c.event(ds.id, "artifact-ready", map[string]any{"artifacts": names})
+	c.event(ds.id, "sweep-completed", map[string]any{
+		"completed": ds.completed, "total": len(ds.points), "recovered": ds.recovered,
+	})
 	c.logf("dist: sweep %s completed (%d points, %d recovered)", ds.id, ds.completed, ds.recovered)
 }
 

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/ctlplane"
 	"repro/internal/dist"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -27,6 +29,14 @@ import (
 //	                     sweep already exists. ?wait=1 blocks until done.
 //	GET  /v1/sweeps      list sweeps
 //	GET  /v1/sweeps/{id} sweep progress (completed/total points)
+//	GET  /v1/sweeps/{id}/events
+//	                     Server-Sent Events progress stream (snapshot,
+//	                     point-completed, shard-leased, artifact-ready,
+//	                     sweep-completed, heartbeat); resumes from
+//	                     Last-Event-ID
+//	GET  /v1/jobs/{id}/events
+//	                     SSE job lifecycle stream (job-queued,
+//	                     job-running, job-completed/failed/canceled)
 //	GET  /v1/sweeps/{id}/artifacts/{name}
 //	                     download a completed sweep's artifact
 //	                     (results.json, results.csv, pareto.csv)
@@ -145,6 +155,25 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, ok := s.Sweep(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown sweep")
+			return
+		}
+		serveSSE(s, w, r, "sweep/"+id, v)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, ok := s.Job(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		v.Result = nil // snapshots stay small; fetch the job for the result
+		serveSSE(s, w, r, "job/"+id, v)
+	})
 	mux.HandleFunc("GET /v1/sweeps/{id}/artifacts/{name}", func(w http.ResponseWriter, r *http.Request) {
 		id, name := r.PathValue("id"), r.PathValue("name")
 		v, ok := s.Sweep(id)
@@ -260,22 +289,162 @@ func Handler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, man)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		role, leaderURL := "standalone", ""
+		if rep := s.Replica(); rep != nil {
+			role = "follower"
+			if rep.IsLeader() {
+				role = "leader"
+			}
+			if info, ok := rep.Leader(); ok {
+				leaderURL = info.URL
+			}
+		}
 		writeJSON(w, http.StatusOK, struct {
 			Status  string   `json:"status"`
+			Role    string   `json:"role"`
+			Leader  string   `json:"leader_url,omitempty"`
 			Workers int      `json:"workers"`
 			Queue   int      `json:"queue_depth"`
 			Jobs    Snapshot `json:"jobs"`
-		}{"ok", s.Workers(), s.QueueDepth(), s.metrics.Snapshot()})
+		}{"ok", role, leaderURL, s.Workers(), s.QueueDepth(), s.metrics.Snapshot()})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.WriteProm(w, s.QueueDepth(), s.Workers(), s.ActiveSweeps(), s.EngineCounters())
 		s.Dist().WriteProm(w)
+		s.WriteCtlplaneProm(w)
+		WriteRuntimeProm(w, s.cfg.Version)
 	})
 	// Distributed sweep execution: worker registration, lease
 	// acquire/renew/complete, idempotent point submission, progress.
 	mux.Handle("/v1/dist/", http.StripPrefix("/v1/dist", dist.Handler(s.Dist())))
-	return mux
+
+	// Edge middleware, innermost first: writes on a follower replica
+	// 307-redirect to the lease owner, and admission control sheds
+	// over-quota submissions before they cost a queue slot.
+	var h http.Handler = mux
+	h = redirectWrites(s, h)
+	h = admitSubmissions(s, h)
+	return h
+}
+
+// admitSubmissions enforces per-client token-bucket quotas on job and
+// sweep submissions. Disabled (nil limiter) requests pass through.
+func admitSubmissions(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost &&
+			(r.URL.Path == "/v1/jobs" || r.URL.Path == "/v1/sweeps") {
+			if l := s.Limiter(); l != nil {
+				if ok, retryAfter := l.Allow(ctlplane.ClientKey(r)); !ok {
+					secs := int(retryAfter / time.Second)
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.Itoa(secs))
+					httpError(w, http.StatusTooManyRequests, "quota exceeded; slow down")
+					return
+				}
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// redirectWrites sends mutating requests hitting a follower replica to
+// the current lease owner with a 307 (method- and body-preserving)
+// redirect. With no live owner the client is told to retry shortly —
+// a takeover is at most one lease TTL away. Reads are always served
+// locally; disabled replication passes everything through.
+func redirectWrites(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := s.Replica()
+		if rep == nil || rep.IsLeader() ||
+			r.Method == http.MethodGet || r.Method == http.MethodHead {
+			next.ServeHTTP(w, r)
+			return
+		}
+		info, ok := rep.Leader()
+		if !ok || info.URL == "" {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "no control-plane owner; retry shortly")
+			return
+		}
+		if info.Holder == rep.ID() {
+			// Raced our own takeover; serve it.
+			next.ServeHTTP(w, r)
+			return
+		}
+		http.Redirect(w, r, strings.TrimRight(info.URL, "/")+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	})
+}
+
+// serveSSE streams one topic to the client as Server-Sent Events: an
+// unnumbered snapshot of current state, the retained events after the
+// client's Last-Event-ID, then live events with periodic heartbeats,
+// until the client hangs up or the broker drains for shutdown (which
+// delivers a final "shutdown" event).
+func serveSSE(s *Service, w http.ResponseWriter, r *http.Request, topic string, snapshot any) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	replay, sub, missed, err := s.Broker().Subscribe(topic, ctlplane.LastEventID(r))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	// The snapshot carries the authoritative current state (rebuilt from
+	// the journal when this replica never ran the work), so a client
+	// resuming from below the retained window still converges; "missed"
+	// tells it counts may have advanced without per-event delivery.
+	data, _ := json.Marshal(snapshot)
+	writeEvent := func(ev ctlplane.Event) bool {
+		if err := ctlplane.WriteSSE(w, ev); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	snapType := "snapshot"
+	if missed {
+		snapType = "snapshot-resync"
+	}
+	if !writeEvent(ctlplane.Event{Type: snapType, Data: data}) {
+		return
+	}
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	hb := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				return // broker drained (shutdown event already delivered) or we overflowed
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-hb.C:
+			if !writeEvent(ctlplane.Event{Type: "heartbeat", Data: json.RawMessage(`{}`)}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -298,4 +299,31 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, workers, activeSweeps int, 
 	fmt.Fprintf(w, "iprefetchd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "iprefetchd_job_duration_seconds_sum %.6f\n", m.latencySum)
 	fmt.Fprintf(w, "iprefetchd_job_duration_seconds_count %d\n", m.latencyCount)
+}
+
+// WriteRuntimeProm renders Go runtime health (goroutines, heap, GC
+// pauses) and the build-info marker. Saturation investigations start
+// here: a leaking SSE handler shows up as a goroutine ramp, an
+// oversized quota table as heap growth.
+func WriteRuntimeProm(w io.Writer, version string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("iprefetchd_goroutines", "Live goroutines.", uint64(runtime.NumGoroutine()))
+	gauge("iprefetchd_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc)
+	gauge("iprefetchd_heap_objects", "Allocated heap objects.", ms.HeapObjects)
+	counter("iprefetchd_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+	fmt.Fprintf(w, "# HELP iprefetchd_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "iprefetchd_gc_pause_seconds_total %.6f\n", float64(ms.PauseTotalNs)/1e9)
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+	fmt.Fprintf(w, "# HELP iprefetchd_build_info Build metadata; always 1.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_build_info gauge\n")
+	fmt.Fprintf(w, "iprefetchd_build_info{version=\"%s\",go=\"%s\"} 1\n",
+		esc.Replace(version), esc.Replace(runtime.Version()))
 }

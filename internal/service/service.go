@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cmp"
 	"repro/internal/corpus"
+	"repro/internal/ctlplane"
 	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -59,6 +60,12 @@ type Config struct {
 	// MaxCorpusUploadBytes caps one POST /v1/corpus body. Default
 	// 64 MiB. Requires ResultDir (the corpus lives under it).
 	MaxCorpusUploadBytes int64
+	// SSEHeartbeat is the idle keep-alive interval of event streams.
+	// Default 15s.
+	SSEHeartbeat time.Duration
+	// Version is the build version reported by iprefetchd_build_info.
+	// Default "dev".
+	Version string
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -128,6 +135,8 @@ type Service struct {
 	corpus  *corpus.Store // nil when persistence is disabled
 	metrics *Metrics
 	dist    *dist.Coordinator
+	broker  *ctlplane.Broker
+	adopted uint64 // sweeps resumed from the shared journal (atomic)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -141,6 +150,8 @@ type Service struct {
 	engines  map[string]*sim.Engine
 	nextID   uint64
 	closed   bool
+	limiter  *ctlplane.Limiter // nil when admission control is disabled
+	replica  *ctlplane.Replica // nil when replication is disabled
 }
 
 // New starts a service with cfg's worker pool running.
@@ -166,9 +177,16 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxCorpusUploadBytes <= 0 {
 		cfg.MaxCorpusUploadBytes = 64 << 20
 	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
 	s := &Service{
 		cfg:      cfg,
 		metrics:  NewMetrics(),
+		broker:   ctlplane.NewBroker(0),
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
@@ -205,6 +223,12 @@ func New(cfg Config) (*Service, error) {
 		DefaultMeasureInstrs: cfg.DefaultMeasureInstrs,
 		DefaultSeed:          cfg.Seed,
 		Logf:                 cfg.Logf,
+		// Distributed sweeps stream over the same SSE topics as local
+		// ones: identity is content-derived either way, so a sweep's
+		// subscribers see its events no matter where it executes.
+		OnEvent: func(sweepID, typ string, data any) {
+			s.broker.Publish("sweep/"+sweepID, typ, data)
+		},
 	})
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -347,7 +371,9 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	s.inflight[key] = j
 	s.metrics.Submitted()
-	return s.viewLocked(j, false), nil
+	v := s.viewLocked(j, false)
+	s.publish("job/"+j.id, "job-queued", v)
+	return v, nil
 }
 
 // newJobLocked allocates and registers a job. Caller must hold s.mu.
@@ -396,6 +422,9 @@ func (s *Service) runJob(j *job) {
 	eng := s.engineFor(warm, measure, seed)
 	s.mu.Unlock()
 	s.metrics.JobStarted()
+	s.publish("job/"+j.id, "job-running", struct {
+		ID string `json:"id"`
+	}{j.id})
 
 	var res sim.Result
 	err := specErr
@@ -426,9 +455,11 @@ func (s *Service) runJob(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	v := s.viewLocked(j, false)
 	delete(s.inflight, j.key)
 	s.mu.Unlock()
 	close(j.done)
+	s.publish("job/"+j.id, "job-"+outcome, v)
 	s.metrics.JobFinished(outcome, finished.Sub(j.startedAt))
 	if outcome == "completed" {
 		for _, c := range res.Total.Components {
@@ -560,6 +591,10 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
+	// Backstop for callers that skip the daemon's explicit drain: no SSE
+	// stream outlives the service, and each ends with a shutdown notice.
+	s.DrainStreams()
+	s.StopReplication()
 
 	done := make(chan struct{})
 	go func() {

@@ -116,8 +116,18 @@ func (s *Service) SubmitSweep(spec sweep.Spec) (SweepView, error) {
 			s.logf("service: sweep %s: journal disabled: %v", id, err)
 		} else {
 			journal = j
+			// Persist the sweep's identity next to its journal so any
+			// replica can resume it (leadership takeover) or serve its
+			// progress without having run it.
+			if err := writeSweepMeta(j.Dir(), sweepMeta{
+				Spec: spec, Warm: warm, Measure: measure, Seed: seed,
+				Total: len(points), SubmittedAt: run.submittedAt,
+			}); err != nil {
+				s.logf("service: sweep %s: persist meta: %v", id, err)
+			}
 		}
 	}
+	topic := "sweep/" + id
 	runner := &sweep.Runner{
 		Engine:  eng,
 		Workers: s.cfg.Workers,
@@ -126,10 +136,18 @@ func (s *Service) SubmitSweep(spec sweep.Spec) (SweepView, error) {
 		OnPoint: func(res sweep.PointResult) {
 			s.mu.Lock()
 			run.completed++
+			completed := run.completed
 			if res.Recovered {
 				run.recovered++
 			}
 			s.mu.Unlock()
+			s.publish(topic, "point-completed", struct {
+				Key       string  `json:"key"`
+				IPC       float64 `json:"ipc"`
+				Completed int     `json:"completed"`
+				Total     int     `json:"total"`
+				Recovered bool    `json:"recovered,omitempty"`
+			}{res.Key, res.IPC, completed, run.total, res.Recovered})
 			s.metrics.SweepPoint(res.Recovered)
 			if !res.Recovered {
 				// Attribution counters only for freshly simulated
@@ -180,8 +198,16 @@ func (s *Service) runSweep(run *sweepRun, runner *sweep.Runner) {
 	run.errMsg = errMsg
 	run.artifacts = artifacts
 	run.finishedAt = time.Now()
+	v := s.sweepViewLocked(run)
 	s.mu.Unlock()
 	close(run.done)
+	if state == SweepCompleted {
+		s.persistArtifacts(run.id, artifacts)
+		s.publish("sweep/"+run.id, "artifact-ready", struct {
+			Artifacts []string `json:"artifacts"`
+		}{v.Artifacts})
+	}
+	s.publish("sweep/"+run.id, "sweep-"+string(state), v)
 	s.metrics.SweepFinished(string(state))
 	s.logf("service: sweep %s %s (%d/%d points, %d recovered)",
 		run.id, state, run.completed, run.total, run.recovered)
@@ -211,15 +237,18 @@ func (s *Service) sweepViewLocked(run *sweepRun) SweepView {
 	return v
 }
 
-// Sweep returns the sweep with the given id.
+// Sweep returns the sweep with the given id. Sweeps this process never
+// ran (owned by a peer replica, or finished before a restart) are
+// reconstructed read-only from the shared journal.
 func (s *Service) Sweep(id string) (SweepView, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	run, ok := s.sweeps[id]
-	if !ok {
-		return SweepView{}, false
+	if ok {
+		defer s.mu.Unlock()
+		return s.sweepViewLocked(run), true
 	}
-	return s.sweepViewLocked(run), true
+	s.mu.Unlock()
+	return s.sweepFromDisk(id)
 }
 
 // Sweeps lists every known sweep, newest first.
@@ -257,12 +286,15 @@ func (s *Service) WaitSweep(ctx context.Context, id string) (SweepView, error) {
 // its content type.
 func (s *Service) SweepArtifact(id, name string) (data []byte, contentType string, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	run, found := s.sweeps[id]
-	if !found || run.artifacts == nil {
-		return nil, "", false
+	if found && run.artifacts != nil {
+		data, ok = run.artifacts[name]
 	}
-	data, ok = run.artifacts[name]
+	s.mu.Unlock()
+	if !ok {
+		// Persisted by a peer replica or a previous run of this daemon.
+		data, ok = s.artifactFromDisk(id, name)
+	}
 	if !ok {
 		return nil, "", false
 	}
