@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist race-core race-ctlplane fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service
+.PHONY: build vet test race race-dist race-core race-ctlplane race-corpus fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,18 @@ race-core:
 race-ctlplane:
 	$(GO) test -race -count=2 ./internal/ctlplane/... ./internal/service/... ./internal/dist/...
 
-# Short fuzz passes over the trace codecs; CI runs the same smoke.
+# Corpus race pass: GC racing ingest, chunk federation, and the trace
+# record codecs — twice, so cross-test CAS state can't hide a race
+# (what CI runs).
+race-corpus:
+	$(GO) test -race -count=2 ./internal/corpus/... ./internal/trace/...
+
+# Short fuzz passes over the trace codecs and the content-defined
+# chunker; CI runs the same smoke.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=10s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzRoundTripV2 -fuzztime=10s
+	$(GO) test ./internal/corpus -run='^$$' -fuzz=FuzzChunker -fuzztime=10s
 
 bench:
 	$(GO) test -bench=Figure -benchmem ./...
@@ -52,7 +60,9 @@ bench-dist:
 	$(GO) run ./cmd/distbench -o BENCH_dist.json
 
 # Trace codec trajectory: writes BENCH_trace.json (v1 vs v2 encode and
-# decode throughput, compression ratio, 1-vs-4-shard decode scaling).
+# decode throughput, compression ratio, 1-vs-4-shard decode scaling,
+# plus per-workload chunk-codec comparison rows — flate vs the
+# delta+varint columnar pre-pass — and cross-seed chunk dedup ratios).
 bench-trace:
 	$(GO) run ./cmd/tracebench -o BENCH_trace.json
 

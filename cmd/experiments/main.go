@@ -84,6 +84,7 @@ func main() {
 			os.Exit(1)
 		}
 		cmp.RegisterTraceProvider(store.ReplaySource)
+		traceStore = store
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -281,7 +282,14 @@ func runSweep(ctx context.Context, path string) error {
 	return nil
 }
 
-// loadSpec reads and validates a sweep.Spec JSON file.
+// traceStore is the corpus opened via -data (nil without it); besides
+// replaying trace:<id> workloads it backs corpus:select(...) axes.
+var traceStore *corpus.Store
+
+// loadSpec reads, normalizes and validates a sweep.Spec JSON file.
+// corpus:select(...) workload axes expand against the -data corpus
+// fingerprint index before validation, exactly as the daemon does at
+// submission.
 func loadSpec(path string) (sweep.Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -291,6 +299,13 @@ func loadSpec(path string) (sweep.Spec, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		return sweep.Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	var selectIDs func(string) ([]string, error)
+	if traceStore != nil {
+		selectIDs = traceStore.Select
+	}
+	if err := spec.Normalize(selectIDs); err != nil {
 		return sweep.Spec{}, fmt.Errorf("%s: %w", path, err)
 	}
 	if err := spec.Validate(); err != nil {

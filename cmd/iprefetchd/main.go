@@ -33,8 +33,10 @@
 //	GET  /v1/sweeps/{id}/artifacts/{name}  download a sweep artifact
 //	GET  /v1/figures/{id} run a paper figure ("1".."10") or ablation ("a1".."a10")
 //	POST /v1/corpus       upload a v2 trace container (needs -data; size-capped)
-//	GET  /v1/corpus       list trace-corpus entries
+//	GET  /v1/corpus       list trace-corpus entries (?select=<expr> filters by
+//	                      fingerprint, e.g. select=footprint>4096,cti>0.1)
 //	GET  /v1/corpus/{id}[/manifest]      download a container / its manifest
+//	GET  /v1/corpus/{id}/chunks/{chunk}  one raw CAS chunk (federation unit)
 //	POST /v1/dist/workers                submit a worker registration
 //	POST /v1/dist/sweeps                 launch a distributed sweep
 //	GET  /v1/dist/sweeps[/{id}]          distributed sweep progress
@@ -53,6 +55,17 @@
 // serves reads, and a new owner adopts sweeps its predecessor left
 // unfinished. -quotas points at a JSON admission policy (per-client
 // token buckets); SIGHUP re-reads it without a restart.
+//
+// Corpus at scale: -peers lists other daemons' base URLs; a sweep
+// pinned to a trace:<id> this daemon's store lacks pulls the manifest
+// and only the missing chunks from the first peer that has the entry
+// (shared chunks are never re-transferred). -gc enables a periodic
+// mark-and-sweep over the chunk CAS — live manifests, in-flight
+// ingests, and every trace id named by a sweep journal under -data
+// are roots — with -gc-grace protecting recent writes and
+// -gc-dry-run reporting instead of deleting. Sweeps may also select
+// workloads by fingerprint: a "corpus:select(footprint>4096,cti>0.1)"
+// workload axis expands to the matching trace:<id> set at submission.
 //
 // Example:
 //
@@ -77,6 +90,7 @@ import (
 	_ "net/http/pprof" // registered on the opt-in -pprof-addr listener only
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -107,8 +121,19 @@ func main() {
 		replicaTTL = flag.Duration("replica-ttl", 10*time.Second, "control-plane lease lifetime; a dead owner is superseded after this long")
 		quotas     = flag.String("quotas", "", "JSON admission-quota policy file (per-client token buckets); SIGHUP re-reads it")
 		heartbeat  = flag.Duration("sse-heartbeat", 15*time.Second, "SSE keepalive interval on event streams")
+		peers      = flag.String("peers", "", "comma-separated peer daemon base URLs for corpus chunk federation (needs -data)")
+		gcEvery    = flag.Duration("gc", 0, "corpus GC interval (0 = disabled; needs -data)")
+		gcGrace    = flag.Duration("gc-grace", 0, "corpus GC grace window for recent chunks (0 = 1h default, negative = none)")
+		gcDryRun   = flag.Bool("gc-dry-run", false, "corpus GC reports what it would delete without deleting")
 	)
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 
 	logger := log.New(os.Stderr, "iprefetchd: ", log.LstdFlags)
 	svc, err := service.New(service.Config{
@@ -122,6 +147,10 @@ func main() {
 		MaxActiveSweeps:      *maxSweeps,
 		DistLeaseTTL:         *leaseTTL,
 		MaxCorpusUploadBytes: *corpusCap,
+		CorpusPeers:          peerList,
+		CorpusGCInterval:     *gcEvery,
+		CorpusGCGrace:        *gcGrace,
+		CorpusGCDryRun:       *gcDryRun,
 		SSEHeartbeat:         *heartbeat,
 		Version:              version,
 		Logf:                 logger.Printf,

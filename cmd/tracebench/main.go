@@ -6,10 +6,16 @@
 // bits/block, and how the v2 sharded chunk decode scales from 1 to 4
 // goroutines.
 //
+// It also compares the corpus chunk codecs across the four paper
+// workloads: per-chunk flate-only vs the delta+varint columnar
+// pre-pass (compressed size, encode/decode MB/s) plus the cross-seed
+// chunk dedup ratio the content-defined chunker achieves between two
+// captures of the same profile, written as codec_comparison rows.
+//
 // Usage:
 //
 //	tracebench [-app DB] [-n blocks] [-seed n] [-chunk records]
-//	           [-o BENCH_trace.json]
+//	           [-codec-n blocks] [-o BENCH_trace.json]
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/isa"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -54,15 +61,38 @@ type report struct {
 	Shard1BlocksPerSec    float64 `json:"shard1_decode_blocks_per_sec"`
 	Shard4BlocksPerSec    float64 `json:"shard4_decode_blocks_per_sec"`
 	ShardDecodeSpeedup4x1 float64 `json:"shard_decode_speedup_4x1"`
+
+	// Codecs compares the corpus chunk codecs per paper workload.
+	Codecs []codecRow `json:"codec_comparison"`
+}
+
+// codecRow is one workload's chunk-codec comparison. ColumnarGain > 1
+// means the delta+varint pre-pass compressed smaller than flate
+// alone; DecodeThroughputRatio is columnar/flate decode speed (1.0 =
+// parity, < 0.9 would be a >10% decode regression).
+type codecRow struct {
+	App                    string  `json:"app"`
+	Blocks                 uint64  `json:"blocks"`
+	RawBytes               int     `json:"raw_bytes"`
+	FlateBytes             int     `json:"flate_bytes"`
+	ColumnarBytes          int     `json:"columnar_bytes"`
+	ColumnarGain           float64 `json:"columnar_gain"`
+	FlateEncodeMBPerSec    float64 `json:"flate_encode_mb_per_sec"`
+	ColumnarEncodeMBPerSec float64 `json:"columnar_encode_mb_per_sec"`
+	FlateDecodeMBPerSec    float64 `json:"flate_decode_mb_per_sec"`
+	ColumnarDecodeMBPerSec float64 `json:"columnar_decode_mb_per_sec"`
+	DecodeThroughputRatio  float64 `json:"decode_throughput_ratio"`
+	CrossSeedDedupRatio    float64 `json:"cross_seed_dedup_ratio"`
 }
 
 func main() {
 	var (
-		app   = flag.String("app", "DB", "workload to record")
-		n     = flag.Uint64("n", 500_000, "blocks per pass")
-		seed  = flag.Uint64("seed", 1, "stream seed")
-		chunk = flag.Int("chunk", 0, "v2 blocks per chunk (0 = default)")
-		out   = flag.String("o", "BENCH_trace.json", "output report path")
+		app    = flag.String("app", "DB", "workload to record")
+		n      = flag.Uint64("n", 500_000, "blocks per pass")
+		seed   = flag.Uint64("seed", 1, "stream seed")
+		chunk  = flag.Int("chunk", 0, "v2 blocks per chunk (0 = default)")
+		codecN = flag.Uint64("codec-n", 120_000, "blocks per workload for the chunk-codec comparison (0 = skip)")
+		out    = flag.String("o", "BENCH_trace.json", "output report path")
 	)
 	flag.Parse()
 
@@ -122,6 +152,13 @@ func main() {
 	rep.Shard4BlocksPerSec = shardRate(ir, 4, *n)
 	rep.ShardDecodeSpeedup4x1 = rep.Shard4BlocksPerSec / rep.Shard1BlocksPerSec
 
+	if *codecN > 0 {
+		rep.Codecs, err = codecComparison(*codecN, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	rep.Timestamp = time.Now().UTC()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -135,6 +172,11 @@ func main() {
 		"tracebench: %d blocks, v2 %.2fx smaller (%.1f bits/block), decode v1 %.1f MB/s v2 %.1f MB/s, shard x4 %.2fx -> %s\n",
 		*n, rep.V2Compression, rep.V2BitsPerBlock, rep.V1DecodeMBPerSec, rep.V2DecodeMBPerSec,
 		rep.ShardDecodeSpeedup4x1, *out)
+	for _, row := range rep.Codecs {
+		fmt.Fprintf(os.Stderr,
+			"tracebench: %-6s columnar %.3fx vs flate, decode ratio %.2f, cross-seed dedup %.2f\n",
+			row.App, row.ColumnarGain, row.DecodeThroughputRatio, row.CrossSeedDedupRatio)
+	}
 }
 
 // rates converts one pass into (MB/s, blocks/s).
@@ -198,6 +240,114 @@ func shardRate(ir *trace.IndexedReader, shards int, blocks uint64) float64 {
 		return 0
 	}
 	return float64(blocks) / s
+}
+
+// paperApps are the four commercial workloads the paper evaluates.
+var paperApps = []string{"DB", "TPC-W", "jApp", "Web"}
+
+// codecComparison measures, per paper workload, how the two chunk
+// codecs compress and decode ~8 KiB record-aligned groups of the
+// stream, and what chunk dedup ratio a second same-profile capture
+// (different seed) achieves against the first in a throwaway store.
+func codecComparison(n, seed uint64) ([]codecRow, error) {
+	var rows []codecRow
+	for _, app := range paperApps {
+		prof, err := workload.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := workload.BuildProgram(prof, 0)
+		if err != nil {
+			return nil, err
+		}
+
+		// Record-aligned groups sized like the store's average chunk.
+		gen := workload.NewGenerator(prog, seed)
+		blocks := make([]isa.Block, n)
+		for i := range blocks {
+			gen.Next(&blocks[i])
+		}
+		const groupRecords = 512 // ~8-16 KiB of raw record bytes
+		type group struct {
+			blocks []isa.Block
+			raw    []byte
+		}
+		var groups []group
+		rawTotal := 0
+		for off := uint64(0); off < n; off += groupRecords {
+			end := min(off+groupRecords, n)
+			g := group{blocks: blocks[off:end]}
+			g.raw = corpus.RawRecords(g.blocks)
+			rawTotal += len(g.raw)
+			groups = append(groups, g)
+		}
+
+		row := codecRow{App: app, Blocks: n, RawBytes: rawTotal}
+		for _, codec := range []byte{corpus.CodecFlate, corpus.CodecColumnar} {
+			type enc struct {
+				encLen  int
+				payload []byte
+			}
+			encs := make([]enc, len(groups))
+			start := time.Now()
+			total := 0
+			for i, g := range groups {
+				encLen, payload, err := corpus.EncodePayload(codec, g.blocks, g.raw)
+				if err != nil {
+					return nil, err
+				}
+				encs[i] = enc{encLen, payload}
+				total += len(payload)
+			}
+			encMBs, _ := rates(rawTotal, n, time.Since(start))
+			start = time.Now()
+			for i := range groups {
+				got, err := corpus.DecodePayload(codec, encs[i].payload, encs[i].encLen)
+				if err != nil {
+					return nil, err
+				}
+				if len(got) != len(groups[i].blocks) {
+					return nil, fmt.Errorf("%s: codec %d round-trip lost records", app, codec)
+				}
+			}
+			decMBs, _ := rates(rawTotal, n, time.Since(start))
+			switch codec {
+			case corpus.CodecFlate:
+				row.FlateBytes, row.FlateEncodeMBPerSec, row.FlateDecodeMBPerSec = total, encMBs, decMBs
+			case corpus.CodecColumnar:
+				row.ColumnarBytes, row.ColumnarEncodeMBPerSec, row.ColumnarDecodeMBPerSec = total, encMBs, decMBs
+			}
+		}
+		row.ColumnarGain = float64(row.FlateBytes) / float64(row.ColumnarBytes)
+		if row.FlateDecodeMBPerSec > 0 {
+			row.DecodeThroughputRatio = row.ColumnarDecodeMBPerSec / row.FlateDecodeMBPerSec
+		}
+
+		// Cross-seed dedup through the real CDC ingest path.
+		dir, err := os.MkdirTemp("", "tracebench-corpus-*")
+		if err != nil {
+			return nil, err
+		}
+		store, err := corpus.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if _, err := store.Capture(workload.NewGenerator(prog, seed), app, 0, n, 0); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		twin, err := store.Capture(workload.NewGenerator(prog, seed+1), app, 0, n, 0)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		row.CrossSeedDedupRatio = twin.Dedup.DedupRatio
+		os.RemoveAll(dir)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func fatal(err error) {

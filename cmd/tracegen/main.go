@@ -14,7 +14,14 @@
 //	tracegen ingest  -i db.trc -data ./results      # v1/v2 file -> corpus entry
 //	tracegen ingest  -app DB -n 1000000 -data ./results  # capture straight in
 //	tracegen corpus  -data ./results      # list corpus entries
+//	tracegen corpus  -data ./results -select 'footprint>4096,cti>0.1'
+//	tracegen dedup-stats -data ./results [-json]   # chunk-sharing report
+//	tracegen gc      -data ./results [-grace 1h] [-dry-run] [-json]
 //	tracegen list                         # list built-in workloads
+//
+// dedup-stats and gc are scripting-friendly: exit 0 on success, 1 on
+// store errors, 2 on usage errors; -json emits one machine-readable
+// object on stdout.
 //
 // record and analyze honour SIGINT/SIGTERM and -timeout: the run stops
 // cooperatively with exit status 1, and an interrupted record leaves a
@@ -25,6 +32,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,6 +66,10 @@ func main() {
 		ingestCmd(ctx, os.Args[2:])
 	case "corpus":
 		corpusCmd(os.Args[2:])
+	case "dedup-stats":
+		dedupStatsCmd(os.Args[2:])
+	case "gc":
+		gcCmd(os.Args[2:])
 	case "list":
 		list()
 	default:
@@ -66,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracegen record|stats|analyze|verify|ingest|corpus|list [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracegen record|stats|analyze|verify|ingest|corpus|dedup-stats|gc|list [flags]")
 	os.Exit(2)
 }
 
@@ -286,23 +298,94 @@ func ingestCmd(ctx context.Context, args []string) {
 func corpusCmd(args []string) {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
 	data := fs.String("data", "", "data directory holding the corpus (required)")
+	sel := fs.String("select", "", "fingerprint selector, e.g. 'footprint>4096,cti>0.1' (empty = all)")
 	fs.Parse(args)
-	if *data == "" {
-		fatal(fmt.Errorf("corpus needs -data"))
-	}
-	store, err := corpus.Open(filepath.Join(*data, "corpus"))
+	store := openCorpus(*data, "corpus")
+	ids, err := store.Select(*sel)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
-	entries, err := store.List()
-	if err != nil {
-		fatal(err)
-	}
-	for _, m := range entries {
+	for _, id := range ids {
+		m, err := store.Get(id)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%s  %-6s %10d blocks %12d instrs %5d chunks %10d bytes  %s\n",
 			m.ID[:12], m.Name, m.Blocks, m.Instructions, m.Chunks, m.SizeBytes,
 			m.CreatedAt.Format("2006-01-02 15:04"))
 	}
+}
+
+// openCorpus opens <data>/corpus or exits with a usage error when
+// -data is missing.
+func openCorpus(data, cmd string) *corpus.Store {
+	if data == "" {
+		usageFatal(fmt.Errorf("%s needs -data", cmd))
+	}
+	store, err := corpus.Open(filepath.Join(data, "corpus"))
+	if err != nil {
+		fatal(err)
+	}
+	return store
+}
+
+// dedupStatsCmd reports how much the chunk CAS is sharing: entry and
+// chunk counts, logical vs stored bytes, and the dedup/space ratios.
+func dedupStatsCmd(args []string) {
+	fs := flag.NewFlagSet("dedup-stats", flag.ExitOnError)
+	data := fs.String("data", "", "data directory holding the corpus (required)")
+	asJSON := fs.Bool("json", false, "emit one JSON object instead of text")
+	fs.Parse(args)
+	store := openCorpus(*data, "dedup-stats")
+	st, err := store.CorpusStats()
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("entries        %d\n", st.Entries)
+	fmt.Printf("chunk refs     %d\n", st.ChunkRefs)
+	fmt.Printf("unique chunks  %d\n", st.UniqueChunks)
+	fmt.Printf("orphan chunks  %d\n", st.OrphanChunks)
+	fmt.Printf("logical bytes  %d\n", st.LogicalBytes)
+	fmt.Printf("stored bytes   %d\n", st.StoredBytes)
+	fmt.Printf("dedup ratio    %.3f\n", st.DedupRatio)
+	fmt.Printf("space saved    %.3f\n", st.SpaceSaved)
+}
+
+// gcCmd runs one mark-and-sweep pass over the chunk CAS.
+func gcCmd(args []string) {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	data := fs.String("data", "", "data directory holding the corpus (required)")
+	grace := fs.Duration("grace", 0, "protect chunks newer than this (0 = 1h default, negative = none)")
+	dryRun := fs.Bool("dry-run", false, "report what would be deleted without deleting")
+	asJSON := fs.Bool("json", false, "emit one JSON object instead of text")
+	fs.Parse(args)
+	store := openCorpus(*data, "gc")
+	st, err := store.GC(corpus.GCOptions{Grace: *grace, DryRun: *dryRun})
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	verb := "deleted"
+	if st.DryRun {
+		verb = "would delete"
+	}
+	fmt.Printf("%s %d of %d chunks (%d bytes); %d live, %d in grace window\n",
+		verb, st.Deleted, st.Scanned, st.Reclaimed, st.Live, st.Skipped)
 }
 
 func list() {
@@ -315,4 +398,11 @@ func list() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// usageFatal reports a usage-level mistake (missing flag, malformed
+// selector) with the scripting exit code 2.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }

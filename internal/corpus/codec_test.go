@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func genBlocks(t *testing.T, p workload.Profile, seed uint64, n int) []isa.Block {
+	t.Helper()
+	prog := workload.MustBuildProgram(p, 0)
+	g := workload.NewGenerator(prog, seed)
+	blocks := make([]isa.Block, n)
+	for i := range blocks {
+		g.Next(&blocks[i])
+		blocks[i].MemOps = append([]isa.MemOp(nil), blocks[i].MemOps...)
+	}
+	return blocks
+}
+
+func blocksEqual(a, b []isa.Block) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].PC != b[i].PC || a[i].NumInstrs != b[i].NumInstrs ||
+			a[i].CTI != b[i].CTI || a[i].Target != b[i].Target ||
+			len(a[i].MemOps) != len(b[i].MemOps) {
+			return false
+		}
+		for j := range a[i].MemOps {
+			if a[i].MemOps[j] != b[i].MemOps[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	blocks := genBlocks(t, workload.Web(), 11, 2000)
+	raw := RawRecords(blocks)
+	for _, codec := range []byte{CodecFlate, CodecColumnar} {
+		encLen, payload, err := EncodePayload(codec, blocks, raw)
+		if err != nil {
+			t.Fatalf("codec %d: %v", codec, err)
+		}
+		got, err := DecodePayload(codec, payload, encLen)
+		if err != nil {
+			t.Fatalf("codec %d: %v", codec, err)
+		}
+		if !blocksEqual(blocks, got) {
+			t.Fatalf("codec %d: round trip changed blocks", codec)
+		}
+		// The canonical bytes survive the round trip too (the chunk
+		// hash depends on this).
+		if !bytes.Equal(RawRecords(got), raw) {
+			t.Fatalf("codec %d: canonical bytes changed", codec)
+		}
+	}
+}
+
+func TestColumnarCompressesRecordStreams(t *testing.T) {
+	blocks := genBlocks(t, workload.DB(), 3, 8000)
+	raw := RawRecords(blocks)
+	_, flatePayload, err := EncodePayload(CodecFlate, blocks, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, colPayload, err := EncodePayload(CodecColumnar, blocks, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The column split should win on real record streams; allow a
+	// small tolerance so the test pins "competitive", not a ratio.
+	if float64(len(colPayload)) > 1.05*float64(len(flatePayload)) {
+		t.Fatalf("columnar payload %d bytes vs flate %d", len(colPayload), len(flatePayload))
+	}
+}
+
+func TestDecodePayloadRejectsCorruptInput(t *testing.T) {
+	blocks := genBlocks(t, workload.Web(), 12, 500)
+	raw := RawRecords(blocks)
+	for _, codec := range []byte{CodecFlate, CodecColumnar} {
+		encLen, payload, err := EncodePayload(codec, blocks, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncation.
+		if _, err := DecodePayload(codec, payload[:len(payload)/2], encLen); err == nil {
+			t.Fatalf("codec %d: truncated payload accepted", codec)
+		}
+		// Wrong transform length.
+		if _, err := DecodePayload(codec, payload, encLen-1); err == nil {
+			t.Fatalf("codec %d: short transform length accepted", codec)
+		}
+		if _, err := DecodePayload(codec, payload, encLen+1); err == nil {
+			t.Fatalf("codec %d: long transform length accepted", codec)
+		}
+	}
+	if _, err := DecodePayload(99, []byte{1, 2, 3}, 3); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := DecodePayload(CodecFlate, nil, maxChunkEncBytes+1); err == nil {
+		t.Fatal("oversized transform length accepted")
+	}
+}
+
+func TestChunkFileFrameRoundTrip(t *testing.T) {
+	payload := []byte("payload-bytes")
+	file := chunkFileBytes(CodecColumnar, 1234, 567, payload)
+	codec, rawLen, encLen, got, err := parseChunkFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec != CodecColumnar || rawLen != 1234 || encLen != 567 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip = %d/%d/%d/%q", codec, rawLen, encLen, got)
+	}
+	if _, _, _, _, err := parseChunkFile(nil); err == nil {
+		t.Fatal("empty chunk file accepted")
+	}
+}

@@ -1,26 +1,42 @@
 // Package corpus is a content-addressed on-disk store of recorded
 // instruction traces — the library's analogue of the shared trace
 // corpora the paper's methodology (and MANA's evaluation) revolve
-// around. Every entry is an IPFTRC02 container named by the SHA-256 of
-// its bytes (`<dir>/<hash>.itf`) plus a JSON manifest carrying counts
-// and a fingerprint of stream statistics, so a sweep pinned to
-// `trace:<hash>` simulates a byte-identical stream on every machine
-// that can fetch the hash.
+// around.
 //
-// Ingest is atomic (temp file + rename) and strict: a container is
-// fully decoded — every chunk CRC and count checked — before it earns
-// a name in the store.
+// Entries are not stored as opaque containers. Each trace's record
+// stream is split at content-defined boundaries (see chunker.go) into
+// chunks kept in a chunk-level CAS (`<dir>/chunks/<sha256>`), and the
+// entry's manifest (`<dir>/<id>.json`) carries the recipe — the
+// ordered chunk list — plus counts and an analysis fingerprint. Near-
+// duplicate traces (same program, different seed or phase) share
+// chunk files, so the store dedups at chunk granularity and reports
+// the ratio per entry.
+//
+// The entry id is the SHA-256 of the trace's logical content (header
+// fields plus the canonical record stream), not of any file bytes, so
+// the same stream ingested anywhere — live capture, container upload,
+// or chunk-by-chunk replication from a peer — gets the same name, and
+// a sweep pinned to `trace:<id>` simulates a bit-identical stream on
+// every machine that can resolve the id.
+//
+// Ingest is atomic and strict: the stream is fully decoded and
+// validated before any chunk or manifest is written, chunk and
+// manifest writes are temp-file + rename, and failed ingests leave no
+// temp files behind. Re-ingesting existing content is a no-op.
 package corpus
 
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -35,36 +51,89 @@ import (
 // are computed at, so equal streams always fingerprint equally.
 const fingerprintLineBytes = 64
 
+// missBandBucket is the first stack-distance bucket counted as "deep"
+// reuse: bucket 9 holds distances in [512, 1024) lines, i.e. beyond a
+// 32 KiB L1-I worth of 64-byte lines. References at or past it (plus
+// cold misses) approximate the L1-I miss band.
+const missBandBucket = 9
+
+// idMagic seeds the entry-id hash. The id covers logical content
+// (name, asid, canonical record stream) rather than container bytes,
+// so it survives re-encoding, codec choice and flate implementation
+// differences between peers.
+const idMagic = "IPFCID1\n"
+
 // Fingerprint summarises a trace's stream statistics (via
-// analysis.Profile). Verify recomputes it from the stored bytes; a
-// mismatch against the manifest means the entry is corrupt.
+// analysis.Profile). Verify recomputes it from the stored chunks; a
+// mismatch against the manifest means the entry is corrupt. The
+// struct is comparable on purpose — Verify relies on ==.
 type Fingerprint struct {
 	Instructions    uint64  `json:"instructions"`
 	Blocks          uint64  `json:"blocks"`
 	FootprintLines  uint64  `json:"footprint_lines"`
 	DistinctTrigger int     `json:"distinct_triggers"`
 	SingleTargetPct float64 `json:"single_target_pct"`
+	// FlowChangePct is the fraction of blocks ending in a
+	// flow-changing CTI (taken branches, calls, returns, traps).
+	FlowChangePct float64 `json:"flow_change_pct"`
+	// CTIMix is the per-kind share of block terminators, indexed by
+	// isa.CTIKind.
+	CTIMix [isa.NumCTIKinds]float64 `json:"cti_mix"`
+	// MissBandPct estimates the L1-I miss band: the fraction of line
+	// references that are cold or reused at stack distance >= 512
+	// lines (beyond a 32 KiB L1-I).
+	MissBandPct float64 `json:"miss_band_pct"`
+}
+
+// ChunkRef is one step of an entry's recipe: a content-defined chunk
+// of the record stream, named by the SHA-256 of its self-based record
+// bytes.
+type ChunkRef struct {
+	Hash    string `json:"hash"`
+	Records uint64 `json:"records"`
+	Instrs  uint64 `json:"instrs"`
+	RawLen  int64  `json:"raw_len"`
+}
+
+// DedupStats records how much of an entry was already present when it
+// was ingested. They are provenance, not content: Verify does not
+// recompute them.
+type DedupStats struct {
+	NewChunks    int     `json:"new_chunks"`
+	SharedChunks int     `json:"shared_chunks"`
+	NewBytes     int64   `json:"new_bytes"`
+	SharedBytes  int64   `json:"shared_bytes"`
+	DedupRatio   float64 `json:"dedup_ratio"` // shared / total chunk refs
 }
 
 // Manifest describes one stored trace.
 type Manifest struct {
-	// ID is the lowercase hex SHA-256 of the container bytes.
+	// ID is the lowercase hex SHA-256 of the entry's logical content
+	// (idMagic, name, asid, canonical record stream).
 	ID string `json:"id"`
-	// Name and ASID come from the container header.
+	// Name and ASID come from the trace header.
 	Name string `json:"name"`
 	ASID uint64 `json:"asid"`
-	// Format is the container magic ("IPFTRC02").
+	// Format is the interchange container format served for downloads.
 	Format string `json:"format"`
-	// Blocks / Instructions / Chunks count the decoded content.
+	// Blocks / Instructions count the decoded content; Chunks is the
+	// recipe length.
 	Blocks       uint64 `json:"blocks"`
 	Instructions uint64 `json:"instructions"`
 	Chunks       int    `json:"chunks"`
-	// SizeBytes is the container size on disk.
-	SizeBytes int64 `json:"size_bytes"`
-	// Fingerprint is recomputable from the bytes (see Verify).
+	// SizeBytes is the logical (uncompressed canonical record stream)
+	// size; StoredBytes is the compressed chunk bytes this entry
+	// added to the CAS when it was ingested.
+	SizeBytes   int64 `json:"size_bytes"`
+	StoredBytes int64 `json:"stored_bytes"`
+	// Recipe lists the entry's chunks in stream order.
+	Recipe []ChunkRef `json:"recipe"`
+	// Dedup reports chunk sharing against the store at ingest time.
+	Dedup DedupStats `json:"dedup"`
+	// Fingerprint is recomputable from the chunks (see Verify).
 	Fingerprint Fingerprint `json:"fingerprint"`
 	// Source records how the entry arrived ("ingest", "capture",
-	// "upload", "fetch", ...).
+	// "upload", "fetch", "federate", ...).
 	Source    string    `json:"source,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 }
@@ -72,26 +141,37 @@ type Manifest struct {
 // Store is a content-addressed trace store rooted at one directory.
 // All methods are safe for concurrent use.
 type Store struct {
-	dir string
+	dir      string
+	chunkDir string
 
-	mu    sync.Mutex
-	blobs map[string][]byte // replay cache, keyed by id
+	mu     sync.Mutex
+	chunks map[string][]byte // verified chunk-file bytes, keyed by chunk hash
+	// pending holds chunk hashes referenced by in-flight ingests that
+	// have not yet landed a manifest; GC treats them as roots.
+	pending map[string]int
 }
 
 // Open creates (if needed) and returns the store at dir.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	chunkDir := filepath.Join(dir, "chunks")
+	if err := os.MkdirAll(chunkDir, 0o755); err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
-	return &Store{dir: dir, blobs: make(map[string][]byte)}, nil
+	return &Store{
+		dir:      dir,
+		chunkDir: chunkDir,
+		chunks:   make(map[string][]byte),
+		pending:  make(map[string]int),
+	}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
 // validID reports whether id looks like a lowercase hex SHA-256 — the
-// only names the store ever serves, which also keeps path traversal
-// out of HTTP handlers that pass ids through.
+// only names the store ever serves (entries and chunks alike), which
+// also keeps path traversal out of HTTP handlers that pass ids
+// through.
 func validID(id string) bool {
 	if len(id) != 64 {
 		return false
@@ -104,19 +184,14 @@ func validID(id string) bool {
 	return true
 }
 
-func (s *Store) tracePath(id string) string    { return filepath.Join(s.dir, id+".itf") }
 func (s *Store) manifestPath(id string) string { return filepath.Join(s.dir, id+".json") }
+func (s *Store) chunkPath(hash string) string  { return filepath.Join(s.chunkDir, hash) }
 
-// Path returns the on-disk container path for id (which must exist).
-func (s *Store) Path(id string) (string, error) {
-	if !validID(id) {
-		return "", fmt.Errorf("corpus: invalid id %q", id)
-	}
-	p := s.tracePath(id)
-	if _, err := os.Stat(p); err != nil {
-		return "", fmt.Errorf("corpus: %s: %w", id, err)
-	}
-	return p, nil
+// tombstonePath holds a deleted entry's manifest. Tombstones are
+// invisible to Has/Get/List (the *.json glob misses them) but let GC
+// resolve the recipe of an entry that a sweep journal still pins.
+func (s *Store) tombstonePath(id string) string {
+	return filepath.Join(s.dir, id+".json.deleted")
 }
 
 // Has reports whether the store holds id.
@@ -172,67 +247,267 @@ func (s *Store) List() ([]Manifest, error) {
 	return out, nil
 }
 
-// Delete removes an entry (both container and manifest).
+// Delete removes an entry from the visible index. The manifest is
+// renamed to a tombstone (mtime touched to the deletion instant)
+// rather than unlinked, so a GC pass can still mark the recipe live
+// while a sweep journal pins the id — or while the deletion is newer
+// than the grace window. Chunks stay in the CAS (they may be shared)
+// until GC finds them unreferenced and unpinned; GC also reaps
+// tombstones nothing pins any more.
 func (s *Store) Delete(id string) error {
 	if !validID(id) {
 		return fmt.Errorf("corpus: invalid id %q", id)
 	}
-	s.mu.Lock()
-	delete(s.blobs, id)
-	s.mu.Unlock()
-	err1 := os.Remove(s.manifestPath(id))
-	err2 := os.Remove(s.tracePath(id))
-	if err1 != nil {
-		return err1
+	if err := os.Rename(s.manifestPath(id), s.tombstonePath(id)); err != nil {
+		return err
 	}
-	return err2
+	now := time.Now()
+	os.Chtimes(s.tombstonePath(id), now, now) // best-effort: dates the deletion for GC grace
+	return nil
 }
 
-// Put ingests a v2 container from r: the bytes are streamed to a temp
-// file while hashed, fully decoded and validated (every chunk CRC and
-// count), fingerprinted, and only then renamed into place. Re-putting
-// identical bytes is a no-op returning the existing manifest. source
-// labels the manifest's provenance field.
-func (s *Store) Put(r io.Reader, source string) (Manifest, error) {
-	tmp, err := os.CreateTemp(s.dir, ".ingest-*")
-	if err != nil {
-		return Manifest{}, fmt.Errorf("corpus: %w", err)
+// readTombstone loads a deleted entry's preserved manifest.
+func (s *Store) readTombstone(id string) (Manifest, error) {
+	if !validID(id) {
+		return Manifest{}, fmt.Errorf("corpus: invalid id %q", id)
 	}
-	tmpName := tmp.Name()
-	defer func() {
-		tmp.Close()
-		os.Remove(tmpName) // no-op once renamed
-	}()
+	data, err := os.ReadFile(s.tombstonePath(id))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %s: %w", id, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %s: tombstone malformed: %w", id, err)
+	}
+	return m, nil
+}
 
-	h := sha256.New()
-	size, err := io.Copy(io.MultiWriter(tmp, h), r)
-	if err != nil {
-		return Manifest{}, fmt.Errorf("corpus: reading input: %w", err)
+// equalContent compares the content-derived parts of two manifests,
+// ignoring provenance (Source, CreatedAt, Dedup, StoredBytes).
+func equalContent(a, b Manifest) bool {
+	return a.ID == b.ID && a.Name == b.Name && a.ASID == b.ASID &&
+		a.Format == b.Format && a.Blocks == b.Blocks &&
+		a.Instructions == b.Instructions && a.Chunks == b.Chunks &&
+		a.SizeBytes == b.SizeBytes && a.Fingerprint == b.Fingerprint &&
+		slices.Equal(a.Recipe, b.Recipe)
+}
+
+// ingester builds an entry chunk by chunk from a block stream. It
+// accumulates everything in memory (compressed) and only touches disk
+// in commit, so invalid input never leaves partial state.
+type ingester struct {
+	s    *Store
+	name string
+	asid uint64
+
+	idh     hash.Hash
+	prof    *analysis.Profile
+	al      alignedChunker
+	scratch []byte
+	canon   bytes.Buffer // one canonical record (id hash input)
+	cur     bytes.Buffer // current chunk's self-based record bytes
+
+	curBlocks []isa.Block
+	curInstrs uint64
+	prevCanon isa.Addr
+	prevChunk isa.Addr
+
+	blocks, instrs uint64
+	chunks         []pendingChunk
+}
+
+type pendingChunk struct {
+	ref  ChunkRef
+	file []byte
+}
+
+func (s *Store) newIngester(name string, asid uint64) *ingester {
+	ing := &ingester{
+		s:       s,
+		name:    name,
+		asid:    asid,
+		idh:     sha256.New(),
+		prof:    analysis.NewProfile(fingerprintLineBytes),
+		al:      alignedChunker{cfg: DefaultChunker()},
+		scratch: make([]byte, binary.MaxVarintLen64),
 	}
-	id := hex.EncodeToString(h.Sum(nil))
+	ing.idh.Write([]byte(idMagic))
+	ing.idh.Write(ing.scratch[:binary.PutUvarint(ing.scratch, uint64(len(name)))])
+	ing.idh.Write([]byte(name))
+	ing.idh.Write(ing.scratch[:binary.PutUvarint(ing.scratch, asid)])
+	return ing
+}
+
+func (ing *ingester) add(b *isa.Block) error {
+	ing.prof.Observe(b)
+
+	// Canonical stream (continuous delta base) feeds the entry id.
+	ing.canon.Reset()
+	ing.prevCanon = trace.EncodeRecord(&ing.canon, ing.scratch, ing.prevCanon, b)
+	ing.idh.Write(ing.canon.Bytes())
+
+	// Chunk stream (delta base resets per chunk) feeds the chunker.
+	start := ing.cur.Len()
+	ing.prevChunk = trace.EncodeRecord(&ing.cur, ing.scratch, ing.prevChunk, b)
+	ing.al.feed(ing.cur.Bytes()[start:])
+
+	cp := *b
+	cp.MemOps = slices.Clone(b.MemOps)
+	ing.curBlocks = append(ing.curBlocks, cp)
+	ing.curInstrs += uint64(b.NumInstrs)
+	ing.blocks++
+	ing.instrs += uint64(b.NumInstrs)
+
+	if ing.al.shouldCut() {
+		return ing.flush()
+	}
+	return nil
+}
+
+// flush seals the current chunk: hash its raw bytes, compress under
+// both codecs, keep the smaller payload.
+func (ing *ingester) flush() error {
+	raw := ing.cur.Bytes()
+	sum := sha256.Sum256(raw)
+	codec, encLen, payload := CodecFlate, 0, []byte(nil)
+	e0, p0, err := EncodePayload(CodecFlate, ing.curBlocks, raw)
+	if err != nil {
+		return err
+	}
+	encLen, payload = e0, p0
+	e1, p1, err := EncodePayload(CodecColumnar, ing.curBlocks, raw)
+	if err != nil {
+		return err
+	}
+	if len(p1) < len(p0) {
+		codec, encLen, payload = CodecColumnar, e1, p1
+	}
+	ing.chunks = append(ing.chunks, pendingChunk{
+		ref: ChunkRef{
+			Hash:    hex.EncodeToString(sum[:]),
+			Records: uint64(len(ing.curBlocks)),
+			Instrs:  ing.curInstrs,
+			RawLen:  int64(len(raw)),
+		},
+		file: chunkFileBytes(codec, len(raw), encLen, payload),
+	})
+	ing.cur.Reset()
+	ing.curBlocks = ing.curBlocks[:0]
+	ing.curInstrs = 0
+	ing.prevChunk = 0
+	ing.al.cut()
+	return nil
+}
+
+// finish computes the entry id and commits chunks + manifest. If the
+// store already holds the id, nothing is written.
+func (ing *ingester) finish(source string) (Manifest, error) {
+	if ing.cur.Len() > 0 {
+		if err := ing.flush(); err != nil {
+			return Manifest{}, err
+		}
+	}
+	if ing.blocks == 0 {
+		return Manifest{}, fmt.Errorf("corpus: refusing to store an empty trace")
+	}
+	id := hex.EncodeToString(ing.idh.Sum(nil))
+	s := ing.s
 	if s.Has(id) {
 		return s.Get(id)
 	}
 
-	man, err := describe(tmp, size)
-	if err != nil {
-		return Manifest{}, err
+	var sizeBytes int64
+	hashes := make([]string, len(ing.chunks))
+	recipe := make([]ChunkRef, len(ing.chunks))
+	for i, c := range ing.chunks {
+		hashes[i] = c.ref.Hash
+		recipe[i] = c.ref
+		sizeBytes += c.ref.RawLen
 	}
-	man.ID = id
-	man.Source = source
-	man.CreatedAt = time.Now().UTC()
 
-	if err := tmp.Close(); err != nil {
-		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	// Chunks written before the manifest lands are GC roots via the
+	// pending set (same process) and the grace window (cross-process).
+	s.addPending(hashes)
+	defer s.removePending(hashes)
+
+	var dd DedupStats
+	var stored int64
+	for _, c := range ing.chunks {
+		if st, err := os.Stat(s.chunkPath(c.ref.Hash)); err == nil {
+			dd.SharedChunks++
+			dd.SharedBytes += st.Size()
+			continue
+		}
+		if err := s.writeChunkFile(c.ref.Hash, c.file); err != nil {
+			return Manifest{}, err
+		}
+		dd.NewChunks++
+		dd.NewBytes += int64(len(c.file))
+		stored += int64(len(c.file))
 	}
-	if err := os.Rename(tmpName, s.tracePath(id)); err != nil {
-		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	dd.DedupRatio = float64(dd.SharedChunks) / float64(len(ing.chunks))
+
+	man := Manifest{
+		ID:           id,
+		Name:         ing.name,
+		ASID:         ing.asid,
+		Format:       "IPFTRC02",
+		Blocks:       ing.blocks,
+		Instructions: ing.instrs,
+		Chunks:       len(recipe),
+		SizeBytes:    sizeBytes,
+		StoredBytes:  stored,
+		Recipe:       recipe,
+		Dedup:        dd,
+		Fingerprint:  fingerprintOf(ing.prof, ing.blocks, ing.instrs),
+		Source:       source,
+		CreatedAt:    time.Now().UTC(),
 	}
 	if err := s.writeManifest(man); err != nil {
-		os.Remove(s.tracePath(id))
 		return Manifest{}, err
 	}
+	s.indexAdd(man)
 	return man, nil
+}
+
+func (s *Store) addPending(hashes []string) {
+	s.mu.Lock()
+	for _, h := range hashes {
+		s.pending[h]++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) removePending(hashes []string) {
+	s.mu.Lock()
+	for _, h := range hashes {
+		if s.pending[h]--; s.pending[h] <= 0 {
+			delete(s.pending, h)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// writeChunkFile lands chunk bytes atomically (temp file + rename).
+// Renaming over an existing identical file is harmless.
+func (s *Store) writeChunkFile(hash string, file []byte) error {
+	tmp, err := os.CreateTemp(s.chunkDir, ".chunk-*")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op once renamed
+	if _, err := tmp.Write(file); err != nil {
+		tmp.Close()
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.Rename(tmpName, s.chunkPath(hash)); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
 }
 
 // writeManifest persists a manifest atomically (temp file + rename).
@@ -257,17 +532,134 @@ func (s *Store) writeManifest(m Manifest) error {
 	return os.Rename(tmpName, s.manifestPath(m.ID))
 }
 
-// describe fully decodes a v2 container from ra and builds its
-// manifest (ID, Source, CreatedAt left for the caller). Rejects v1
-// input — the store is canonical-v2 only; use Ingest to convert.
-func describe(ra io.ReaderAt, size int64) (Manifest, error) {
-	ir, err := trace.OpenIndexed(ra, size)
+// chunkFileBytes frames a chunk for disk:
+// [codec][uvarint rawLen][uvarint encLen][payload].
+func chunkFileBytes(codec byte, rawLen, encLen int, payload []byte) []byte {
+	var hdr [1 + 2*binary.MaxVarintLen64]byte
+	hdr[0] = codec
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(rawLen))
+	n += binary.PutUvarint(hdr[n:], uint64(encLen))
+	out := make([]byte, 0, n+len(payload))
+	out = append(out, hdr[:n]...)
+	return append(out, payload...)
+}
+
+func parseChunkFile(file []byte) (codec byte, rawLen, encLen int, payload []byte, err error) {
+	r := bytes.NewReader(file)
+	c, err := r.ReadByte()
+	if err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("chunk file truncated")
+	}
+	rl, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("chunk file header: %w", err)
+	}
+	el, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("chunk file header: %w", err)
+	}
+	if rl > maxChunkEncBytes || el > maxChunkEncBytes {
+		return 0, 0, 0, nil, fmt.Errorf("chunk file header: implausible lengths %d/%d", rl, el)
+	}
+	return c, int(rl), int(el), file[len(file)-r.Len():], nil
+}
+
+// decodeChunkFile parses + decodes a chunk file and, when verify is
+// set, re-encodes the blocks and checks the hash — the gate every
+// untrusted chunk (disk read, peer fetch) passes before the store
+// believes it.
+func decodeChunkFile(hash string, file []byte, verify bool) ([]isa.Block, error) {
+	codec, rawLen, encLen, payload, err := parseChunkFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: chunk %s: %w", hash, err)
+	}
+	blocks, err := DecodePayload(codec, payload, encLen)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: chunk %s: %w", hash, err)
+	}
+	if verify {
+		raw := RawRecords(blocks)
+		if len(raw) != rawLen {
+			return nil, fmt.Errorf("corpus: chunk %s: raw length %d, header claims %d", hash, len(raw), rawLen)
+		}
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != hash {
+			return nil, fmt.Errorf("corpus: chunk %s: content hashes to %s", hash, got)
+		}
+	}
+	return blocks, nil
+}
+
+func (s *Store) hasChunk(hash string) bool {
+	if !validID(hash) {
+		return false
+	}
+	_, err := os.Stat(s.chunkPath(hash))
+	return err == nil
+}
+
+// chunkBlocks loads and decodes one chunk, verifying its hash on
+// first load and caching the (small, compressed) file bytes so replay
+// re-decodes from RAM.
+func (s *Store) chunkBlocks(hash string) ([]isa.Block, error) {
+	if !validID(hash) {
+		return nil, fmt.Errorf("corpus: invalid chunk hash %q", hash)
+	}
+	s.mu.Lock()
+	file, ok := s.chunks[hash]
+	s.mu.Unlock()
+	if ok {
+		return decodeChunkFile(hash, file, false)
+	}
+	file, err := os.ReadFile(s.chunkPath(hash))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: chunk %s: %w", hash, err)
+	}
+	blocks, err := decodeChunkFile(hash, file, true)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.chunks[hash] = file
+	s.mu.Unlock()
+	return blocks, nil
+}
+
+func (s *Store) dropCachedChunks(man Manifest) {
+	s.mu.Lock()
+	for _, ref := range man.Recipe {
+		delete(s.chunks, ref.Hash)
+	}
+	s.mu.Unlock()
+}
+
+// Put ingests a v2 container from r: the bytes are spooled to a temp
+// file, fully decoded and validated (every chunk CRC and count)
+// before anything lands in the CAS. Re-putting content the store
+// already holds is a no-op returning the existing manifest. source
+// labels the manifest's provenance field.
+func (s *Store) Put(r io.Reader, source string) (Manifest, error) {
+	tmp, err := os.CreateTemp(s.dir, ".ingest-*")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}()
+
+	size, err := io.Copy(tmp, r)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: reading input: %w", err)
+	}
+	ir, err := trace.OpenIndexed(tmp, size)
 	if err != nil {
 		return Manifest{}, fmt.Errorf("corpus: invalid container: %w", err)
 	}
-	p := analysis.NewProfile(fingerprintLineBytes)
+	ing := s.newIngester(ir.Name(), ir.ASID())
 	var b isa.Block
-	var blocks, instrs uint64
 	for {
 		err := ir.Read(&b)
 		if err == io.EOF {
@@ -276,49 +668,27 @@ func describe(ra io.ReaderAt, size int64) (Manifest, error) {
 		if err != nil {
 			return Manifest{}, fmt.Errorf("corpus: invalid container: %w", err)
 		}
-		p.Observe(&b)
-		blocks++
-		instrs += uint64(b.NumInstrs)
+		if err := ing.add(&b); err != nil {
+			return Manifest{}, err
+		}
 	}
-	if blocks != ir.Blocks() || instrs != ir.Instructions() {
+	if ing.blocks != ir.Blocks() || ing.instrs != ir.Instructions() {
 		return Manifest{}, fmt.Errorf("corpus: invalid container: index totals (%d blocks, %d instrs) disagree with content (%d, %d)",
-			ir.Blocks(), ir.Instructions(), blocks, instrs)
+			ir.Blocks(), ir.Instructions(), ing.blocks, ing.instrs)
 	}
-	return Manifest{
-		Name:         ir.Name(),
-		ASID:         ir.ASID(),
-		Format:       "IPFTRC02",
-		Blocks:       blocks,
-		Instructions: instrs,
-		Chunks:       ir.NumChunks(),
-		SizeBytes:    size,
-		Fingerprint:  fingerprintOf(p, blocks, instrs),
-	}, nil
+	return ing.finish(source)
 }
 
-func fingerprintOf(p *analysis.Profile, blocks, instrs uint64) Fingerprint {
-	return Fingerprint{
-		Instructions:    instrs,
-		Blocks:          blocks,
-		FootprintLines:  p.FootprintBytes() / fingerprintLineBytes,
-		DistinctTrigger: p.DistinctTriggers(),
-		SingleTargetPct: p.SingleTargetFraction(),
-	}
-}
-
-// Ingest converts any readable trace (v1 stream or v2 container) to a
-// canonical v2 container and Puts it. chunkRecords 0 takes the trace
-// default.
+// Ingest decodes any readable trace (v1 stream or v2 container) and
+// stores it. chunkRecords is retained for interface stability; chunk
+// geometry is content-defined now, so it is ignored.
 func (s *Store) Ingest(r io.Reader, chunkRecords int, source string) (Manifest, error) {
+	_ = chunkRecords
 	tr, err := trace.NewReader(r)
 	if err != nil {
 		return Manifest{}, fmt.Errorf("corpus: %w", err)
 	}
-	var buf bytes.Buffer
-	tw, err := trace.NewWriterV2(&buf, tr.Name(), tr.ASID(), chunkRecords)
-	if err != nil {
-		return Manifest{}, fmt.Errorf("corpus: %w", err)
-	}
+	ing := s.newIngester(tr.Name(), tr.ASID())
 	var b isa.Block
 	for {
 		err := tr.Read(&b)
@@ -328,117 +698,220 @@ func (s *Store) Ingest(r io.Reader, chunkRecords int, source string) (Manifest, 
 		if err != nil {
 			return Manifest{}, fmt.Errorf("corpus: invalid input trace: %w", err)
 		}
-		if err := tw.Write(&b); err != nil {
-			return Manifest{}, fmt.Errorf("corpus: %w", err)
+		if err := ing.add(&b); err != nil {
+			return Manifest{}, err
 		}
 	}
-	if err := tw.Close(); err != nil {
-		return Manifest{}, fmt.Errorf("corpus: %w", err)
-	}
-	return s.Put(bytes.NewReader(buf.Bytes()), source)
+	return ing.finish(source)
 }
 
-// Capture records n blocks from a live source into a v2 container and
-// Puts it — the generator-capture adapter.
+// Capture records n blocks from a live source straight into the store
+// — the generator-capture adapter. chunkRecords is retained for
+// interface stability and ignored (chunking is content-defined).
 func (s *Store) Capture(src workload.Source, name string, asid uint64, n uint64, chunkRecords int) (Manifest, error) {
-	var buf bytes.Buffer
-	if err := trace.RecordV2(&buf, name, asid, src, n, chunkRecords); err != nil {
-		return Manifest{}, fmt.Errorf("corpus: %w", err)
+	_ = chunkRecords
+	ing := s.newIngester(name, asid)
+	var b isa.Block
+	for i := uint64(0); i < n; i++ {
+		src.Next(&b)
+		if err := ing.add(&b); err != nil {
+			return Manifest{}, err
+		}
 	}
-	return s.Put(bytes.NewReader(buf.Bytes()), "capture")
+	return ing.finish("capture")
 }
 
-// Verify re-reads an entry end to end: the bytes must hash to the id,
-// every chunk must pass its CRC and counts, and the recomputed
-// manifest (counts + fingerprint) must equal the stored one. A single
-// flipped byte anywhere fails one of those checks.
+func fingerprintOf(p *analysis.Profile, blocks, instrs uint64) Fingerprint {
+	f := Fingerprint{
+		Instructions:    instrs,
+		Blocks:          blocks,
+		FootprintLines:  p.FootprintBytes() / fingerprintLineBytes,
+		DistinctTrigger: p.DistinctTriggers(),
+		SingleTargetPct: p.SingleTargetFraction(),
+	}
+	for k := 0; k < isa.NumCTIKinds; k++ {
+		f.CTIMix[k] = p.CTIFraction(isa.CTIKind(k))
+		if isa.CTIKind(k).ChangesFlow() {
+			f.FlowChangePct += f.CTIMix[k]
+		}
+	}
+	var refs, deep uint64
+	for i, n := range p.ReuseBuckets {
+		refs += n
+		if i >= missBandBucket {
+			deep += n
+		}
+	}
+	refs += p.ColdRefs
+	deep += p.ColdRefs
+	if refs > 0 {
+		f.MissBandPct = float64(deep) / float64(refs)
+	}
+	return f
+}
+
+// recompute rebuilds an entry's content-derived manifest fields from
+// its chunk files (bypassing the chunk cache), verifying every chunk
+// hash and count on the way.
+func (s *Store) recompute(man Manifest) (Manifest, error) {
+	ing := s.newIngester(man.Name, man.ASID)
+	for i, ref := range man.Recipe {
+		file, err := os.ReadFile(s.chunkPath(ref.Hash))
+		if err != nil {
+			return Manifest{}, fmt.Errorf("corpus: %s: recipe step %d: %w", man.ID, i, err)
+		}
+		blocks, err := decodeChunkFile(ref.Hash, file, true)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("corpus: %s: recipe step %d: %w", man.ID, i, err)
+		}
+		if uint64(len(blocks)) != ref.Records {
+			return Manifest{}, fmt.Errorf("corpus: %s: recipe step %d: %d records, recipe claims %d",
+				man.ID, i, len(blocks), ref.Records)
+		}
+		for j := range blocks {
+			if err := ing.add(&blocks[j]); err != nil {
+				return Manifest{}, err
+			}
+		}
+	}
+	if ing.cur.Len() > 0 {
+		if err := ing.flush(); err != nil {
+			return Manifest{}, err
+		}
+	}
+	if ing.blocks == 0 {
+		return Manifest{}, fmt.Errorf("corpus: %s: empty recipe", man.ID)
+	}
+	got := Manifest{
+		ID:           hex.EncodeToString(ing.idh.Sum(nil)),
+		Name:         man.Name,
+		ASID:         man.ASID,
+		Format:       "IPFTRC02",
+		Blocks:       ing.blocks,
+		Instructions: ing.instrs,
+		Chunks:       len(ing.chunks),
+		Fingerprint:  fingerprintOf(ing.prof, ing.blocks, ing.instrs),
+	}
+	for _, c := range ing.chunks {
+		got.Recipe = append(got.Recipe, c.ref)
+		got.SizeBytes += c.ref.RawLen
+	}
+	return got, nil
+}
+
+// Verify re-reads an entry end to end: every chunk must decode and
+// hash to its recipe name, and the manifest's content-derived fields
+// (id, counts, recipe, fingerprint) must equal what the chunks
+// actually contain. A single flipped byte anywhere fails one of those
+// checks.
 func (s *Store) Verify(id string) error {
 	want, err := s.Get(id)
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(s.tracePath(id))
+	got, err := s.recompute(want)
 	if err != nil {
-		return fmt.Errorf("corpus: %s: %w", id, err)
+		s.dropCachedChunks(want)
+		return err
 	}
-	sum := sha256.Sum256(data)
-	if got := hex.EncodeToString(sum[:]); got != id {
-		s.dropBlob(id)
-		return fmt.Errorf("corpus: %s: content hash mismatch (bytes hash to %s)", id, got)
+	if got.ID != id {
+		s.dropCachedChunks(want)
+		return fmt.Errorf("corpus: %s: content hashes to %s", id, got.ID)
 	}
-	got, err := describe(bytes.NewReader(data), int64(len(data)))
-	if err != nil {
-		s.dropBlob(id)
-		return fmt.Errorf("corpus: %s: %w", id, err)
-	}
-	got.ID, got.Source, got.CreatedAt = want.ID, want.Source, want.CreatedAt
-	if got != want {
-		s.dropBlob(id)
+	if !equalContent(got, want) {
+		s.dropCachedChunks(want)
 		return fmt.Errorf("corpus: %s: manifest disagrees with content (stored %+v, recomputed %+v)", id, want, got)
 	}
 	return nil
 }
 
-func (s *Store) dropBlob(id string) {
-	s.mu.Lock()
-	delete(s.blobs, id)
-	s.mu.Unlock()
+// entryTrace adapts a stored entry to workload.ChunkedTrace: replay
+// decodes one content-defined chunk at a time out of the CAS.
+type entryTrace struct {
+	s   *Store
+	man Manifest
 }
 
-// blob returns the container bytes for id, verifying the hash on first
-// load and caching the result (replay opens one source per core; they
-// all share the cached bytes).
-func (s *Store) blob(id string) ([]byte, error) {
-	if !validID(id) {
-		return nil, fmt.Errorf("corpus: invalid id %q", id)
-	}
-	s.mu.Lock()
-	data, ok := s.blobs[id]
-	s.mu.Unlock()
-	if ok {
-		return data, nil
-	}
-	data, err := os.ReadFile(s.tracePath(id))
-	if err != nil {
-		return nil, fmt.Errorf("corpus: %s: %w", id, err)
-	}
-	sum := sha256.Sum256(data)
-	if got := hex.EncodeToString(sum[:]); got != id {
-		return nil, fmt.Errorf("corpus: %s: content hash mismatch (bytes hash to %s)", id, got)
-	}
-	s.mu.Lock()
-	s.blobs[id] = data
-	s.mu.Unlock()
-	return data, nil
-}
+func (e *entryTrace) NumChunks() int { return len(e.man.Recipe) }
+func (e *entryTrace) Blocks() uint64 { return e.man.Blocks }
 
-// OpenTrace returns an IndexedReader over the stored container.
-func (s *Store) OpenTrace(id string) (*trace.IndexedReader, error) {
-	data, err := s.blob(id)
+func (e *entryTrace) DecodeChunk(i int) ([]isa.Block, error) {
+	ref := e.man.Recipe[i]
+	blocks, err := e.s.chunkBlocks(ref.Hash)
 	if err != nil {
 		return nil, err
 	}
-	return trace.OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if uint64(len(blocks)) != ref.Records {
+		return nil, fmt.Errorf("corpus: %s: chunk %d: %d records, recipe claims %d",
+			e.man.ID, i, len(blocks), ref.Records)
+	}
+	return blocks, nil
 }
 
-// ReplaySource opens a fresh replay Source over the stored container —
+// ReplaySource opens a fresh replay Source over the stored entry —
 // the provider hook internal/cmp uses to build per-core sources for
-// `trace:<id>` workloads. Each call returns an independent cursor.
+// `trace:<id>` workloads. Each call returns an independent cursor;
+// all cursors share the store's verified chunk cache.
 func (s *Store) ReplaySource(id string) (workload.Source, error) {
-	ir, err := s.OpenTrace(id)
+	man, err := s.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return workload.FromTrace(ir)
+	return workload.FromTrace(&entryTrace{s: s, man: man})
 }
 
-// Reader streams the raw container bytes (HTTP download path).
+// Reader assembles the entry into an IPFTRC02 container — the
+// interchange format the HTTP download path serves. The container is
+// built from the CAS on every call; peers that ingest it arrive at
+// the same entry id.
 func (s *Store) Reader(id string) (io.ReadCloser, int64, error) {
-	p, err := s.Path(id)
+	man, err := s.Get(id)
 	if err != nil {
 		return nil, 0, err
 	}
-	f, err := os.Open(p)
+	var buf bytes.Buffer
+	tw, err := trace.NewWriterV2(&buf, man.Name, man.ASID, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range man.Recipe {
+		blocks, err := (&entryTrace{s: s, man: man}).DecodeChunk(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		for j := range blocks {
+			if err := tw.Write(&blocks[j]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, 0, err
+	}
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), int64(buf.Len()), nil
+}
+
+// ChunkReader streams one chunk file of an entry (the federation
+// route). The chunk must be part of id's recipe.
+func (s *Store) ChunkReader(id, chunk string) (io.ReadCloser, int64, error) {
+	man, err := s.Get(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !validID(chunk) {
+		return nil, 0, fmt.Errorf("corpus: invalid chunk hash %q", chunk)
+	}
+	found := false
+	for _, ref := range man.Recipe {
+		if ref.Hash == chunk {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("corpus: %s: no chunk %s in recipe", id, chunk)
+	}
+	f, err := os.Open(s.chunkPath(chunk))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -3,6 +3,7 @@ package corpus
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,11 +29,26 @@ func newStore(t *testing.T) *Store {
 func captureWeb(t *testing.T, s *Store, seed, n uint64) Manifest {
 	t.Helper()
 	prog := workload.MustBuildProgram(workload.Web(), 0)
-	m, err := s.Capture(workload.NewGenerator(prog, seed), "Web", 0, n, 256)
+	m, err := s.Capture(workload.NewGenerator(prog, seed), "Web", 0, n, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// containerBytes round-trips an entry through the download path.
+func containerBytes(t *testing.T, s *Store, id string) []byte {
+	t.Helper()
+	rc, _, err := s.Reader(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 func TestCaptureGetListVerify(t *testing.T) {
@@ -41,11 +57,28 @@ func TestCaptureGetListVerify(t *testing.T) {
 	if m.Blocks != 3000 || m.Name != "Web" || m.Format != "IPFTRC02" {
 		t.Fatalf("manifest = %+v", m)
 	}
-	if m.Chunks != 3000/256+1 {
-		t.Fatalf("chunks = %d", m.Chunks)
+	if m.Chunks == 0 || m.Chunks != len(m.Recipe) {
+		t.Fatalf("chunks = %d, recipe = %d", m.Chunks, len(m.Recipe))
+	}
+	var recs, instrs uint64
+	var raw int64
+	for _, ref := range m.Recipe {
+		recs += ref.Records
+		instrs += ref.Instrs
+		raw += ref.RawLen
+		if !s.hasChunk(ref.Hash) {
+			t.Fatalf("recipe chunk %s missing from CAS", ref.Hash)
+		}
+	}
+	if recs != m.Blocks || instrs != m.Instructions || raw != m.SizeBytes {
+		t.Fatalf("recipe totals (%d, %d, %d) disagree with manifest (%d, %d, %d)",
+			recs, instrs, raw, m.Blocks, m.Instructions, m.SizeBytes)
 	}
 	if m.Fingerprint.Blocks != 3000 || m.Fingerprint.Instructions != m.Instructions {
 		t.Fatalf("fingerprint = %+v", m.Fingerprint)
+	}
+	if m.Fingerprint.FlowChangePct <= 0 || m.Fingerprint.MissBandPct < 0 {
+		t.Fatalf("fingerprint bands = %+v", m.Fingerprint)
 	}
 	if !s.Has(m.ID) {
 		t.Fatal("Has = false after Capture")
@@ -54,7 +87,7 @@ func TestCaptureGetListVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !equalContent(got, m) {
 		t.Fatalf("Get = %+v, want %+v", got, m)
 	}
 	list, err := s.List()
@@ -67,12 +100,34 @@ func TestCaptureGetListVerify(t *testing.T) {
 	if err := s.Verify(m.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Path(m.ID); err != nil {
+}
+
+// TestLogicalIdentity is the invariant federation rests on: the id
+// names content, so the same stream arriving as a container upload or
+// assembled back from chunks keeps its name.
+func TestLogicalIdentity(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 1, 2000)
+
+	// Downloading the entry and re-putting it elsewhere reproduces the id.
+	data := containerBytes(t, s, m.ID)
+	s2 := newStore(t)
+	m2, err := s2.Put(bytes.NewReader(data), "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ID != m.ID {
+		t.Fatalf("re-put changed id: %s -> %s", m.ID, m2.ID)
+	}
+	if !equalContent(m, m2) {
+		t.Fatalf("re-put changed content:\n%+v\n%+v", m, m2)
+	}
+	if err := s2.Verify(m2.ID); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestPutDedupsIdenticalBytes(t *testing.T) {
+func TestPutDedupsIdenticalContent(t *testing.T) {
 	s := newStore(t)
 	prog := workload.MustBuildProgram(workload.Web(), 0)
 	var buf bytes.Buffer
@@ -87,7 +142,7 @@ func TestPutDedupsIdenticalBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m1 != m2 {
+	if m1.ID != m2.ID || m2.Source != m1.Source {
 		t.Fatalf("re-put returned different manifest:\n%+v\n%+v", m1, m2)
 	}
 	list, err := s.List()
@@ -99,7 +154,7 @@ func TestPutDedupsIdenticalBytes(t *testing.T) {
 	}
 }
 
-func TestIngestV1ConvertsToV2(t *testing.T) {
+func TestIngestV1ConvertsToChunks(t *testing.T) {
 	s := newStore(t)
 	prog := workload.MustBuildProgram(workload.Web(), 0)
 	const n = 2000
@@ -130,6 +185,9 @@ func TestIngestV1ConvertsToV2(t *testing.T) {
 		if want.CTI.ChangesFlow() && got.Target != want.Target {
 			t.Fatalf("block %d target mismatch", i)
 		}
+		if len(got.MemOps) != len(want.MemOps) {
+			t.Fatalf("block %d memops mismatch", i)
+		}
 	}
 	// Past the end, replay wraps to the start of the trace.
 	ref2 := workload.NewGenerator(prog, 7)
@@ -140,12 +198,31 @@ func TestIngestV1ConvertsToV2(t *testing.T) {
 	}
 }
 
-func TestPutRejectsInvalidInput(t *testing.T) {
+// TestFailedIngestLeavesStoreClean is the regression test for orphaned
+// temp files: corrupt input of every flavour must leave the store
+// directory exactly as it was.
+func TestFailedIngestLeavesStoreClean(t *testing.T) {
 	s := newStore(t)
+	good := captureWeb(t, s, 2, 500)
+	snapshot := func() []string {
+		var names []string
+		for _, dir := range []string{s.Dir(), s.chunkDir} {
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				names = append(names, filepath.Join(dir, e.Name()))
+			}
+		}
+		return names
+	}
+	before := snapshot()
+
 	if _, err := s.Put(strings.NewReader("not a trace at all"), "upload"); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	// v1 streams are not canonical store content; Ingest converts them.
+	// v1 streams are not containers; Ingest converts them, Put rejects.
 	prog := workload.MustBuildProgram(workload.Web(), 0)
 	var v1 bytes.Buffer
 	if err := trace.Record(&v1, "Web", 0, workload.NewGenerator(prog, 1), 100); err != nil {
@@ -155,44 +232,53 @@ func TestPutRejectsInvalidInput(t *testing.T) {
 		t.Fatal("v1 stream accepted by Put")
 	}
 	// A truncated v2 container must be rejected too.
-	m := captureWeb(t, s, 2, 500)
-	data, err := os.ReadFile(filepath.Join(s.Dir(), m.ID+".itf"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := containerBytes(t, s, good.ID)
 	if _, err := s.Put(bytes.NewReader(data[:len(data)-5]), "upload"); err == nil {
 		t.Fatal("truncated container accepted")
 	}
-	// Failed ingests leave no temp or orphan files behind.
-	names, err := filepath.Glob(filepath.Join(s.Dir(), "*"))
-	if err != nil {
-		t.Fatal(err)
+	// A corrupted container body (flipped byte in a chunk frame) fails
+	// CRC validation partway through the decode.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := s.Put(bytes.NewReader(bad), "upload"); err == nil {
+		t.Fatal("corrupted container accepted")
 	}
-	if want := 2; len(names) != want { // the one good entry: .itf + .json
-		t.Fatalf("store dir holds %d files, want %d: %v", len(names), want, names)
+	// Truncated v1 input through Ingest as well.
+	if _, err := s.Ingest(bytes.NewReader(v1.Bytes()[:v1.Len()-3]), 0, "ingest"); err == nil {
+		t.Fatal("truncated v1 stream accepted by Ingest")
+	}
+
+	after := snapshot()
+	if strings.Join(before, "\n") != strings.Join(after, "\n") {
+		t.Fatalf("failed ingests changed the store:\nbefore: %v\nafter:  %v", before, after)
+	}
+	for _, name := range after {
+		if strings.Contains(filepath.Base(name), ".ingest-") ||
+			strings.Contains(filepath.Base(name), ".manifest-") ||
+			strings.Contains(filepath.Base(name), ".chunk-") {
+			t.Fatalf("temp file left behind: %s", name)
+		}
 	}
 }
 
-func TestVerifyCatchesFlippedByte(t *testing.T) {
+func TestVerifyCatchesFlippedChunkByte(t *testing.T) {
 	s := newStore(t)
 	m := captureWeb(t, s, 3, 1500)
-	path := filepath.Join(s.Dir(), m.ID+".itf")
+	path := s.chunkPath(m.Recipe[0].Hash)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip one byte in the middle of the container.
 	bad := append([]byte(nil), data...)
 	bad[len(bad)/2] ^= 0x01
 	if err := os.WriteFile(path, bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Verify(m.ID); err == nil {
-		t.Fatal("Verify accepted a flipped byte")
-	} else if !strings.Contains(err.Error(), "hash mismatch") {
-		t.Fatalf("Verify error = %v, want content hash mismatch", err)
+		t.Fatal("Verify accepted a flipped chunk byte")
 	}
-	// Replay must refuse the tampered bytes as well.
+	// Replay must refuse the tampered chunk as well (the first chunk is
+	// decoded when the source opens).
 	if _, err := s.ReplaySource(m.ID); err == nil {
 		t.Fatal("ReplaySource served tampered bytes")
 	}
@@ -208,8 +294,8 @@ func TestVerifyCatchesFlippedByte(t *testing.T) {
 func TestVerifyCatchesManifestTamper(t *testing.T) {
 	s := newStore(t)
 	m := captureWeb(t, s, 4, 800)
-	// Rewrite the manifest with an inflated block count: the bytes still
-	// hash to the id, so only the recomputed-manifest check can catch it.
+	// Rewrite the manifest with an inflated block count: the chunks are
+	// intact, so only the recomputed-manifest check can catch it.
 	m.Blocks++
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -240,11 +326,11 @@ func TestInvalidIDsRejected(t *testing.T) {
 		if _, err := s.Get(id); err == nil {
 			t.Fatalf("Get(%q) succeeded", id)
 		}
-		if _, err := s.Path(id); err == nil {
-			t.Fatalf("Path(%q) succeeded", id)
-		}
 		if _, err := s.ReplaySource(id); err == nil {
 			t.Fatalf("ReplaySource(%q) succeeded", id)
+		}
+		if _, _, err := s.ChunkReader(strings.Repeat("a", 64), id); err == nil {
+			t.Fatalf("ChunkReader(chunk=%q) succeeded", id)
 		}
 	}
 }
@@ -261,9 +347,48 @@ func TestDelete(t *testing.T) {
 	if _, err := s.ReplaySource(m.ID); err == nil {
 		t.Fatal("deleted entry still replayable")
 	}
+	// Chunks stay behind for GC, not Delete.
+	if !s.hasChunk(m.Recipe[0].Hash) {
+		t.Fatal("Delete removed shared chunk storage")
+	}
 }
 
-// TestConcurrentReplay exercises the shared blob cache and independent
+func TestChunkReaderServesRecipeChunksOnly(t *testing.T) {
+	s := newStore(t)
+	m := captureWeb(t, s, 8, 600)
+	other := captureWeb(t, s, 9, 600)
+	rc, size, err := s.ChunkReader(m.ID, m.Recipe[0].Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || int64(len(data)) != size {
+		t.Fatalf("chunk read = %d bytes, want %d (err %v)", len(data), size, err)
+	}
+	if _, err := decodeChunkFile(m.Recipe[0].Hash, data, true); err != nil {
+		t.Fatalf("served chunk does not verify: %v", err)
+	}
+	// A chunk of another entry is not served under this id unless shared.
+	foreign := ""
+	mine := make(map[string]bool)
+	for _, ref := range m.Recipe {
+		mine[ref.Hash] = true
+	}
+	for _, ref := range other.Recipe {
+		if !mine[ref.Hash] {
+			foreign = ref.Hash
+			break
+		}
+	}
+	if foreign != "" {
+		if _, _, err := s.ChunkReader(m.ID, foreign); err == nil {
+			t.Fatal("ChunkReader served a chunk outside the recipe")
+		}
+	}
+}
+
+// TestConcurrentReplay exercises the shared chunk cache and independent
 // replay cursors under the race detector.
 func TestConcurrentReplay(t *testing.T) {
 	s := newStore(t)

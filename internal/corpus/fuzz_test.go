@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzChunker checks the content-defined chunker's hard invariants on
+// arbitrary byte streams:
+//
+//  1. reassembling the chunks yields exactly the input;
+//  2. every chunk is within [MinBytes, MaxBytes] except a short final
+//     remainder;
+//  3. splitting is deterministic;
+//  4. after a 1-byte prefix insertion, once the boundary sequences
+//     share one content position they agree on every later one
+//     (the dedup resynchronisation property — absolute stability is
+//     impossible because min/max forcing depends on the previous cut).
+func FuzzChunker(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello, chunker"))
+	f.Add(bytes.Repeat([]byte{0}, 10000))
+	f.Add(bytes.Repeat([]byte{0xff}, 5000))
+	f.Add(bytes.Repeat([]byte("abcdefg"), 2000))
+	f.Add(randBytes(1, 20000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := Chunker{MinBytes: 128, AvgBytes: 512, MaxBytes: 2048}
+		cuts := c.Split(data)
+
+		// (1) + (2): reassembly and size bounds.
+		if len(data) == 0 {
+			if cuts != nil {
+				t.Fatalf("Split(empty) = %v", cuts)
+			}
+			return
+		}
+		var rejoined []byte
+		prev := 0
+		for i, cut := range cuts {
+			if cut <= prev || cut > len(data) {
+				t.Fatalf("cut %d = %d out of order (prev %d, len %d)", i, cut, prev, len(data))
+			}
+			size := cut - prev
+			if size > c.MaxBytes {
+				t.Fatalf("chunk %d: size %d > max", i, size)
+			}
+			if i < len(cuts)-1 && size < c.MinBytes {
+				t.Fatalf("chunk %d: interior size %d < min", i, size)
+			}
+			rejoined = append(rejoined, data[prev:cut]...)
+			prev = cut
+		}
+		if prev != len(data) || !bytes.Equal(rejoined, data) {
+			t.Fatal("chunks do not reassemble to the input")
+		}
+
+		// (3): determinism.
+		again := c.Split(data)
+		if len(again) != len(cuts) {
+			t.Fatal("Split not deterministic")
+		}
+		for i := range cuts {
+			if cuts[i] != again[i] {
+				t.Fatal("Split not deterministic")
+			}
+		}
+
+		// (4): boundary agreement after the first shared position under
+		// a 1-byte prefix insertion. A shifted cut at offset k is the
+		// content position k-1.
+		shifted := c.Split(append([]byte{0x5a}, data...))
+		content := make(map[int]bool, len(cuts))
+		for _, cut := range cuts {
+			content[cut] = true
+		}
+		common := -1
+		for _, cut := range shifted {
+			if content[cut-1] {
+				common = cut - 1
+				break
+			}
+		}
+		if common < 0 {
+			return // short/degenerate inputs may never resync; nothing to check
+		}
+		shiftedAfter := make(map[int]bool)
+		for _, cut := range shifted {
+			if cut-1 >= common {
+				shiftedAfter[cut-1] = true
+			}
+		}
+		for _, cut := range cuts {
+			if cut >= common {
+				if !shiftedAfter[cut] {
+					t.Fatalf("boundary %d lost after shared position %d", cut, common)
+				}
+				delete(shiftedAfter, cut)
+			}
+		}
+		if len(shiftedAfter) != 0 {
+			t.Fatalf("extra boundaries after shared position %d: %v", common, shiftedAfter)
+		}
+	})
+}

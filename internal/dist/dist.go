@@ -71,6 +71,12 @@ type Config struct {
 	DefaultSeed          uint64
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// NormalizeSpec, when non-nil, rewrites a submitted spec before
+	// validation — the service layer uses it to expand
+	// corpus:select(...) workload axes into pinned trace:<id> lists, so
+	// grid points and the content-derived sweep ID never depend on the
+	// executing machine's corpus contents.
+	NormalizeSpec func(*sweep.Spec) error
 	// OnEvent, when non-nil, receives progress notifications
 	// ("shard-leased", "point-completed", "sweep-completed",
 	// "sweep-failed") keyed by sweep id; the service layer fans them
@@ -293,6 +299,11 @@ type SweepView struct {
 // is content-derived, so resubmitting an identical spec attaches to the
 // existing sweep.
 func (c *Coordinator) Submit(spec sweep.Spec) (SweepView, error) {
+	if c.cfg.NormalizeSpec != nil {
+		if err := c.cfg.NormalizeSpec(&spec); err != nil {
+			return SweepView{}, err
+		}
+	}
 	if err := spec.Validate(); err != nil {
 		return SweepView{}, err
 	}

@@ -260,9 +260,14 @@ func (w *Worker) runLease(ctx context.Context, workerID string, l *Lease, ttl ti
 	return nil
 }
 
-// ensureTraces fetches and caches every trace:<id> container a lease's
-// points replay, verifying each download hashes to the id it was
-// requested by before it may serve simulations.
+// ensureTraces makes the local cache hold every trace:<id> entry a
+// lease's points replay. It federates at chunk granularity against the
+// full replica list — only chunks the cache is missing transfer, so a
+// worker that already replayed a near-duplicate trace (same program,
+// different seed) pulls a fraction of the bytes — and falls back to the
+// whole-container route when a coordinator predates chunk federation.
+// Either way every byte is verified against the requested id before it
+// may serve simulations.
 func (w *Worker) ensureTraces(ctx context.Context, l *Lease) error {
 	ids := map[string]bool{}
 	for _, p := range l.Points {
@@ -276,9 +281,21 @@ func (w *Worker) ensureTraces(ctx context.Context, l *Lease) error {
 	if w.Corpus == nil {
 		return errors.New("dist: lease replays trace workloads but worker has no corpus cache (set Worker.Corpus)")
 	}
+	fetcher := &corpus.Fetcher{
+		Store: w.Corpus,
+		Peers: append([]string{w.Client.BaseURL}, w.Client.FallbackURLs...),
+		Logf:  w.Logf,
+	}
 	for id := range ids {
 		if w.Corpus.Has(id) {
 			continue
+		}
+		if err := fetcher.Fetch(ctx, id); err == nil {
+			continue
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		} else {
+			w.logf("dist: trace %s: chunk federation failed (%v); falling back to container fetch", id[:12], err)
 		}
 		rc, err := w.Client.FetchCorpus(ctx, id)
 		if err != nil {

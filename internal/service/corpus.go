@@ -1,0 +1,177 @@
+package service
+
+// Corpus operations above the store layer: corpus:select(...)
+// normalization for sweep submissions, the periodic garbage collector,
+// and the /metrics exposition of store health.
+//
+// GC roots are wider here than inside the corpus package: beyond the
+// store's own manifests, every sweep journal's spec.meta pins the
+// trace:<id> workloads it names, so a sweep that is mid-flight (or may
+// resume after a restart) can never lose its input chunks — even if an
+// operator deletes the corpus entry, the chunks survive until the
+// sweep's journal directory is removed.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cmp"
+	"repro/internal/corpus"
+	"repro/internal/sweep"
+)
+
+// normalizeSweepSpec expands corpus:select(...) workload axes into
+// pinned, sorted trace:<id> lists against this daemon's corpus index.
+// Specs without selector axes pass through untouched (and need no
+// corpus at all).
+func (s *Service) normalizeSweepSpec(spec *sweep.Spec) error {
+	if s.corpus == nil {
+		return spec.Normalize(nil)
+	}
+	return spec.Normalize(s.corpus.Select)
+}
+
+// corpusGCRoots collects the corpus entry ids pinned by sweep journals:
+// every <data>/sweeps/<id>/spec.meta whose spec names trace:<hash>
+// workloads roots those hashes.
+func (s *Service) corpusGCRoots() []string {
+	dirs, err := filepath.Glob(filepath.Join(s.cfg.ResultDir, "sweeps", "*"))
+	if err != nil {
+		return nil
+	}
+	var roots []string
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		meta, err := readSweepMeta(dir)
+		if err != nil {
+			continue // no meta (pre-upgrade sweep) or unreadable; nothing to pin
+		}
+		for _, w := range meta.Spec.Workloads {
+			if id, ok := strings.CutPrefix(w, cmp.TraceWorkloadPrefix); ok && !seen[id] {
+				seen[id] = true
+				roots = append(roots, id)
+			}
+		}
+	}
+	return roots
+}
+
+// RunCorpusGC runs one collection pass with the configured policy and
+// records the outcome for /metrics. Exposed for tests and the tracegen
+// CLI path; the daemon's periodic loop calls it too.
+func (s *Service) RunCorpusGC() (corpus.GCStats, error) {
+	if s.corpus == nil {
+		return corpus.GCStats{}, fmt.Errorf("service: corpus store disabled (no ResultDir)")
+	}
+	st, err := s.corpus.GC(corpus.GCOptions{
+		DryRun:       s.cfg.CorpusGCDryRun,
+		Grace:        s.cfg.CorpusGCGrace,
+		ExtraRootIDs: s.corpusGCRoots(),
+	})
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if err != nil {
+		s.gcLastErr = err.Error()
+		s.gcLastErrSeen = time.Now()
+		return st, err
+	}
+	s.gcRuns++
+	s.gcLast = st
+	if !st.DryRun {
+		s.gcDeleted += uint64(st.Deleted)
+		s.gcReclaimed += uint64(st.Reclaimed)
+	}
+	return st, nil
+}
+
+// corpusGCLoop runs the collector every interval until shutdown.
+func (s *Service) corpusGCLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+		}
+		st, err := s.RunCorpusGC()
+		if err != nil {
+			s.logf("service: corpus gc: %v", err)
+			continue
+		}
+		if st.Deleted > 0 || st.DryRun {
+			verb := "deleted"
+			if st.DryRun {
+				verb = "would delete"
+			}
+			s.logf("service: corpus gc: %s %d/%d chunks (%d bytes), %d live, %d in grace",
+				verb, st.Deleted, st.Scanned, st.Reclaimed, st.Live, st.Skipped)
+		}
+	}
+}
+
+// WriteCorpusProm writes the corpus store and GC gauges in Prometheus
+// text exposition format. No-op without a corpus store.
+func (s *Service) WriteCorpusProm(w io.Writer) {
+	if s.corpus == nil {
+		return
+	}
+	st, err := s.corpus.CorpusStats()
+	if err != nil {
+		fmt.Fprintf(w, "# corpus stats unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_entries Trace entries in the corpus store.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_entries gauge\niprefetchd_corpus_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_chunks_unique Distinct chunk files in the CAS.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_chunks_unique gauge\niprefetchd_corpus_chunks_unique %d\n", st.UniqueChunks)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_chunk_refs Chunk references across all recipes.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_chunk_refs gauge\niprefetchd_corpus_chunk_refs %d\n", st.ChunkRefs)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_orphan_chunks Chunk files no manifest references (GC candidates).\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_orphan_chunks gauge\niprefetchd_corpus_orphan_chunks %d\n", st.OrphanChunks)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_logical_bytes Sum of entry sizes before dedup and compression.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_logical_bytes gauge\niprefetchd_corpus_logical_bytes %d\n", st.LogicalBytes)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_stored_bytes Bytes actually on disk in the chunk CAS.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_stored_bytes gauge\niprefetchd_corpus_stored_bytes %d\n", st.StoredBytes)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_dedup_ratio Fraction of chunk references served by shared chunks.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_dedup_ratio gauge\niprefetchd_corpus_dedup_ratio %g\n", st.DedupRatio)
+
+	s.gcMu.Lock()
+	runs, last, deleted, reclaimed := s.gcRuns, s.gcLast, s.gcDeleted, s.gcReclaimed
+	s.gcMu.Unlock()
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_gc_runs_total Completed corpus GC passes.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_gc_runs_total counter\niprefetchd_corpus_gc_runs_total %d\n", runs)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_gc_deleted_total Chunks deleted by GC since start.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_gc_deleted_total counter\niprefetchd_corpus_gc_deleted_total %d\n", deleted)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_gc_reclaimed_bytes_total Bytes reclaimed by GC since start.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_gc_reclaimed_bytes_total counter\niprefetchd_corpus_gc_reclaimed_bytes_total %d\n", reclaimed)
+	fmt.Fprintf(w, "# HELP iprefetchd_corpus_gc_last_live Chunks marked live in the most recent GC pass.\n")
+	fmt.Fprintf(w, "# TYPE iprefetchd_corpus_gc_last_live gauge\niprefetchd_corpus_gc_last_live %d\n", last.Live)
+}
+
+// corpusSelectManifests resolves a selector expression to the matching
+// manifests (the HTTP ?select= view).
+func (s *Service) corpusSelectManifests(expr string) ([]corpus.Manifest, error) {
+	ids, err := s.corpus.Select(expr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]corpus.Manifest, 0, len(ids))
+	for _, id := range ids {
+		m, err := s.corpus.Get(id)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // deleted between index read and manifest read
+			}
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -3,13 +3,14 @@ package service
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -42,12 +43,11 @@ func TestCorpusHTTPLifecycle(t *testing.T) {
 	cfg.ResultDir = t.TempDir()
 	_, srv := newTestServer(t, cfg)
 	raw := recordDB(t, 1, 2000)
-	wantID := func() string {
-		sum := sha256.Sum256(raw)
-		return hex.EncodeToString(sum[:])
-	}()
 
-	// Upload: 201 with the manifest, content-addressed by the bytes.
+	// Upload: 201 with a manifest. The id is the logical entry id
+	// (name/asid/record stream), not a hash of the container bytes, so
+	// it comes back from the store rather than being predictable from
+	// raw alone.
 	resp, err := http.Post(srv.URL+"/v1/corpus", "application/octet-stream", bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
@@ -60,8 +60,11 @@ func TestCorpusHTTPLifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("upload status = %d, want 201", resp.StatusCode)
 	}
-	if man.ID != wantID || man.Blocks != 2000 || man.Name != "DB" {
-		t.Fatalf("uploaded manifest = %+v (want id %s)", man, wantID)
+	if len(man.ID) != 64 || man.Blocks != 2000 || man.Name != "DB" {
+		t.Fatalf("uploaded manifest = %+v", man)
+	}
+	if man.Chunks == 0 || len(man.Recipe) != man.Chunks || man.StoredBytes == 0 {
+		t.Fatalf("manifest missing chunk recipe: %+v", man)
 	}
 
 	// Idempotent re-upload: 200, same entry.
@@ -69,10 +72,13 @@ func TestCorpusHTTPLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	var again corpus.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("re-upload status = %d, want 200", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK || again.ID != man.ID {
+		t.Fatalf("re-upload: status %d id %s, want 200 id %s", resp.StatusCode, again.ID, man.ID)
 	}
 
 	// Listing shows exactly the one entry.
@@ -87,23 +93,102 @@ func TestCorpusHTTPLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(list.Entries) != 1 || list.Entries[0].ID != wantID {
+	if len(list.Entries) != 1 || list.Entries[0].ID != man.ID {
 		t.Fatalf("list = %+v", list.Entries)
 	}
 
-	// Download round-trips the exact bytes.
-	resp, err = http.Get(srv.URL + "/v1/corpus/" + wantID)
+	// Fingerprint selection filters the listing; a bad selector is a
+	// client error.
+	for _, tc := range []struct {
+		expr string
+		want int
+	}{
+		{"name=DB", 1},
+		{"name!=DB", 0},
+		{"instructions>0,blocks>=2000", 1},
+		{"footprint>100000000", 0},
+	} {
+		resp, err = http.Get(srv.URL + "/v1/corpus?select=" + url.QueryEscape(tc.expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sel struct {
+			Entries []corpus.Manifest `json:"entries"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sel); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(sel.Entries) != tc.want {
+			t.Fatalf("select %q: status %d, %d entries (want %d)", tc.expr, resp.StatusCode, len(sel.Entries), tc.want)
+		}
+	}
+	resp, err = http.Get(srv.URL + "/v1/corpus?select=" + url.QueryEscape("bogusfield>1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad selector status = %d, want 400", resp.StatusCode)
+	}
+
+	// Download reassembles a container from the CAS; re-ingesting it
+	// lands on the same logical entry (200, same id) even though the
+	// bytes are a fresh encoding.
+	resp, err = http.Get(srv.URL + "/v1/corpus/" + man.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, raw) {
-		t.Fatalf("download: status %d, %d bytes (want %d)", resp.StatusCode, len(got), len(raw))
+	if resp.StatusCode != http.StatusOK || len(got) == 0 {
+		t.Fatalf("download: status %d, %d bytes", resp.StatusCode, len(got))
+	}
+	resp, err = http.Post(srv.URL+"/v1/corpus", "application/octet-stream", bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt corpus.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rt.ID != man.ID {
+		t.Fatalf("round-trip ingest: status %d id %s, want 200 id %s", resp.StatusCode, rt.ID, man.ID)
+	}
+
+	// The federation chunk route serves each recipe chunk with its
+	// exact on-disk length; a hash outside the recipe is a 404.
+	for _, ref := range man.Recipe {
+		resp, err = http.Get(srv.URL + "/v1/corpus/" + man.ID + "/chunks/" + ref.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %s status = %d", ref.Hash[:12], resp.StatusCode)
+		}
+		if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(body)) {
+			t.Fatalf("chunk %s: Content-Length %s, body %d bytes", ref.Hash[:12], cl, len(body))
+		}
+		// ref.Hash names the decoded record content, not the encoded
+		// file, so content verification lives in the Fetcher tests; here
+		// it is enough that the route serves the whole stored file.
+	}
+	resp, err = http.Get(srv.URL + "/v1/corpus/" + man.ID + "/chunks/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown chunk status = %d, want 404", resp.StatusCode)
 	}
 
 	// Manifest endpoint and unknown-id 404.
-	resp, err = http.Get(srv.URL + "/v1/corpus/" + wantID + "/manifest")
+	resp, err = http.Get(srv.URL + "/v1/corpus/" + man.ID + "/manifest")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +207,8 @@ func TestCorpusHTTPLifecycle(t *testing.T) {
 		t.Fatalf("unknown id status = %d, want 404", resp.StatusCode)
 	}
 
-	// Garbage uploads are rejected before they earn a name.
+	// Garbage uploads are rejected before they earn a name — and leave
+	// no temp droppings behind (the Put cleanup regression).
 	resp, err = http.Post(srv.URL+"/v1/corpus", "application/octet-stream",
 		strings.NewReader("definitely not a container"))
 	if err != nil {
@@ -336,5 +422,285 @@ func TestDistWorkersFetchTraceByHash(t *testing.T) {
 	}
 	if !sawWork {
 		t.Fatal("no worker delivered any points")
+	}
+}
+
+// TestFederatedReplaySweepMatchesLocal is the federation e2e: two
+// share-nothing daemons, the corpus entry ingested only on A, and the
+// same trace-pinned sweep run on both. B resolves the trace by pulling
+// chunks from A (its only corpus peer) and its journal must hold the
+// identical point set — zero missing, zero duplicated, every payload
+// field equal to A's local run.
+func TestFederatedReplaySweepMatchesLocal(t *testing.T) {
+	cfgA := testConfig(t)
+	cfgA.ResultDir = t.TempDir()
+	sA, srvA := newTestServer(t, cfgA)
+
+	prog := workload.MustBuildProgram(workload.DB(), 0)
+	man, err := sA.Corpus().Capture(workload.NewGenerator(prog, 1), "DB", 0, 15_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := sweep.Spec{
+		Name:          "fed-e2e",
+		Schemes:       []string{"discontinuity"},
+		Workloads:     []string{"trace:" + man.ID},
+		Cores:         []int{1},
+		TableEntries:  []int{256, 512},
+		WarmInstrs:    10_000,
+		MeasureInstrs: 20_000,
+		Seed:          1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Reference run on A, replaying from its local store.
+	vA, err := sA.SubmitSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vA, err = sA.WaitSweep(ctx, vA.ID); err != nil || vA.State != SweepCompleted {
+		t.Fatalf("local sweep: %v (state %s, %s)", err, vA.State, vA.Error)
+	}
+
+	// Daemon B starts with an empty store and knows A only as a
+	// federation peer.
+	cfgB := testConfig(t)
+	cfgB.ResultDir = t.TempDir()
+	cfgB.CorpusPeers = []string{srvA.URL}
+	sB := newTestService(t, cfgB)
+	if sB.Corpus().Has(man.ID) {
+		t.Fatal("daemon B must start share-nothing")
+	}
+
+	vB, err := sB.SubmitSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vB.ID != vA.ID {
+		t.Fatalf("sweep identity diverged: A %s, B %s", vA.ID, vB.ID)
+	}
+	if vB, err = sB.WaitSweep(ctx, vB.ID); err != nil || vB.State != SweepCompleted {
+		t.Fatalf("federated sweep: %v (state %s, %s)", err, vB.State, vB.Error)
+	}
+
+	// B adopted the entry through chunk federation, verified.
+	got, err := sB.Corpus().Get(man.ID)
+	if err != nil {
+		t.Fatalf("B never adopted the trace: %v", err)
+	}
+	if got.Source != "federate" {
+		t.Fatalf("B's entry source = %q, want federate", got.Source)
+	}
+	if err := sB.Corpus().Verify(man.ID); err != nil {
+		t.Fatalf("B's federated copy fails verification: %v", err)
+	}
+
+	// Journals: same length, every expanded key present on both sides,
+	// every payload field identical.
+	points, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA, err := sweep.OpenJournal(filepath.Join(cfgA.ResultDir, "sweeps", vA.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := sweep.OpenJournal(filepath.Join(cfgB.ResultDir, "sweeps", vB.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nA, err := jA.Len(); err != nil || nA != len(points) {
+		t.Fatalf("A journal holds %d points (err %v), want %d", nA, err, len(points))
+	}
+	if nB, err := jB.Len(); err != nil || nB != len(points) {
+		t.Fatalf("B journal holds %d points (err %v), want %d", nB, err, len(points))
+	}
+	for _, p := range points {
+		key, err := p.Key(spec.WarmInstrs, spec.MeasureInstrs, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, okA := jA.Get(key)
+		b, okB := jB.Get(key)
+		if !okA || !okB {
+			t.Fatalf("point %d missing (A %v, B %v)", p.Index, okA, okB)
+		}
+		if a.IPC != b.IPC || a.L1IMissPerInstr != b.L1IMissPerInstr ||
+			a.L2IMissPerInstr != b.L2IMissPerInstr || a.PrefetchAccuracy != b.PrefetchAccuracy ||
+			a.PrefetchIssued != b.PrefetchIssued || a.PrefetchUseful != b.PrefetchUseful ||
+			a.Instructions != b.Instructions || a.Cycles != b.Cycles ||
+			a.OffChipTransfers != b.OffChipTransfers {
+			t.Fatalf("point %d diverged:\nlocal:     %+v\nfederated: %+v", p.Index, a, b)
+		}
+	}
+}
+
+// TestCorpusSelectSweepAxisEndToEnd drives a corpus:select(...) workload
+// axis through the HTTP sweep path: the daemon expands the selector
+// against its fingerprint index before validation, so the launched
+// sweep (and its content-derived id) pins sorted trace:<id> workloads.
+func TestCorpusSelectSweepAxisEndToEnd(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ResultDir = t.TempDir()
+	s, srv := newTestServer(t, cfg)
+
+	db, err := s.Corpus().Capture(workload.NewGenerator(workload.MustBuildProgram(workload.DB(), 0), 1), "DB", 0, 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := s.Corpus().Capture(workload.NewGenerator(workload.MustBuildProgram(workload.Web(), 0), 1), "Web", 0, 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(sweep.Spec{
+		Name:          "sel-e2e",
+		Schemes:       []string{"none"},
+		Workloads:     []string{"corpus:select(name=DB)"},
+		Cores:         []int{1},
+		WarmInstrs:    10_000,
+		MeasureInstrs: 20_000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/sweeps?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.State != SweepCompleted {
+		t.Fatalf("sweep state = %s (%s)", v.State, v.Error)
+	}
+	if len(v.Spec.Workloads) != 1 || v.Spec.Workloads[0] != "trace:"+db.ID {
+		t.Fatalf("selector expanded to %v, want [trace:%s]", v.Spec.Workloads, db.ID)
+	}
+
+	// Determinism: resubmitting the same selector lands on the same
+	// content-derived sweep (the daemon attaches, not recomputes).
+	resp, err = http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v2.ID != v.ID {
+		t.Fatalf("resubmit sweep id %s, want %s", v2.ID, v.ID)
+	}
+
+	// A selector matching both entries expands to the sorted id pair.
+	wide, err := s.SubmitSweep(sweep.Spec{
+		Name:          "sel-wide",
+		Schemes:       []string{"none"},
+		Workloads:     []string{"corpus:select(instructions>0)"},
+		Cores:         []int{1},
+		WarmInstrs:    10_000,
+		MeasureInstrs: 20_000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{db.ID, web.ID}
+	sort.Strings(wantIDs)
+	if len(wide.Spec.Workloads) != 2 ||
+		wide.Spec.Workloads[0] != "trace:"+wantIDs[0] ||
+		wide.Spec.Workloads[1] != "trace:"+wantIDs[1] {
+		t.Fatalf("wide selector expanded to %v, want sorted [trace:%s trace:%s]",
+			wide.Spec.Workloads, wantIDs[0], wantIDs[1])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if w, err := s.WaitSweep(ctx, wide.ID); err != nil || w.State != SweepCompleted {
+		t.Fatalf("wide sweep: %v (state %s)", err, w.State)
+	}
+
+	// A selector matching nothing is a submission error, not an empty
+	// sweep.
+	if _, err := s.SubmitSweep(sweep.Spec{
+		Name:      "sel-empty",
+		Schemes:   []string{"none"},
+		Workloads: []string{"corpus:select(name=NOPE)"},
+		Cores:     []int{1},
+	}); err == nil || !strings.Contains(err.Error(), "selects no corpus entries") {
+		t.Fatalf("empty selector err = %v", err)
+	}
+}
+
+// TestCorpusGCRootedBySweepJournals exercises the daemon-level GC
+// policy: chunks of a deleted corpus entry survive as long as a sweep
+// journal's spec.meta pins the trace id, and are reclaimed once the
+// journal is gone.
+func TestCorpusGCRootedBySweepJournals(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ResultDir = t.TempDir()
+	cfg.CorpusGCGrace = -1 // collect immediately, no mtime grace
+	s := newTestService(t, cfg)
+
+	man, err := s.Corpus().Capture(workload.NewGenerator(workload.MustBuildProgram(workload.DB(), 0), 1), "DB", 0, 15_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	v, err := s.SubmitSweep(sweep.Spec{
+		Name:          "gc-pin",
+		Schemes:       []string{"none"},
+		Workloads:     []string{"trace:" + man.ID},
+		Cores:         []int{1},
+		WarmInstrs:    10_000,
+		MeasureInstrs: 20_000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err = s.WaitSweep(ctx, v.ID); err != nil || v.State != SweepCompleted {
+		t.Fatalf("pin sweep: %v (state %s)", err, v.State)
+	}
+
+	// Delete the entry: its chunks are unreferenced by any manifest but
+	// still pinned by the completed sweep's spec.meta.
+	if err := s.Corpus().Delete(man.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.RunCorpusGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 0 || st.Live == 0 {
+		t.Fatalf("GC with journal pin: %+v (must delete nothing)", st)
+	}
+
+	// Drop the journal; the next pass reclaims every orphan.
+	if err := os.RemoveAll(filepath.Join(cfg.ResultDir, "sweeps")); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.RunCorpusGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted == 0 || st.Live != 0 || st.Reclaimed == 0 {
+		t.Fatalf("GC after journal removal: %+v (must reclaim orphans)", st)
+	}
+
+	// The daemon's metrics surface both passes.
+	var buf bytes.Buffer
+	s.WriteCorpusProm(&buf)
+	prom := buf.String()
+	for _, want := range []string{"iprefetchd_corpus_gc_runs_total 2", "iprefetchd_corpus_gc_deleted_total", "iprefetchd_corpus_dedup_ratio"} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, prom)
+		}
 	}
 }

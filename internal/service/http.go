@@ -43,18 +43,25 @@ import (
 //	GET  /v1/figures/{id} run a paper figure/ablation ("1".."10",
 //	                     "a1".."a10") and return its tables
 //	POST /v1/corpus      upload a v2 trace container (streaming,
-//	                     size-capped); 201 with the manifest, or 200
-//	                     when the store already holds those bytes
-//	GET  /v1/corpus      list corpus manifests
-//	GET  /v1/corpus/{id} download the raw container bytes
+//	                     size-capped); chunked into the CAS, 201 with
+//	                     the manifest, or 200 when the store already
+//	                     holds the entry (logical id)
+//	GET  /v1/corpus      list corpus manifests; ?select=<expr> filters
+//	                     by fingerprint (same grammar as a sweep's
+//	                     corpus:select(...) workload axis)
+//	GET  /v1/corpus/{id} download the entry reassembled as a container
 //	GET  /v1/corpus/{id}/manifest
-//	                     one entry's manifest
+//	                     one entry's manifest (chunk recipe included)
+//	GET  /v1/corpus/{id}/chunks/{chunk}
+//	                     one raw chunk file from the entry's recipe
+//	                     (federation transfer unit)
 //	/v1/dist/...         distributed sweep execution: worker register,
 //	                     lease acquire/renew/complete/fail, idempotent
 //	                     point submission, sweep progress + artifacts
 //	                     (see dist.Handler)
 //	GET  /healthz        liveness + counter snapshot
-//	GET  /metrics        Prometheus text exposition (service + dist)
+//	GET  /metrics        Prometheus text exposition (service + dist +
+//	                     corpus store/GC)
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -249,8 +256,21 @@ func Handler(s *Service) http.Handler {
 			httpError(w, http.StatusServiceUnavailable, "corpus store disabled (daemon runs without -data)")
 			return
 		}
-		list, err := cs.List()
-		if err != nil {
+		var list []corpus.Manifest
+		var err error
+		if expr, hasSel := r.URL.Query()["select"]; hasSel {
+			// Fingerprint-indexed selection: the same grammar a sweep's
+			// corpus:select(...) workload axis uses.
+			sel := ""
+			if len(expr) > 0 {
+				sel = expr[0]
+			}
+			list, err = s.corpusSelectManifests(sel)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		} else if list, err = cs.List(); err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -288,6 +308,27 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, man)
 	})
+	mux.HandleFunc("GET /v1/corpus/{id}/chunks/{chunk}", func(w http.ResponseWriter, r *http.Request) {
+		cs := s.Corpus()
+		if cs == nil {
+			httpError(w, http.StatusServiceUnavailable, "corpus store disabled (daemon runs without -data)")
+			return
+		}
+		// The chunk route is the federation transfer unit: peers and
+		// dist workers pull a manifest, then only the chunks their CAS
+		// is missing. Access is scoped through an entry's recipe so the
+		// CAS is not an open blob service.
+		rc, size, err := cs.ChunkReader(r.PathValue("id"), r.PathValue("chunk"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		defer rc.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, rc)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		role, leaderURL := "standalone", ""
 		if rep := s.Replica(); rep != nil {
@@ -313,6 +354,7 @@ func Handler(s *Service) http.Handler {
 		s.metrics.WriteProm(w, s.QueueDepth(), s.Workers(), s.ActiveSweeps(), s.EngineCounters())
 		s.Dist().WriteProm(w)
 		s.WriteCtlplaneProm(w)
+		s.WriteCorpusProm(w)
 		WriteRuntimeProm(w, s.cfg.Version)
 	})
 	// Distributed sweep execution: worker registration, lease

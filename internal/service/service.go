@@ -15,6 +15,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Errors returned by Submit and SubmitSweep.
@@ -60,6 +61,23 @@ type Config struct {
 	// MaxCorpusUploadBytes caps one POST /v1/corpus body. Default
 	// 64 MiB. Requires ResultDir (the corpus lives under it).
 	MaxCorpusUploadBytes int64
+	// CorpusPeers lists base URLs of peer daemons (typically the
+	// control-plane replica list) whose corpora federate with this one:
+	// a trace:<id> workload this daemon does not hold is pulled from
+	// the first peer that has it, chunk by chunk, verified, and adopted
+	// into the local store. Requires ResultDir.
+	CorpusPeers []string
+	// CorpusGCInterval enables the corpus garbage collector: every
+	// interval, chunks not referenced by any manifest, sweep journal or
+	// in-flight ingest are deleted (subject to CorpusGCGrace). Zero
+	// disables collection. Requires ResultDir.
+	CorpusGCInterval time.Duration
+	// CorpusGCGrace protects recently written chunks from collection;
+	// zero takes the corpus default (1h), negative disables the window.
+	CorpusGCGrace time.Duration
+	// CorpusGCDryRun makes the collector report what it would delete
+	// without deleting anything.
+	CorpusGCDryRun bool
 	// SSEHeartbeat is the idle keep-alive interval of event streams.
 	// Default 15s.
 	SSEHeartbeat time.Duration
@@ -131,16 +149,26 @@ type JobView struct {
 // on-disk result store.
 type Service struct {
 	cfg     Config
-	store   *Store        // nil when persistence is disabled
-	corpus  *corpus.Store // nil when persistence is disabled
+	store   *Store          // nil when persistence is disabled
+	corpus  *corpus.Store   // nil when persistence is disabled
+	fetcher *corpus.Fetcher // nil without CorpusPeers
 	metrics *Metrics
 	dist    *dist.Coordinator
 	broker  *ctlplane.Broker
 	adopted uint64 // sweeps resumed from the shared journal (atomic)
 
+	gcMu          sync.Mutex
+	gcRuns        uint64
+	gcLast        corpus.GCStats
+	gcDeleted     uint64
+	gcReclaimed   uint64
+	gcLastErr     string
+	gcLastErrSeen time.Time
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	queue      chan *job
+	gcStop     chan struct{} // nil unless the corpus GC loop is running
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
@@ -192,6 +220,7 @@ func New(cfg Config) (*Service, error) {
 		inflight: make(map[string]*job),
 		engines:  make(map[string]*sim.Engine),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.ResultDir != "" {
 		st, err := NewStore(cfg.ResultDir)
 		if err != nil {
@@ -200,13 +229,31 @@ func New(cfg Config) (*Service, error) {
 		s.store = st
 		// The trace corpus shares the data root, and the daemon's store
 		// registers as a trace:<id> resolver so local sweeps and jobs
-		// can replay any entry it holds.
+		// can replay any entry it holds. With CorpusPeers configured the
+		// resolver federates: an entry this daemon is missing is pulled
+		// chunk-by-chunk from the first peer that holds it, verified,
+		// and adopted before replay.
 		cs, err := corpus.Open(filepath.Join(cfg.ResultDir, "corpus"))
 		if err != nil {
 			return nil, err
 		}
 		s.corpus = cs
-		cmp.RegisterTraceProvider(cs.ReplaySource)
+		if len(cfg.CorpusPeers) > 0 {
+			s.fetcher = &corpus.Fetcher{Store: cs, Peers: cfg.CorpusPeers, Logf: cfg.Logf}
+		}
+		cmp.RegisterTraceProvider(func(id string) (workload.Source, error) {
+			if !cs.Has(id) && s.fetcher != nil {
+				if err := s.fetcher.Fetch(s.baseCtx, id); err != nil {
+					return nil, err
+				}
+			}
+			return cs.ReplaySource(id)
+		})
+		if cfg.CorpusGCInterval > 0 {
+			s.gcStop = make(chan struct{})
+			s.wg.Add(1)
+			go s.corpusGCLoop(cfg.CorpusGCInterval)
+		}
 	}
 	// The embedded distributed-sweep coordinator journals into the same
 	// <data>/sweeps/<id> directories local sweeps checkpoint to, so a
@@ -223,6 +270,10 @@ func New(cfg Config) (*Service, error) {
 		DefaultMeasureInstrs: cfg.DefaultMeasureInstrs,
 		DefaultSeed:          cfg.Seed,
 		Logf:                 cfg.Logf,
+		// Distributed submissions expand corpus:select(...) axes against
+		// this daemon's index, exactly like local ones, so grid points
+		// reach workers as pinned trace:<id> hashes.
+		NormalizeSpec: s.normalizeSweepSpec,
 		// Distributed sweeps stream over the same SSE topics as local
 		// ones: identity is content-derived either way, so a sweep's
 		// subscribers see its events no matter where it executes.
@@ -230,7 +281,6 @@ func New(cfg Config) (*Service, error) {
 			s.broker.Publish("sweep/"+sweepID, typ, data)
 		},
 	})
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -590,6 +640,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	close(s.queue)
+	if s.gcStop != nil {
+		close(s.gcStop)
+	}
 	s.mu.Unlock()
 	// Backstop for callers that skip the daemon's explicit drain: no SSE
 	// stream outlives the service, and each ends with a shutdown notice.

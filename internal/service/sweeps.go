@@ -71,6 +71,12 @@ var artifactContentTypes = map[string]string{
 // configured, points checkpoint to <store>/sweeps/<id> and a sweep
 // interrupted by a daemon restart resumes from disk.
 func (s *Service) SubmitSweep(spec sweep.Spec) (SweepView, error) {
+	// Selector workload axes expand against this daemon's corpus index
+	// before anything identity-bearing happens: the grid, the journal
+	// directory and the sweep ID all see pinned trace:<id> hashes.
+	if err := s.normalizeSweepSpec(&spec); err != nil {
+		return SweepView{}, err
+	}
 	if err := spec.Validate(); err != nil {
 		return SweepView{}, err
 	}

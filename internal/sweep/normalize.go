@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cmp"
+)
+
+// Corpus-selected workload axes. A spec may name a workload as
+//
+//	corpus:select(footprint>4096,cti>0.1)
+//
+// meaning "every corpus entry whose fingerprint matches the selector".
+// The expression is resolved against the submitting daemon's corpus
+// index exactly once, at spec-expansion time: Normalize replaces the
+// selector with the sorted trace:<id> list it matches, and everything
+// downstream — grid expansion, the content-derived sweep ID, shard
+// leases handed to remote workers — sees only pinned trace hashes.
+// That ordering is what keeps sweep identity meaningful: two daemons
+// whose corpora differ would expand the same selector differently, but
+// a normalized spec names identical bytes everywhere.
+
+// corpusSelectPrefix/Suffix delimit a selector workload.
+const (
+	corpusSelectPrefix = "corpus:select("
+	corpusSelectSuffix = ")"
+)
+
+// CorpusSelector extracts the selector expression from a workload name
+// of the form "corpus:select(<expr>)". ok is false for ordinary
+// workload names.
+func CorpusSelector(workload string) (expr string, ok bool) {
+	if !strings.HasPrefix(workload, corpusSelectPrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(workload, corpusSelectPrefix)
+	if !strings.HasSuffix(rest, corpusSelectSuffix) {
+		return "", false
+	}
+	return strings.TrimSuffix(rest, corpusSelectSuffix), true
+}
+
+// Normalize expands every corpus:select(...) workload into the sorted
+// trace:<id> list the selector matches, using the caller's corpus
+// index (selectIDs returns bare entry ids). It must run before
+// Validate/Expand/ID — Validate rejects un-normalized selectors so a
+// spec can never reach the grid, the journal, or a remote worker with
+// an environment-dependent axis. Duplicate ids (overlapping selectors,
+// or a selector plus an explicit trace:<id>) collapse to the first
+// occurrence; a selector matching nothing is an error, because it
+// would silently produce an empty axis.
+func (s *Spec) Normalize(selectIDs func(expr string) ([]string, error)) error {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(w string) {
+		if seen[w] {
+			return
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	for _, w := range s.Workloads {
+		expr, ok := CorpusSelector(w)
+		if !ok {
+			add(w)
+			continue
+		}
+		if selectIDs == nil {
+			return fmt.Errorf("sweep: workload %q needs a corpus index (daemon runs without -data?)", w)
+		}
+		ids, err := selectIDs(expr)
+		if err != nil {
+			return fmt.Errorf("sweep: workload %q: %w", w, err)
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("sweep: workload %q selects no corpus entries", w)
+		}
+		ids = append([]string(nil), ids...)
+		sort.Strings(ids)
+		for _, id := range ids {
+			add(cmp.TraceWorkloadPrefix + id)
+		}
+	}
+	s.Workloads = out
+	return nil
+}

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCorpusSelector(t *testing.T) {
+	if expr, ok := CorpusSelector("corpus:select(footprint>4096,cti>0.1)"); !ok || expr != "footprint>4096,cti>0.1" {
+		t.Fatalf("CorpusSelector = %q, %v", expr, ok)
+	}
+	if expr, ok := CorpusSelector("corpus:select()"); !ok || expr != "" {
+		t.Fatalf("empty selector = %q, %v", expr, ok)
+	}
+	for _, w := range []string{"DB", "trace:abc", "corpus:select(unclosed", "corpus:selec(x)"} {
+		if _, ok := CorpusSelector(w); ok {
+			t.Fatalf("CorpusSelector accepted %q", w)
+		}
+	}
+}
+
+func TestNormalizeExpandsSelectors(t *testing.T) {
+	idA := strings.Repeat("aa", 32)
+	idB := strings.Repeat("bb", 32)
+	sel := func(expr string) ([]string, error) {
+		switch expr {
+		case "footprint>1":
+			return []string{idB, idA}, nil // deliberately unsorted
+		case "none":
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("bad expr %q", expr)
+		}
+	}
+
+	s := Spec{Schemes: []string{"none"},
+		Workloads: []string{"DB", "corpus:select(footprint>1)", "trace:" + idA}}
+	if err := s.Normalize(sel); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"DB", "trace:" + idA, "trace:" + idB}
+	if len(s.Workloads) != len(want) {
+		t.Fatalf("Workloads = %v, want %v", s.Workloads, want)
+	}
+	for i := range want {
+		if s.Workloads[i] != want[i] {
+			t.Fatalf("Workloads = %v, want %v", s.Workloads, want)
+		}
+	}
+	// Normalizing an already-normalized spec is a no-op.
+	again := Spec{Schemes: s.Schemes, Workloads: append([]string(nil), s.Workloads...)}
+	if err := again.Normalize(sel); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if again.Workloads[i] != want[i] {
+			t.Fatalf("re-normalize changed workloads: %v", again.Workloads)
+		}
+	}
+
+	// Empty expansion is an error, not an empty axis.
+	s = Spec{Schemes: []string{"none"}, Workloads: []string{"corpus:select(none)"}}
+	if err := s.Normalize(sel); err == nil {
+		t.Fatal("empty selector expansion accepted")
+	}
+	// Selector errors propagate.
+	s = Spec{Schemes: []string{"none"}, Workloads: []string{"corpus:select(bogus)"}}
+	if err := s.Normalize(sel); err == nil || !strings.Contains(err.Error(), "bad expr") {
+		t.Fatalf("selector error lost: %v", err)
+	}
+	// No index available.
+	s = Spec{Schemes: []string{"none"}, Workloads: []string{"corpus:select(footprint>1)"}}
+	if err := s.Normalize(nil); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+}
+
+func TestValidateRejectsUnnormalizedSelector(t *testing.T) {
+	s := Spec{Schemes: []string{"none"}, Workloads: []string{"corpus:select(footprint>1)"}}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Normalize") {
+		t.Fatalf("Validate = %v", err)
+	}
+	if _, err := s.Expand(); err == nil {
+		t.Fatal("Expand accepted un-normalized selector")
+	}
+}

@@ -211,6 +211,14 @@ func (s Spec) Validate() error {
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("sweep: workloads axis is required")
 	}
+	for _, w := range s.Workloads {
+		if _, ok := CorpusSelector(w); ok {
+			// Selector workloads are environment-dependent until expanded
+			// against a corpus index; letting one reach the grid would
+			// give the sweep a different meaning on every daemon.
+			return fmt.Errorf("sweep: workload %q must be expanded with Spec.Normalize before validation", w)
+		}
+	}
 	for _, scheme := range append([]string{s.baselineScheme()}, s.Schemes...) {
 		if _, err := prefetch.New(scheme); err != nil {
 			return err

@@ -1,0 +1,38 @@
+package trace
+
+// Exported record-codec primitives. The corpus layer's content-defined
+// chunk store re-encodes the same per-block records the v1 stream and
+// v2 chunk payloads carry — exporting thin wrappers (rather than a
+// parallel codec) keeps one source of truth for the wire format.
+
+import (
+	"bytes"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// RecordReader is the input a record decode needs; bytes.Reader and
+// bufio.Reader both satisfy it.
+type RecordReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// EncodeRecord appends one block record to dst using prevNext as the
+// delta base and returns the new base (the block's NextPC). scratch
+// must be at least binary.MaxVarintLen64 bytes. Encoding a stream of
+// blocks with a running base produces exactly the v1 record stream;
+// encoding with base 0 produces a self-based record (absolute PC in
+// the first delta) that decodes without outside context.
+func EncodeRecord(dst *bytes.Buffer, scratch []byte, prevNext isa.Addr, b *isa.Block) isa.Addr {
+	return encodeRecord(dst, scratch, prevNext, b)
+}
+
+// ReadRecord decodes one record into *b (reusing MemOps capacity),
+// advancing *prevNext to the block's NextPC. blockIdx labels error
+// messages. A clean end of input before the first byte returns bare
+// io.EOF; any later cut returns io.ErrUnexpectedEOF (wrapped).
+func ReadRecord(r RecordReader, prevNext *isa.Addr, blockIdx uint64, b *isa.Block) error {
+	return readRecord(r, prevNext, blockIdx, b)
+}
