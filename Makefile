@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist race-core race-ctlplane race-corpus fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service
+.PHONY: build vet test race race-dist race-core race-ctlplane race-corpus race-codesign fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service advgen-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,18 @@ race-ctlplane:
 # (what CI runs).
 race-corpus:
 	$(GO) test -race -count=2 ./internal/corpus/... ./internal/trace/...
+
+# Co-design race pass: prefetch insertion depth, TLB fill and
+# wrong-path modelling share packed per-set cache state, and the
+# foundry memoises searches in a sync.Map — twice, plus -race (what CI
+# runs).
+race-codesign:
+	$(GO) test -race -count=2 ./internal/cache/... ./internal/tlb/... ./internal/core/... ./internal/workload/... ./internal/codesign/... ./internal/foundry/...
+
+# Bounded adversarial-generator smoke: the hill-climb must beat the
+# worst paper workload's L1-I miss rate (what CI runs).
+advgen-smoke:
+	$(GO) run ./cmd/advgen -scheme discontinuity -seed 1 -iters 8 -assert-gain 1.05 -o /tmp/adv_smoke.json
 
 # Short fuzz passes over the trace codecs and the content-defined
 # chunker; CI runs the same smoke.

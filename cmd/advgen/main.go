@@ -1,0 +1,99 @@
+// Command advgen runs the adversarial workload foundry from the
+// command line: it hill-climbs the synthetic Profile space against a
+// named prefetch scheme, reports the search trajectory, and writes the
+// resulting spec (profile + search metadata) as JSON. The same search
+// is reachable inside any sweep via the workload name the spec carries
+// ("adv:<scheme>@<seed>[x<iters>]"), so the written file is
+// documentation of a reproducible point, not the only way to reach it.
+//
+// Usage:
+//
+//	advgen -scheme discontinuity [-seed 1] [-iters 24]
+//	       [-assert-gain 1.2] [-o docs/specs/adversarial_discontinuity.json]
+//
+// With -assert-gain g > 0, advgen also evaluates the paper's four
+// workloads under the scheme and exits nonzero unless the search
+// product's L1-I MPKI is at least g times the worst of them — the CI
+// smoke mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/foundry"
+)
+
+// specFile is the on-disk document: the search result plus the baseline
+// it was judged against. The embedded profile is a plain
+// workload.Profile, loadable with workload.ProfileFromJSON after
+// extracting the "profile" member.
+type specFile struct {
+	// Workload is the sweep-axis name that reproduces this profile
+	// from scratch on any machine.
+	Workload string `json:"workload"`
+	foundry.SearchResult
+	// BaselineWorkload/BaselineMPKI are the worst paper workload under
+	// the scheme (present only when -assert-gain ran the comparison).
+	BaselineWorkload string  `json:"baseline_workload,omitempty"`
+	BaselineMPKI     float64 `json:"baseline_mpki,omitempty"`
+	Gain             float64 `json:"gain,omitempty"`
+}
+
+func main() {
+	var (
+		scheme     = flag.String("scheme", "discontinuity", "prefetch scheme to search against")
+		seed       = flag.Uint64("seed", 1, "search seed")
+		iters      = flag.Int("iters", foundry.DefaultIters, "hill-climb iterations")
+		assertGain = flag.Float64("assert-gain", 0, "fail unless best MPKI >= gain x worst paper workload (0 disables)")
+		out        = flag.String("o", "", "write the spec JSON here (default stdout)")
+	)
+	flag.Parse()
+
+	spec := foundry.Spec{Scheme: *scheme, Seed: *seed, Iters: *iters}
+	res, err := foundry.Search(spec)
+	if err != nil {
+		fatal(err)
+	}
+	doc := specFile{Workload: res.Spec.Name(), SearchResult: res}
+	fmt.Fprintf(os.Stderr, "advgen: %s  start %.2f -> best %.2f L1-I MPKI over %d evals\n",
+		doc.Workload, res.StartMPKI, res.BestMPKI, res.Evals)
+
+	if *assertGain > 0 {
+		name, worst, err := foundry.WorstPaperMPKI(*scheme)
+		if err != nil {
+			fatal(err)
+		}
+		doc.BaselineWorkload = name
+		doc.BaselineMPKI = worst
+		if worst > 0 {
+			doc.Gain = res.BestMPKI / worst
+		}
+		fmt.Fprintf(os.Stderr, "advgen: worst paper workload %s = %.2f MPKI, gain %.2fx (need %.2fx)\n",
+			name, worst, doc.Gain, *assertGain)
+		if doc.Gain < *assertGain {
+			fatal(fmt.Errorf("gain %.3f below required %.3f", doc.Gain, *assertGain))
+		}
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "advgen: wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advgen:", err)
+	os.Exit(1)
+}

@@ -1,15 +1,18 @@
 // Command prefbench measures the prefetcher zoo: for each scheme ×
-// paper workload it reports simulation throughput (Minstr/s), prefetch
-// accuracy (useful/issued) and miss coverage (L1I miss reduction versus
-// the no-prefetch baseline on the same workload), and writes a
-// BENCH_pref.json snapshot so scheme and arbitration changes can track
-// the trend across PRs. Composite ("hybrid:...") schemes additionally
-// report their per-component attribution.
+// insertion policy × TLB-fill policy × paper workload it reports
+// simulation throughput (Minstr/s), prefetch accuracy (useful/issued)
+// and miss coverage (L1I miss reduction versus the no-prefetch baseline
+// on the same workload), and writes a BENCH_pref.json snapshot so
+// scheme, arbitration, and co-design changes can track the trend across
+// PRs. Composite ("hybrid:...") schemes additionally report their
+// per-component attribution.
 //
 // Usage:
 //
 //	prefbench [-n instrs] [-warm instrs] [-seed n]
-//	          [-schemes a,b,c] [-workloads DB,TPC-W,...] [-o BENCH_pref.json]
+//	          [-schemes a,b,c] [-workloads DB,TPC-W,...]
+//	          [-inserts mru,mid,lru] [-tlb-fills none,primary]
+//	          [-o BENCH_pref.json]
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cmp"
+	"repro/internal/codesign"
 )
 
 // component is one attribution row of a composite point.
@@ -36,6 +40,8 @@ type component struct {
 type point struct {
 	Scheme       string      `json:"scheme"`
 	Workload     string      `json:"workload"`
+	Insert       string      `json:"insert,omitempty"`
+	TLBFill      string      `json:"tlb_fill,omitempty"`
 	Instructions uint64      `json:"instructions"`
 	Seconds      float64     `json:"seconds"`
 	InstrsPerSec float64     `json:"instrs_per_sec"`
@@ -66,6 +72,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		schemes   = flag.String("schemes", "discontinuity,streams,mana,progmap,hybrid:discontinuity+streams+mana", "comma-separated schemes to measure")
 		workloads = flag.String("workloads", "DB,TPC-W,jApp,Web", "comma-separated workloads")
+		inserts   = flag.String("inserts", "mru,mid,lru", "comma-separated prefetch insertion policies")
+		tlbFills  = flag.String("tlb-fills", "none,primary", "comma-separated prefetch TLB-fill policies")
 		out       = flag.String("o", "BENCH_pref.json", "output report path")
 	)
 	flag.Parse()
@@ -81,24 +89,32 @@ func main() {
 
 	for _, wl := range strings.Split(*workloads, ",") {
 		wl = strings.TrimSpace(wl)
-		// The no-prefetch baseline anchors coverage for this workload.
-		base, err := run("none", wl, *warm, *measure, *seed)
+		// The no-prefetch default-policy baseline anchors coverage for
+		// this workload across every policy row.
+		base, err := run("none", wl, "", "", *warm, *measure, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		baseMissRate := base.L1IMissPer1k
 		for _, scheme := range strings.Split(*schemes, ",") {
 			scheme = strings.TrimSpace(scheme)
-			p, err := run(scheme, wl, *warm, *measure, *seed)
-			if err != nil {
-				fatal(err)
+			for _, ins := range strings.Split(*inserts, ",") {
+				ins = strings.TrimSpace(ins)
+				for _, tf := range strings.Split(*tlbFills, ",") {
+					tf = strings.TrimSpace(tf)
+					p, err := run(scheme, wl, ins, tf, *warm, *measure, *seed)
+					if err != nil {
+						fatal(err)
+					}
+					if baseMissRate > 0 {
+						p.Coverage = 1 - p.L1IMissPer1k/baseMissRate
+					}
+					rep.Points = append(rep.Points, p)
+					fmt.Printf("%-36s %-6s ins=%-4s tlb=%-8s %7.2f Minstr/s  acc %5.1f%%  cov %5.1f%%\n",
+						scheme, wl, orDefault(p.Insert, "mru"), orDefault(p.TLBFill, "none"),
+						p.InstrsPerSec/1e6, 100*p.Accuracy, 100*p.Coverage)
+				}
 			}
-			if baseMissRate > 0 {
-				p.Coverage = 1 - p.L1IMissPer1k/baseMissRate
-			}
-			rep.Points = append(rep.Points, p)
-			fmt.Printf("%-36s %-6s %7.2f Minstr/s  acc %5.1f%%  cov %5.1f%%\n",
-				scheme, wl, p.InstrsPerSec/1e6, 100*p.Accuracy, 100*p.Coverage)
 		}
 	}
 
@@ -113,10 +129,32 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
+// orDefault substitutes the canonical default name for an empty policy
+// in console output (the JSON keeps "" so historical rows stay stable).
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
 // run builds a single-core machine, warms it, and times the window.
-func run(scheme, wl string, warm, measure, seed uint64) (point, error) {
+func run(scheme, wl, insert, tlbFill string, warm, measure, seed uint64) (point, error) {
 	cfg := cmp.DefaultConfig(1)
 	cfg.PrefetcherName = scheme
+	insCanon, err := codesign.CanonicalInsertion(insert)
+	if err != nil {
+		return point{}, err
+	}
+	tfCanon, err := codesign.CanonicalTLBFill(tlbFill)
+	if err != nil {
+		return point{}, err
+	}
+	ins, _ := codesign.ParseInsertion(insert)
+	tf, _ := codesign.ParseTLBFill(tlbFill)
+	cfg.FrontEnd.PrefetchInsert = ins
+	cfg.Mem.PrefetchInsert = ins
+	cfg.FrontEnd.TLBFill = tf
 	srcs, err := cmp.SourcesFor([]string{wl}, 1, seed)
 	if err != nil {
 		return point{}, err
@@ -137,6 +175,8 @@ func run(scheme, wl string, warm, measure, seed uint64) (point, error) {
 	p := point{
 		Scheme:       scheme,
 		Workload:     wl,
+		Insert:       insCanon,
+		TLBFill:      tfCanon,
 		Instructions: t.Instructions,
 		Seconds:      secs,
 		InstrsPerSec: float64(t.Instructions) / secs,

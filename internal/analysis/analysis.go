@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/isa"
+	"repro/internal/tlb"
 )
 
 // Profile accumulates statistics over a block stream.
@@ -42,6 +43,12 @@ type Profile struct {
 	// the paper's "one target per trigger line" premise (Section 4).
 	discTargets map[isa.Line]map[isa.Line]struct{}
 
+	// itlb models the machine's first-level instruction TLB (same
+	// geometry as the simulator's default hierarchy) over the block
+	// stream, one lookup per block, so traces can be fingerprinted by
+	// translation pressure as well as cache pressure.
+	itlb *tlb.TLB
+
 	prevLine isa.Line
 	prevCTI  isa.CTIKind
 	started  bool
@@ -54,6 +61,7 @@ func NewProfile(lineBytes int) *Profile {
 		uniqueLines: make(map[isa.Line]struct{}),
 		stack:       newLRUStack(),
 		discTargets: make(map[isa.Line]map[isa.Line]struct{}),
+		itlb:        tlb.New(tlb.DefaultHierarchyConfig().ITLB),
 	}
 }
 
@@ -62,6 +70,7 @@ func (p *Profile) Observe(b *isa.Block) {
 	p.Blocks++
 	p.Instructions += uint64(b.NumInstrs)
 	p.CTICounts[b.CTI]++
+	p.itlb.Access(tlb.PageOf(b.PC))
 
 	first, last := b.Lines(p.lineBytes)
 	for l := first; l <= last; l++ {
@@ -121,6 +130,16 @@ func bucketOf(v uint64) int {
 // FootprintBytes returns the instruction footprint in bytes.
 func (p *Profile) FootprintBytes() uint64 {
 	return uint64(len(p.uniqueLines)) * uint64(p.lineBytes)
+}
+
+// ITLBMissesPerKI returns modelled first-level I-TLB misses per
+// kilo-instruction (one lookup per basic block against the default
+// 128-entry 2-way I-TLB).
+func (p *Profile) ITLBMissesPerKI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(p.itlb.Misses()) / float64(p.Instructions)
 }
 
 // CTIFraction returns the share of blocks ending in kind k.
@@ -187,6 +206,8 @@ func (p *Profile) Report(w io.Writer) {
 		float64(p.WorkingSetLines(0.99)*uint64(p.lineBytes))/(1<<10))
 	fmt.Fprintf(w, "disc. triggers      %d lines (%.1f%% single-target)\n",
 		p.DistinctTriggers(), 100*p.SingleTargetFraction())
+	fmt.Fprintf(w, "I-TLB misses        %.3f /k-instr (128e/2w model)\n",
+		p.ITLBMissesPerKI())
 
 	fmt.Fprintf(w, "CTI mix:\n")
 	type kv struct {

@@ -224,6 +224,24 @@ func (c *Cache) touch(base, i int) {
 	c.lines[base], c.meta[base] = l, m
 }
 
+// place moves way offset i of the set at base to recency position pos,
+// shifting the intervening ways by one in the appropriate direction.
+// place(base, i, 0) is equivalent to touch(base, i).
+func (c *Cache) place(base, i, pos int) {
+	if i == pos {
+		return
+	}
+	l, m := c.lines[base+i], c.meta[base+i]
+	if pos < i {
+		copy(c.lines[base+pos+1:base+i+1], c.lines[base+pos:base+i])
+		copy(c.meta[base+pos+1:base+i+1], c.meta[base+pos:base+i])
+	} else {
+		copy(c.lines[base+i:base+pos], c.lines[base+i+1:base+pos+1])
+		copy(c.meta[base+i:base+pos], c.meta[base+i+1:base+pos+1])
+	}
+	c.lines[base+pos], c.meta[base+pos] = l, m
+}
+
 // Probe reports whether line l is present, without updating replacement
 // state or flags. This models a prefetcher's tag inspection.
 func (c *Cache) Probe(l isa.Line) bool {
@@ -305,6 +323,62 @@ func (c *Cache) Insert(l isa.Line, f Flags) (victim Victim, evicted bool) {
 	c.meta[base+slot] = packFlags(f) | mValid
 	c.touch(base, slot)
 	return victim, evicted
+}
+
+// InsertAtDepth fills line l like Insert, but installs it at recency
+// position depth (0 = MRU, assoc-1 = LRU) instead of unconditionally at
+// MRU. The position is clamped to the valid-way count so partially
+// filled sets keep their invalid ways at the tail. Depth 0 takes the
+// exact Insert path, so default-policy behaviour is unchanged.
+// Prefetch-aware insertion policies use this to limit how much live
+// demand state an inaccurate prefetcher can displace.
+func (c *Cache) InsertAtDepth(l isa.Line, f Flags, depth int) (victim Victim, evicted bool) {
+	if depth <= 0 {
+		return c.Insert(l, f)
+	}
+	set := int(uint64(l) & c.setMask)
+	base := set * c.assoc
+	if i := c.find(base, l); i >= 0 {
+		c.meta[base+i] = packFlags(f) | mValid
+		c.place(base, i, c.clampDepth(set, depth))
+		return Victim{}, false
+	}
+	c.inserted++
+	slot := -1
+	if int(c.fill[set]) < c.assoc {
+		c.fill[set]++
+		for i := c.assoc - 1; i >= 0; i-- {
+			if c.meta[base+i]&mValid == 0 {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		slot = c.assoc - 1
+		if c.cfg.Policy == Random {
+			c.rngState ^= c.rngState << 13
+			c.rngState ^= c.rngState >> 7
+			c.rngState ^= c.rngState << 17
+			slot = int(c.rngState % uint64(c.assoc))
+		}
+		victim = Victim{Line: c.lines[base+slot], Flags: unpackFlags(c.meta[base+slot])}
+		evicted = true
+		c.evicted++
+	}
+	c.lines[base+slot] = l
+	c.meta[base+slot] = packFlags(f) | mValid
+	c.place(base, slot, c.clampDepth(set, depth))
+	return victim, evicted
+}
+
+// clampDepth bounds a requested insertion depth to the deepest valid
+// recency position of the set.
+func (c *Cache) clampDepth(set, depth int) int {
+	if last := int(c.fill[set]) - 1; depth > last {
+		return last
+	}
+	return depth
 }
 
 // Invalidate removes line l if present, returning its flags.

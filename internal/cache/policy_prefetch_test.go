@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// lineAt builds a line landing in set `set` of a cache with the given
+// number of sets, distinguished by tag `tag`.
+func lineAt(numSets, set, tag int) isa.Line {
+	return isa.Line(tag*numSets + set)
+}
+
+func smallPol(policy Policy, assoc int) *Cache {
+	return New(Config{SizeBytes: 64 * assoc * 4, Assoc: assoc, LineBytes: 64, Policy: policy})
+}
+
+// TestInsertAtDepthMRUEquivalence pins that depth 0 is byte-identical
+// to Insert across all three replacement policies: same hits, same
+// victims, same recency order.
+func TestInsertAtDepthMRUEquivalence(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Random} {
+		a, b := smallPol(pol, 4), smallPol(pol, 4)
+		sets := a.Config().NumSets()
+		for tag := 0; tag < 9; tag++ {
+			l := lineAt(sets, 1, tag)
+			va, ea := a.Insert(l, Flags{Prefetched: true, Inst: true})
+			vb, eb := b.InsertAtDepth(l, Flags{Prefetched: true, Inst: true}, 0)
+			if va != vb || ea != eb {
+				t.Fatalf("%v tag %d: Insert (%+v,%v) != InsertAtDepth0 (%+v,%v)", pol, tag, va, ea, vb, eb)
+			}
+		}
+		for tag := 4; tag < 9; tag++ {
+			l := lineAt(sets, 1, tag)
+			ha, _ := a.Access(l)
+			hb, _ := b.Access(l)
+			if ha != hb {
+				t.Fatalf("%v tag %d: hit %v != %v", pol, tag, ha, hb)
+			}
+		}
+	}
+}
+
+// TestInsertAtDepthLRUVictimOrder checks that an LRU-depth prefetched
+// line is the next victim, and that a demand hit promotes it to MRU
+// first, rescuing it.
+func TestInsertAtDepthLRUVictimOrder(t *testing.T) {
+	c := smallPol(LRU, 4)
+	sets := c.Config().NumSets()
+	// Fill the set with demand lines tags 0..3 (MRU order 3,2,1,0).
+	for tag := 0; tag < 4; tag++ {
+		c.Insert(lineAt(sets, 0, tag), Flags{Inst: true})
+	}
+	// Prefetch tag 4 at LRU depth: tag 0 (current LRU) is evicted and
+	// tag 4 lands at the bottom of the stack.
+	pl := lineAt(sets, 0, 4)
+	v, ev := c.InsertAtDepth(pl, Flags{Inst: true, Prefetched: true}, 3)
+	if !ev || v.Line != lineAt(sets, 0, 0) {
+		t.Fatalf("LRU-depth insert evicted %+v (evicted=%v), want tag 0", v, ev)
+	}
+	// A fresh demand fill now victimises the unused prefetch, not the
+	// demand-resident tags.
+	v, ev = c.Insert(lineAt(sets, 0, 5), Flags{Inst: true})
+	if !ev || v.Line != pl {
+		t.Fatalf("follow-up insert evicted %+v (evicted=%v), want the LRU-inserted prefetch", v, ev)
+	}
+	if !v.Flags.Prefetched || v.Flags.Used {
+		t.Fatalf("victim flags = %+v, want unused prefetch", v.Flags)
+	}
+
+	// Rescue path: re-prefetch at LRU, demand-hit it (promote to MRU),
+	// then a fill must victimise something else.
+	c.InsertAtDepth(pl, Flags{Inst: true, Prefetched: true}, 3)
+	if hit, prior := c.Access(pl); !hit || !prior.Prefetched {
+		t.Fatalf("demand access: hit=%v prior=%+v, want prefetched hit", hit, prior)
+	}
+	v, ev = c.Insert(lineAt(sets, 0, 6), Flags{Inst: true})
+	if !ev || v.Line == pl {
+		t.Fatalf("post-promotion insert evicted %+v (evicted=%v); promoted prefetch must survive", v, ev)
+	}
+	if hit, prior := c.Access(pl); !hit || prior.Prefetched || !prior.Used {
+		t.Fatalf("promoted prefetch: hit=%v prior=%+v, want used demand line", hit, prior)
+	}
+}
+
+// TestInsertAtDepthMidPartialSet checks depth clamping against a
+// partially filled set: invalid ways must stay at the tail and the
+// requested depth clamps to the deepest valid position.
+func TestInsertAtDepthMidPartialSet(t *testing.T) {
+	c := smallPol(LRU, 8)
+	sets := c.Config().NumSets()
+	// One demand line, then a prefetch asking for depth 7 in a set with
+	// only 2 valid ways: it must land at position 1, not in the invalid
+	// tail.
+	c.Insert(lineAt(sets, 2, 0), Flags{Inst: true})
+	if _, ev := c.InsertAtDepth(lineAt(sets, 2, 1), Flags{Inst: true, Prefetched: true}, 7); ev {
+		t.Fatal("insert into non-full set must not evict")
+	}
+	if got := c.CountValid(); got != 2 {
+		t.Fatalf("valid lines = %d, want 2", got)
+	}
+	// Fill the set; no eviction until all 8 ways are valid.
+	for tag := 2; tag < 8; tag++ {
+		if _, ev := c.InsertAtDepth(lineAt(sets, 2, tag), Flags{Inst: true, Prefetched: true}, 4); ev {
+			t.Fatalf("tag %d: premature eviction", tag)
+		}
+	}
+	if _, ev := c.Insert(lineAt(sets, 2, 8), Flags{Inst: true}); !ev {
+		t.Fatal("full set must evict")
+	}
+}
+
+// TestFIFOPrefetchFill pins FIFO semantics with prefetched lines: use
+// does not promote, so a demand-hit prefetched line is still evicted in
+// fill order.
+func TestFIFOPrefetchFill(t *testing.T) {
+	c := smallPol(FIFO, 4)
+	sets := c.Config().NumSets()
+	// Fill order: p (prefetch), then 1, 2, 3 (demand).
+	p := lineAt(sets, 0, 10)
+	c.Insert(p, Flags{Inst: true, Prefetched: true})
+	for tag := 1; tag < 4; tag++ {
+		c.Insert(lineAt(sets, 0, tag), Flags{Inst: true})
+	}
+	// Demand-hit the prefetch: under FIFO this records the use but must
+	// NOT change its eviction order.
+	if hit, prior := c.Access(p); !hit || !prior.Prefetched {
+		t.Fatalf("hit=%v prior=%+v, want prefetched hit", hit, prior)
+	}
+	v, ev := c.Insert(lineAt(sets, 0, 4), Flags{Inst: true})
+	if !ev || v.Line != p {
+		t.Fatalf("FIFO evicted %+v (evicted=%v), want oldest fill (the prefetch)", v, ev)
+	}
+	if !v.Flags.Used || v.Flags.Prefetched {
+		t.Fatalf("victim flags = %+v, want used (demand-consumed) line", v.Flags)
+	}
+}
+
+// TestFIFODepthInsertAges checks that InsertAtDepth under FIFO ages the
+// prefetched line: inserting at depth d makes it d fills closer to
+// eviction than an MRU insert would be.
+func TestFIFODepthInsertAges(t *testing.T) {
+	c := smallPol(FIFO, 4)
+	sets := c.Config().NumSets()
+	for tag := 0; tag < 4; tag++ {
+		c.Insert(lineAt(sets, 0, tag), Flags{Inst: true})
+	}
+	// tag 0 is oldest. A depth-2 prefetch evicts tag 0 and slots the
+	// prefetch between tag 2 and tag 1 in age order.
+	p := lineAt(sets, 0, 9)
+	if v, ev := c.InsertAtDepth(p, Flags{Inst: true, Prefetched: true}, 2); !ev || v.Line != lineAt(sets, 0, 0) {
+		t.Fatalf("evicted %+v (%v), want tag 0", v, ev)
+	}
+	// Next two evictions: tag 1 (older than p), then p.
+	if v, _ := c.Insert(lineAt(sets, 0, 5), Flags{Inst: true}); v.Line != lineAt(sets, 0, 1) {
+		t.Fatalf("first eviction %v, want tag 1", v.Line)
+	}
+	if v, _ := c.Insert(lineAt(sets, 0, 6), Flags{Inst: true}); v.Line != p {
+		t.Fatalf("second eviction %v, want the depth-inserted prefetch", v.Line)
+	}
+}
+
+// TestRandomPrefetchFillDeterminism pins that Random-policy victim
+// selection is a deterministic function of the fill sequence, including
+// depth inserts, and that prefetch metadata survives random eviction
+// reporting.
+func TestRandomPrefetchFillDeterminism(t *testing.T) {
+	run := func() []Victim {
+		c := smallPol(Random, 4)
+		sets := c.Config().NumSets()
+		var victims []Victim
+		for tag := 0; tag < 4; tag++ {
+			c.Insert(lineAt(sets, 0, tag), Flags{Inst: true})
+		}
+		for tag := 4; tag < 12; tag++ {
+			f := Flags{Inst: true, Prefetched: tag%2 == 0}
+			var v Victim
+			var ev bool
+			if f.Prefetched {
+				v, ev = c.InsertAtDepth(lineAt(sets, 0, tag), f, 3)
+			} else {
+				v, ev = c.Insert(lineAt(sets, 0, tag), f)
+			}
+			if ev {
+				victims = append(victims, v)
+			}
+		}
+		return victims
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("victim counts %d/%d, want 8 each (full set evicts per fill)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("victim %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// At least one victim must be an unused prefetch (half the fills
+	// were prefetches that were never demand-referenced).
+	found := false
+	for _, v := range a {
+		if v.Flags.Prefetched && !v.Flags.Used {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no unused-prefetch victim observed under Random policy")
+	}
+}
+
+// TestRandomAccessDoesNotPromote double-checks the Random policy's
+// Access path with prefetched lines: flags update, order untouched.
+func TestRandomAccessDoesNotPromote(t *testing.T) {
+	c := smallPol(Random, 2)
+	sets := c.Config().NumSets()
+	p := lineAt(sets, 3, 1)
+	c.Insert(p, Flags{Inst: true, Prefetched: true})
+	c.Insert(lineAt(sets, 3, 2), Flags{Inst: true})
+	if hit, prior := c.Access(p); !hit || !prior.Prefetched {
+		t.Fatalf("hit=%v prior=%+v", hit, prior)
+	}
+	if f, ok := c.PeekFlags(p); !ok || f.Prefetched || !f.Used {
+		t.Fatalf("flags after access = %+v ok=%v, want used non-prefetched", f, ok)
+	}
+}

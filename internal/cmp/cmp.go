@@ -281,7 +281,7 @@ func SourcesFor(names []string, numCores int, seed uint64) ([]workload.Source, e
 		}
 		prog, ok := progs[name]
 		if !ok {
-			prof, err := workload.ByName(name)
+			prof, err := resolveProfile(name)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,46 @@
+package cmp
+
+import (
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// ProfileProvider resolves a workload name to a synthetic profile that
+// workload.ByName does not know — e.g. the adversarial foundry's
+// "adv:<scheme>@<seed>" search products. It returns ok=false when the
+// name is not its to resolve (the next provider, and finally
+// workload.ByName, is consulted); a non-nil error aborts resolution.
+type ProfileProvider func(name string) (prof workload.Profile, ok bool, err error)
+
+var profileProviders struct {
+	mu  sync.RWMutex
+	fns []ProfileProvider
+}
+
+// RegisterProfileProvider adds a workload-name resolver consulted by
+// SourcesFor before the built-in profile set. Providers are tried
+// newest-first, mirroring RegisterTraceProvider.
+func RegisterProfileProvider(fn ProfileProvider) {
+	profileProviders.mu.Lock()
+	defer profileProviders.mu.Unlock()
+	profileProviders.fns = append(profileProviders.fns, fn)
+}
+
+// resolveProfile resolves name through the registered providers, then
+// workload.ByName.
+func resolveProfile(name string) (workload.Profile, error) {
+	profileProviders.mu.RLock()
+	fns := profileProviders.fns
+	profileProviders.mu.RUnlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		prof, ok, err := fns[i](name)
+		if err != nil {
+			return workload.Profile{}, err
+		}
+		if ok {
+			return prof, nil
+		}
+	}
+	return workload.ByName(name)
+}

@@ -1,0 +1,234 @@
+// Package codesign defines the prefetch-aware cache/TLB co-design
+// policies: where prefetched lines insert in the recency stack, whether
+// instruction prefetches may pre-fill the I-TLB, and how mispredicted
+// branches drive wrong-path fetch into the prefetch schemes. Each
+// policy is a sweep axis value parsed from a short string form (like
+// the scheme "family:key=val" syntax); the zero value of every policy
+// is the historical behaviour, so default-policy runs stay
+// bit-identical to builds that predate this package.
+package codesign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// InsertionPolicy picks the recency-stack depth at which prefetched
+// lines are installed in the instruction caches. Demand fills always
+// insert at MRU; a prefetched line promotes to MRU on its first demand
+// hit regardless of where it was inserted.
+type InsertionPolicy uint8
+
+const (
+	// InsertMRU is the historical behaviour: prefetched lines insert
+	// at the most-recently-used position, indistinguishable from
+	// demand fills.
+	InsertMRU InsertionPolicy = iota
+	// InsertMid inserts prefetched lines halfway down the recency
+	// stack, limiting how much live demand state an inaccurate
+	// prefetcher can displace.
+	InsertMid
+	// InsertLRU inserts prefetched lines at the least-recently-used
+	// position: an unused prefetch is the next victim in its set.
+	InsertLRU
+)
+
+// ParseInsertion parses an insertion-policy axis value. The empty
+// string and "mru" both mean the default MRU insertion.
+func ParseInsertion(s string) (InsertionPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "mru":
+		return InsertMRU, nil
+	case "mid":
+		return InsertMid, nil
+	case "lru":
+		return InsertLRU, nil
+	}
+	return InsertMRU, fmt.Errorf("codesign: unknown insertion policy %q (want mru, mid or lru)", s)
+}
+
+func (p InsertionPolicy) String() string {
+	switch p {
+	case InsertMid:
+		return "mid"
+	case InsertLRU:
+		return "lru"
+	default:
+		return "mru"
+	}
+}
+
+// DepthFor maps the policy to a concrete recency depth for a cache of
+// the given associativity: 0 is MRU, assoc-1 is LRU.
+func (p InsertionPolicy) DepthFor(assoc int) int {
+	switch p {
+	case InsertMid:
+		return assoc / 2
+	case InsertLRU:
+		if assoc < 1 {
+			return 0
+		}
+		return assoc - 1
+	default:
+		return 0
+	}
+}
+
+// CanonicalInsertion normalises an axis value: defaults collapse to ""
+// so sweep expansion dedups "mru" against the implicit baseline.
+func CanonicalInsertion(s string) (string, error) {
+	p, err := ParseInsertion(s)
+	if err != nil {
+		return "", err
+	}
+	if p == InsertMRU {
+		return "", nil
+	}
+	return p.String(), nil
+}
+
+// TLBFillPolicy controls whether an issued instruction prefetch may
+// install its translation into the TLB hierarchy ahead of demand.
+type TLBFillPolicy uint8
+
+const (
+	// TLBFillNone is the historical behaviour: prefetches never touch
+	// the TLBs.
+	TLBFillNone TLBFillPolicy = iota
+	// TLBFillPrimary installs prefetch translations into both the
+	// unified secondary TLB and the primary I-TLB.
+	TLBFillPrimary
+	// TLBFillSecondary installs prefetch translations into the
+	// unified secondary TLB only, so a demand miss still pays the
+	// refill (but not the page walk).
+	TLBFillSecondary
+)
+
+// ParseTLBFill parses a tlb-fill axis value. "" , "none" and "off"
+// all mean the default no-fill policy.
+func ParseTLBFill(s string) (TLBFillPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none", "off":
+		return TLBFillNone, nil
+	case "primary":
+		return TLBFillPrimary, nil
+	case "secondary":
+		return TLBFillSecondary, nil
+	}
+	return TLBFillNone, fmt.Errorf("codesign: unknown tlb-fill policy %q (want none, primary or secondary)", s)
+}
+
+func (p TLBFillPolicy) String() string {
+	switch p {
+	case TLBFillPrimary:
+		return "primary"
+	case TLBFillSecondary:
+		return "secondary"
+	default:
+		return "none"
+	}
+}
+
+// CanonicalTLBFill normalises an axis value; defaults collapse to "".
+func CanonicalTLBFill(s string) (string, error) {
+	p, err := ParseTLBFill(s)
+	if err != nil {
+		return "", err
+	}
+	if p == TLBFillNone {
+		return "", nil
+	}
+	return p.String(), nil
+}
+
+// WrongPathMode selects how mispredicted-branch shadows feed the
+// front end.
+type WrongPathMode uint8
+
+const (
+	// WrongPathOff is the historical behaviour: the front end never
+	// sees wrong-path fetch.
+	WrongPathOff WrongPathMode = iota
+	// WrongPathTrain exposes wrong-path fetch addresses to the
+	// prefetch scheme as training events (the scheme may issue
+	// prefetches for them) without fetching the lines themselves.
+	WrongPathTrain
+	// WrongPathPollute additionally fetches absent wrong-path lines
+	// into L1-I as prefetched fills, modelling the cache pollution
+	// (and occasional accidental warm-up) of real wrong-path fetch.
+	WrongPathPollute
+)
+
+// MaxWrongPathDepth bounds how many sequential lines past a
+// mispredicted branch the wrong path may touch.
+const MaxWrongPathDepth = 8
+
+// DefaultWrongPathDepth is the number of wrong-path lines fetched when
+// a mode is named without an explicit depth: roughly the lines a
+// two-wide front end runs through before a fast resolution.
+const DefaultWrongPathDepth = 2
+
+// WrongPathPolicy pairs a mode with the number of sequential
+// wrong-path lines touched per misprediction.
+type WrongPathPolicy struct {
+	Mode  WrongPathMode
+	Depth int
+}
+
+// ParseWrongPath parses a wrong-path axis value: "", "off",
+// "train", "train:<depth>", "pollute", "pollute:<depth>".
+func ParseWrongPath(s string) (WrongPathPolicy, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" || t == "off" {
+		return WrongPathPolicy{}, nil
+	}
+	name, depthStr, hasDepth := strings.Cut(t, ":")
+	var mode WrongPathMode
+	switch name {
+	case "train":
+		mode = WrongPathTrain
+	case "pollute":
+		mode = WrongPathPollute
+	default:
+		return WrongPathPolicy{}, fmt.Errorf("codesign: unknown wrong-path mode %q (want off, train[:depth] or pollute[:depth])", s)
+	}
+	depth := DefaultWrongPathDepth
+	if hasDepth {
+		n, err := strconv.Atoi(depthStr)
+		if err != nil || n < 1 || n > MaxWrongPathDepth {
+			return WrongPathPolicy{}, fmt.Errorf("codesign: wrong-path depth %q out of range [1,%d]", depthStr, MaxWrongPathDepth)
+		}
+		depth = n
+	}
+	return WrongPathPolicy{Mode: mode, Depth: depth}, nil
+}
+
+func (p WrongPathPolicy) String() string {
+	var name string
+	switch p.Mode {
+	case WrongPathTrain:
+		name = "train"
+	case WrongPathPollute:
+		name = "pollute"
+	default:
+		return "off"
+	}
+	if p.Depth != 0 && p.Depth != DefaultWrongPathDepth {
+		return name + ":" + strconv.Itoa(p.Depth)
+	}
+	return name
+}
+
+// CanonicalWrongPath normalises an axis value; defaults collapse to ""
+// and explicit default depths collapse to the bare mode name.
+func CanonicalWrongPath(s string) (string, error) {
+	p, err := ParseWrongPath(s)
+	if err != nil {
+		return "", err
+	}
+	if p.Mode == WrongPathOff {
+		return "", nil
+	}
+	return p.String(), nil
+}

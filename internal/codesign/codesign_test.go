@@ -1,0 +1,133 @@
+package codesign
+
+import "testing"
+
+func TestParseInsertion(t *testing.T) {
+	cases := []struct {
+		in   string
+		want InsertionPolicy
+		err  bool
+	}{
+		{"", InsertMRU, false},
+		{"mru", InsertMRU, false},
+		{"MRU", InsertMRU, false},
+		{" mid ", InsertMid, false},
+		{"lru", InsertLRU, false},
+		{"fifo", InsertMRU, true},
+	}
+	for _, c := range cases {
+		got, err := ParseInsertion(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParseInsertion(%q) err = %v, want err %v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseInsertion(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInsertionDepthFor(t *testing.T) {
+	cases := []struct {
+		p     InsertionPolicy
+		assoc int
+		want  int
+	}{
+		{InsertMRU, 4, 0},
+		{InsertMid, 4, 2},
+		{InsertMid, 8, 4},
+		{InsertLRU, 4, 3},
+		{InsertLRU, 1, 0},
+		{InsertLRU, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.DepthFor(c.assoc); got != c.want {
+			t.Fatalf("%v.DepthFor(%d) = %d, want %d", c.p, c.assoc, got, c.want)
+		}
+	}
+}
+
+func TestParseTLBFill(t *testing.T) {
+	for _, s := range []string{"", "none", "off", "None"} {
+		if p, err := ParseTLBFill(s); err != nil || p != TLBFillNone {
+			t.Fatalf("ParseTLBFill(%q) = %v, %v", s, p, err)
+		}
+	}
+	if p, err := ParseTLBFill("primary"); err != nil || p != TLBFillPrimary {
+		t.Fatalf("primary = %v, %v", p, err)
+	}
+	if p, err := ParseTLBFill("secondary"); err != nil || p != TLBFillSecondary {
+		t.Fatalf("secondary = %v, %v", p, err)
+	}
+	if _, err := ParseTLBFill("both"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestParseWrongPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want WrongPathPolicy
+		err  bool
+	}{
+		{"", WrongPathPolicy{}, false},
+		{"off", WrongPathPolicy{}, false},
+		{"train", WrongPathPolicy{WrongPathTrain, 2}, false},
+		{"train:4", WrongPathPolicy{WrongPathTrain, 4}, false},
+		{"pollute", WrongPathPolicy{WrongPathPollute, 2}, false},
+		{"pollute:8", WrongPathPolicy{WrongPathPollute, 8}, false},
+		{"pollute:9", WrongPathPolicy{}, true},
+		{"train:0", WrongPathPolicy{}, true},
+		{"train:x", WrongPathPolicy{}, true},
+		{"replay", WrongPathPolicy{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseWrongPath(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParseWrongPath(%q) err = %v, want err %v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseWrongPath(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalForms(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"", ""}, {"mru", ""}, {"mid", "mid"}, {"LRU", "lru"},
+	} {
+		if got, err := CanonicalInsertion(c.in); err != nil || got != c.want {
+			t.Fatalf("CanonicalInsertion(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	for _, c := range []struct{ in, want string }{
+		{"", ""}, {"none", ""}, {"off", ""}, {"primary", "primary"}, {"Secondary", "secondary"},
+	} {
+		if got, err := CanonicalTLBFill(c.in); err != nil || got != c.want {
+			t.Fatalf("CanonicalTLBFill(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	for _, c := range []struct{ in, want string }{
+		{"", ""}, {"off", ""}, {"train", "train"}, {"train:2", "train"},
+		{"train:4", "train:4"}, {"pollute:2", "pollute"},
+	} {
+		if got, err := CanonicalWrongPath(c.in); err != nil || got != c.want {
+			t.Fatalf("CanonicalWrongPath(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	// Round trip: canonical of canonical is stable.
+	for _, s := range []string{"mid", "lru", "primary", "train:4"} {
+		var got string
+		var err error
+		switch s {
+		case "mid", "lru":
+			got, err = CanonicalInsertion(s)
+		case "primary":
+			got, err = CanonicalTLBFill(s)
+		default:
+			got, err = CanonicalWrongPath(s)
+		}
+		if err != nil || got != s {
+			t.Fatalf("canonical(%q) = %q, %v (not idempotent)", s, got, err)
+		}
+	}
+}

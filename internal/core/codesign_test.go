@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codesign"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+)
+
+func testFECodesign(pf prefetch.Prefetcher, mutate func(*FrontEndConfig)) (*FrontEnd, *MemSystem, *stats.CoreStats) {
+	cfg := DefaultFrontEndConfig()
+	cfg.L1I = cache.Config{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 64} // tiny: 8 sets x 2
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mem := testMem()
+	cs := &stats.CoreStats{}
+	return NewFrontEnd(cfg, pf, mem, cs), mem, cs
+}
+
+// TestPrefetchInsertLRUEvictsUnusedFirst checks that the lru insertion
+// policy makes an unused prefetch the preferred victim, and that its
+// eviction is counted as EvictedUnused feedback.
+func TestPrefetchInsertLRUEvictsUnusedFirst(t *testing.T) {
+	fe, _, cs := testFECodesign(prefetch.NewNextLineOnMiss(), func(c *FrontEndConfig) {
+		c.PrefetchInsert = codesign.InsertLRU
+	})
+	sets := fe.L1().Config().NumSets()
+	// Demand-fetch two lines in set 0 (fills the 2-way set); the second
+	// miss prefetches its next line, which maps to set 1 — so prefetch
+	// the set-0 conflict explicitly via a demand miss on a line whose
+	// successor lands in set 0.
+	a := isa.Line(0 * sets)   // set 0
+	b := isa.Line(1*sets - 1) // set 7; its next line is set 0
+	fe.FetchLine(a, isa.MissSequential, 0)
+	fe.FetchLine(b, isa.MissSequential, 1000)
+	// b's miss prefetched b+1 (= sets, set 0) at LRU depth next to a.
+	p := b + 1
+	if !fe.L1().Probe(p) {
+		t.Fatalf("prefetch of line %d not installed", p)
+	}
+	// A demand fetch of another set-0 line must victimise the unused
+	// prefetch (at LRU), not the demand-resident line a.
+	fe.FetchLine(isa.Line(2*sets), isa.MissSequential, 2000)
+	if fe.L1().Probe(p) {
+		t.Fatal("unused LRU-inserted prefetch survived a conflicting demand fill")
+	}
+	if !fe.L1().Probe(a) {
+		t.Fatal("demand-resident line was victimised instead of the prefetch")
+	}
+	if cs.Prefetch.EvictedUnused == 0 {
+		t.Fatal("EvictedUnused not counted")
+	}
+}
+
+// TestPrefetchInsertMRUDefaultUnchanged pins that the zero-value policy
+// leaves insertion behaviour identical to an explicit MRU front-end.
+func TestPrefetchInsertMRUDefaultUnchanged(t *testing.T) {
+	run := func(mutate func(*FrontEndConfig)) (uint64, uint64, uint64) {
+		fe, _, cs := testFECodesign(prefetch.NewNextLineOnMiss(), mutate)
+		for i := 0; i < 200; i++ {
+			fe.FetchLine(isa.Line(i*3%40), isa.MissSequential, uint64(i*500))
+		}
+		return cs.L1I.Misses, cs.Prefetch.Issued, cs.Prefetch.Useful
+	}
+	m0, i0, u0 := run(nil)
+	m1, i1, u1 := run(func(c *FrontEndConfig) { c.PrefetchInsert = codesign.InsertMRU })
+	if m0 != m1 || i0 != i1 || u0 != u1 {
+		t.Fatalf("explicit MRU diverged from default: (%d,%d,%d) vs (%d,%d,%d)", m0, i0, u0, m1, i1, u1)
+	}
+}
+
+// TestTLBFillPolicies checks prefetch-triggered I-TLB fill: primary
+// installs into both levels, secondary only into the unified TLB, and
+// the fill count lands in stats.
+func TestTLBFillPolicies(t *testing.T) {
+	for _, mode := range []codesign.TLBFillPolicy{codesign.TLBFillPrimary, codesign.TLBFillSecondary} {
+		fe, _, cs := testFECodesign(prefetch.NewNextLineOnMiss(), func(c *FrontEndConfig) {
+			c.TLBFill = mode
+		})
+		h := tlb.NewHierarchy(tlb.DefaultHierarchyConfig())
+		fe.BindTLBs(h)
+		// A miss on line 10 prefetches line 11 and fills its page.
+		fe.FetchLine(10, isa.MissSequential, 0)
+		if cs.Prefetch.Issued != 1 {
+			t.Fatalf("issued = %d", cs.Prefetch.Issued)
+		}
+		if cs.Prefetch.ITLBPrefetchFills != 1 {
+			t.Fatalf("ITLBPrefetchFills = %d, want 1", cs.Prefetch.ITLBPrefetchFills)
+		}
+		lineBytes := fe.L1().Config().LineBytes
+		page := tlb.PageOf(isa.Line(11).Base(lineBytes))
+		if !h.Unified().Probe(page) {
+			t.Fatalf("mode %v: unified TLB missing prefetched page", mode)
+		}
+		inPrimary := h.ITLB().Probe(page)
+		if mode == codesign.TLBFillPrimary && !inPrimary {
+			t.Fatal("primary mode: I-TLB missing prefetched page")
+		}
+		if mode == codesign.TLBFillSecondary && inPrimary {
+			t.Fatal("secondary mode: page leaked into primary I-TLB")
+		}
+	}
+}
+
+// TestTLBFillWithoutBindingIsNoop: policy set but no hierarchy bound
+// (e.g. a bare front-end) must not crash or count fills.
+func TestTLBFillWithoutBindingIsNoop(t *testing.T) {
+	fe, _, cs := testFECodesign(prefetch.NewNextLineOnMiss(), func(c *FrontEndConfig) {
+		c.TLBFill = codesign.TLBFillPrimary
+	})
+	fe.FetchLine(10, isa.MissSequential, 0)
+	if cs.Prefetch.ITLBPrefetchFills != 0 {
+		t.Fatalf("fills counted without a bound hierarchy: %d", cs.Prefetch.ITLBPrefetchFills)
+	}
+}
+
+// TestWrongPathTrainFeedsScheme checks that train mode exposes
+// wrong-path fetches to the scheme without touching the cache, and that
+// pollute mode actually fills the lines.
+func TestWrongPathTrainFeedsScheme(t *testing.T) {
+	fe, _, cs := testFECodesign(prefetch.NewNextLineOnMiss(), func(c *FrontEndConfig) {
+		c.WrongPath = codesign.WrongPathPolicy{Mode: codesign.WrongPathTrain, Depth: 3}
+	})
+	wrong := isa.Line(100)
+	fe.NoteMispredict(wrong, 0)
+	if cs.Prefetch.WrongPathFetches != 3 {
+		t.Fatalf("WrongPathFetches = %d, want 3", cs.Prefetch.WrongPathFetches)
+	}
+	if cs.Prefetch.WrongPathFills != 0 {
+		t.Fatalf("train mode filled %d lines", cs.Prefetch.WrongPathFills)
+	}
+	for i := 0; i < 3; i++ {
+		if fe.L1().Probe(wrong + isa.Line(i)) {
+			t.Fatalf("train mode installed wrong-path line %d", i)
+		}
+	}
+	// The next-line-on-miss scheme saw the wrong-path misses and queued
+	// successors; a demand fetch gives it issue slots.
+	fe.FetchLine(10, isa.MissSequential, 1000)
+	if cs.Prefetch.Generated == 0 {
+		t.Fatal("scheme generated no candidates from wrong-path training")
+	}
+}
+
+func TestWrongPathPolluteFillsL1(t *testing.T) {
+	fe, _, cs := testFECodesign(prefetch.NewNone(), func(c *FrontEndConfig) {
+		c.WrongPath = codesign.WrongPathPolicy{Mode: codesign.WrongPathPollute, Depth: 2}
+	})
+	wrong := isa.Line(40)
+	fe.NoteMispredict(wrong, 0)
+	if cs.Prefetch.WrongPathFetches != 2 || cs.Prefetch.WrongPathFills != 2 {
+		t.Fatalf("fetches=%d fills=%d, want 2/2", cs.Prefetch.WrongPathFetches, cs.Prefetch.WrongPathFills)
+	}
+	if cs.Prefetch.Issued != 2 {
+		t.Fatalf("pollute fills must count as issued prefetches: %d", cs.Prefetch.Issued)
+	}
+	if !fe.L1().Probe(wrong) || !fe.L1().Probe(wrong+1) {
+		t.Fatal("pollute mode did not install wrong-path lines")
+	}
+	// Re-noting the same wrong path touches present lines: no new fills.
+	fe.NoteMispredict(wrong, 100)
+	if cs.Prefetch.WrongPathFills != 2 {
+		t.Fatalf("present lines refilled: %d", cs.Prefetch.WrongPathFills)
+	}
+	// A demand fetch of a wrong-path line counts it useful: the
+	// accidental-warm-up side of pollution.
+	fe.FetchLine(wrong, isa.MissSequential, 10000)
+	if cs.Prefetch.Useful != 1 {
+		t.Fatalf("useful = %d", cs.Prefetch.Useful)
+	}
+}
+
+// TestWrongPathOffIsNoop pins the default: NoteMispredict does nothing.
+func TestWrongPathOffIsNoop(t *testing.T) {
+	fe, _, cs := testFECodesign(prefetch.NewNextLineOnMiss(), nil)
+	fe.NoteMispredict(77, 0)
+	if cs.Prefetch.WrongPathFetches != 0 || cs.Prefetch.Generated != 0 {
+		t.Fatalf("default policy observed wrong-path state: %+v", cs.Prefetch)
+	}
+	if fe.L1().Probe(77) {
+		t.Fatal("default policy touched the cache")
+	}
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"repro/internal/cache"
+	"repro/internal/codesign"
 	"repro/internal/isa"
 	"repro/internal/memory"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
+	"repro/internal/tlb"
 )
 
 // FrontEndConfig parameterises one core's instruction-fetch front-end.
@@ -43,6 +45,17 @@ type FrontEndConfig struct {
 	// confidence filter in the prediction table replaces cache probes
 	// (pair with the discontinuity ConfidenceFilter).
 	NoTagProbe bool
+	// PrefetchInsert selects the recency depth at which prefetched
+	// lines install in L1-I (co-design axis; zero value = MRU, the
+	// historical behaviour).
+	PrefetchInsert codesign.InsertionPolicy
+	// TLBFill lets issued instruction prefetches install their
+	// translations into the TLB hierarchy ahead of demand (requires
+	// BindTLBs; zero value = off).
+	TLBFill codesign.TLBFillPolicy
+	// WrongPath drives scheme training (and optionally L1-I pollution)
+	// from mispredicted-branch shadows (zero value = off).
+	WrongPath codesign.WrongPathPolicy
 }
 
 // DefaultFrontEndConfig returns the paper's front-end configuration.
@@ -68,6 +81,13 @@ type FrontEnd struct {
 	mem      *MemSystem
 	inflight *memory.InFlight // fills heading to this L1
 	cs       *stats.CoreStats
+
+	// tlbs is the owning core's translation hierarchy, bound via
+	// BindTLBs when a TLBFill policy is active; nil otherwise.
+	tlbs *tlb.Hierarchy
+	// prefDepth is PrefetchInsert resolved against the L1-I
+	// associativity (0 = MRU insert, the historical path).
+	prefDepth int
 
 	candBuf []isa.Line
 
@@ -101,10 +121,16 @@ func NewFrontEnd(cfg FrontEndConfig, pf prefetch.Prefetcher, mem *MemSystem, cs 
 		cs:       cs,
 		candBuf:  make([]isa.Line, 0, 32),
 	}
+	f.prefDepth = cfg.PrefetchInsert.DepthFor(cfg.L1I.Assoc)
 	f.issueObs, _ = pf.(prefetch.IssueObserver)
 	f.compRep, _ = pf.(prefetch.ComponentReporter)
 	return f
 }
+
+// BindTLBs attaches the owning core's translation hierarchy so a
+// TLBFill policy can install prefetch translations. Without a binding
+// (or with TLBFillNone) prefetches never touch the TLBs.
+func (f *FrontEnd) BindTLBs(h *tlb.Hierarchy) { f.tlbs = h }
 
 // L1 exposes the instruction cache (tests/diagnostics).
 func (f *FrontEnd) L1() *cache.Cache { return f.l1 }
@@ -249,9 +275,43 @@ func (f *FrontEnd) issuePrefetches(slots int, now uint64) {
 		if f.issueObs != nil {
 			f.issueObs.OnPrefetchIssued(l)
 		}
+		if f.cfg.TLBFill != codesign.TLBFillNone && f.tlbs != nil {
+			if f.tlbs.PrefetchFillI(l.Base(f.cfg.L1I.LineBytes), f.cfg.TLBFill == codesign.TLBFillSecondary) {
+				f.cs.Prefetch.ITLBPrefetchFills++
+			}
+		}
 		avail, _ := f.mem.PrefetchInstr(l, now, !f.cfg.BypassL2)
 		f.inflight.Start(l, avail)
 		f.insertL1(l, cache.Flags{Inst: true, Prefetched: true})
+	}
+}
+
+// NoteMispredict models wrong-path fetch after a mispredicted branch:
+// the front-end runs WrongPath.Depth sequential lines starting at the
+// wrong-path line before the misprediction resolves. In train mode the
+// scheme sees those fetches (and may queue prefetches for them); in
+// pollute mode absent lines are additionally brought into L1-I as
+// prefetched fills, modelling wrong-path cache pollution.
+func (f *FrontEnd) NoteMispredict(wrong isa.Line, now uint64) {
+	if f.cfg.WrongPath.Mode == codesign.WrongPathOff {
+		return
+	}
+	pollute := f.cfg.WrongPath.Mode == codesign.WrongPathPollute
+	for i := 0; i < f.cfg.WrongPath.Depth; i++ {
+		l := wrong + isa.Line(i)
+		f.cs.Prefetch.WrongPathFetches++
+		present := f.l1.Probe(l)
+		f.feedPrefetcher(prefetch.Event{Line: l, Miss: !present})
+		if pollute && !present && !f.inflight.Contains(l) {
+			f.cs.Prefetch.WrongPathFills++
+			f.cs.Prefetch.Issued++
+			if f.issueObs != nil {
+				f.issueObs.OnPrefetchIssued(l)
+			}
+			avail, _ := f.mem.PrefetchInstr(l, now, !f.cfg.BypassL2)
+			f.inflight.Start(l, avail)
+			f.insertL1(l, cache.Flags{Inst: true, Prefetched: true})
+		}
 	}
 }
 
@@ -259,9 +319,18 @@ func (f *FrontEnd) issuePrefetches(slots int, now uint64) {
 // policy: a victim that was demand-used but never made it into the L2
 // (a bypassed prefetch) is installed there now, proven useful.
 func (f *FrontEnd) insertL1(l isa.Line, flags cache.Flags) {
-	victim, evicted := f.l1.Insert(l, flags)
+	var victim cache.Victim
+	var evicted bool
+	if f.prefDepth > 0 && flags.Prefetched {
+		victim, evicted = f.l1.InsertAtDepth(l, flags, f.prefDepth)
+	} else {
+		victim, evicted = f.l1.Insert(l, flags)
+	}
 	if !evicted {
 		return
+	}
+	if victim.Flags.Prefetched && !victim.Flags.Used {
+		f.cs.Prefetch.EvictedUnused++
 	}
 	f.inflight.Complete(victim.Line)
 	if eo, ok := f.pf.(prefetch.EvictionObserver); ok {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cache"
+	"repro/internal/codesign"
 	"repro/internal/isa"
 	"repro/internal/memory"
 	"repro/internal/stats"
@@ -19,6 +20,10 @@ type MemSystemConfig struct {
 	// ModelWritebacks charges off-chip bandwidth for dirty L2 evictions
 	// (off by default; the paper's bandwidth figures are read-side).
 	ModelWritebacks bool
+	// PrefetchInsert selects the recency depth at which prefetch-
+	// installed lines enter the L2 (co-design axis; zero value = MRU,
+	// the historical behaviour). Demand fills always insert at MRU.
+	PrefetchInsert codesign.InsertionPolicy
 }
 
 // MemSystem is the shared lower hierarchy: a unified L2 cache, an
@@ -33,6 +38,9 @@ type MemSystem struct {
 	inflight   *memory.InFlight
 	writeback  bool
 	writebacks uint64
+	// prefDepth is PrefetchInsert resolved against the L2 associativity
+	// (0 = MRU insert, the historical path).
+	prefDepth int
 }
 
 // NewMemSystem builds the shared hierarchy.
@@ -43,6 +51,7 @@ func NewMemSystem(cfg MemSystemConfig) *MemSystem {
 		port:      memory.NewPort(cfg.Port),
 		inflight:  memory.NewInFlight(0),
 		writeback: cfg.ModelWritebacks,
+		prefDepth: cfg.PrefetchInsert.DepthFor(cfg.L2.Assoc),
 	}
 }
 
@@ -173,9 +182,16 @@ func (m *MemSystem) install(l isa.Line, f cache.Flags) {
 }
 
 // installAt fills the L2, charging off-chip bandwidth for a dirty victim
-// when write-back modelling is on.
+// when write-back modelling is on. Prefetch-tagged fills honour the
+// PrefetchInsert depth; demand fills always install at MRU.
 func (m *MemSystem) installAt(l isa.Line, f cache.Flags, now uint64) {
-	victim, evicted := m.l2.Insert(l, f)
+	var victim cache.Victim
+	var evicted bool
+	if m.prefDepth > 0 && f.Prefetched {
+		victim, evicted = m.l2.InsertAtDepth(l, f, m.prefDepth)
+	} else {
+		victim, evicted = m.l2.Insert(l, f)
+	}
 	if evicted && m.writeback && victim.Flags.Dirty {
 		m.writebacks++
 		m.port.Request(now)

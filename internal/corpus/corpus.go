@@ -83,6 +83,14 @@ type Fingerprint struct {
 	// references that are cold or reused at stack distance >= 512
 	// lines (beyond a 32 KiB L1-I).
 	MissBandPct float64 `json:"miss_band_pct"`
+	// FootprintBytes is the instruction footprint in bytes (the
+	// line-count footprint scaled by the analysis line size). Zero in
+	// manifests written before the field existed.
+	FootprintBytes uint64 `json:"footprint_bytes,omitempty"`
+	// ITLBMpki is modelled first-level I-TLB misses per
+	// kilo-instruction (analysis.Profile's 128-entry 2-way model).
+	// Zero in manifests written before the field existed.
+	ITLBMpki float64 `json:"itlb_mpki,omitempty"`
 }
 
 // ChunkRef is one step of an entry's recipe: a content-defined chunk
@@ -283,13 +291,27 @@ func (s *Store) readTombstone(id string) (Manifest, error) {
 }
 
 // equalContent compares the content-derived parts of two manifests,
-// ignoring provenance (Source, CreatedAt, Dedup, StoredBytes).
-func equalContent(a, b Manifest) bool {
-	return a.ID == b.ID && a.Name == b.Name && a.ASID == b.ASID &&
-		a.Format == b.Format && a.Blocks == b.Blocks &&
-		a.Instructions == b.Instructions && a.Chunks == b.Chunks &&
-		a.SizeBytes == b.SizeBytes && a.Fingerprint == b.Fingerprint &&
-		slices.Equal(a.Recipe, b.Recipe)
+// ignoring provenance (Source, CreatedAt, Dedup, StoredBytes). The
+// first argument is the freshly recomputed manifest, the second the
+// stored one being checked.
+func equalContent(got, want Manifest) bool {
+	return got.ID == want.ID && got.Name == want.Name && got.ASID == want.ASID &&
+		got.Format == want.Format && got.Blocks == want.Blocks &&
+		got.Instructions == want.Instructions && got.Chunks == want.Chunks &&
+		got.SizeBytes == want.SizeBytes &&
+		fingerprintsEqual(got.Fingerprint, want.Fingerprint) &&
+		slices.Equal(got.Recipe, want.Recipe)
+}
+
+// fingerprintsEqual compares a recomputed fingerprint against a stored
+// one, tolerating manifests written before FootprintBytes/ITLBMpki
+// existed: when the stored fingerprint predates the fields (both
+// zero), the recomputed values are masked so old corpora still verify.
+func fingerprintsEqual(got, stored Fingerprint) bool {
+	if stored.FootprintBytes == 0 && stored.ITLBMpki == 0 {
+		got.FootprintBytes, got.ITLBMpki = 0, 0
+	}
+	return got == stored
 }
 
 // ingester builds an entry chunk by chunk from a block stream. It
@@ -726,6 +748,8 @@ func fingerprintOf(p *analysis.Profile, blocks, instrs uint64) Fingerprint {
 		Instructions:    instrs,
 		Blocks:          blocks,
 		FootprintLines:  p.FootprintBytes() / fingerprintLineBytes,
+		FootprintBytes:  p.FootprintBytes(),
+		ITLBMpki:        p.ITLBMissesPerKI(),
 		DistinctTrigger: p.DistinctTriggers(),
 		SingleTargetPct: p.SingleTargetFraction(),
 	}

@@ -134,6 +134,10 @@ var selFields = map[string]func(indexEntry) float64{
 	"cti":           func(e indexEntry) float64 { return e.Fingerprint.FlowChangePct },
 	"calls":         func(e indexEntry) float64 { return e.Fingerprint.CTIMix[isa.CTICall] },
 	"miss":          func(e indexEntry) float64 { return e.Fingerprint.MissBandPct },
+	// Entries captured before the co-design PR carry zero for these
+	// two, so `itlb_mpki>0` doubles as an "analysed recently" filter.
+	"itlb_mpki":       func(e indexEntry) float64 { return e.Fingerprint.ITLBMpki },
+	"footprint_bytes": func(e indexEntry) float64 { return float64(e.Fingerprint.FootprintBytes) },
 }
 
 // ParseSelector parses a comma-separated list of `field op value`

@@ -113,7 +113,7 @@ func New(cfg Config, fe *core.FrontEnd, src workload.Source, cs *stats.CoreStats
 	if cfg.IssueWidth < 1 {
 		panic("cpu: issue width must be >= 1")
 	}
-	return &Core{
+	c := &Core{
 		cfg:       cfg,
 		fe:        fe,
 		l1d:       cache.New(cfg.L1D),
@@ -123,6 +123,10 @@ func New(cfg Config, fe *core.FrontEnd, src workload.Source, cs *stats.CoreStats
 		cs:        cs,
 		lineBytes: fe.L1().Config().LineBytes,
 	}
+	// Let a prefetch-triggered TLB-fill policy reach this core's
+	// translation hierarchy (a no-op under the default policy).
+	fe.BindTLBs(c.tlbs)
+	return c
 }
 
 // Clock returns the core's current cycle.
@@ -183,7 +187,8 @@ func (c *Core) predict(blk *isa.Block) {
 	case isa.CTICondTakenFwd, isa.CTICondTakenBwd, isa.CTICondNotTaken:
 		taken := blk.CTI != isa.CTICondNotTaken
 		c.cs.BranchPredictions++
-		if !c.bp.PredictCond(branchPC, taken) {
+		correct := c.bp.PredictCond(branchPC, taken)
+		if !correct {
 			c.mispredict()
 		}
 		// Branch-observing prefetchers (wrong-path) see both outcomes.
@@ -193,6 +198,13 @@ func (c *Core) predict(blk *isa.Block) {
 			takenLine = isa.LineOf(blk.Target, c.lineBytes)
 		}
 		c.fe.NoteBranch(takenLine, fallLine, taken)
+		// Wrong-path modelling: a mispredicted taken branch ran down its
+		// fall-through before resolving (the not-taken direction's target
+		// is architecturally known; the taken direction of a mispredicted
+		// not-taken branch is not, so only this case is modelled).
+		if !correct && taken {
+			c.fe.NoteMispredict(fallLine, uint64(c.clock))
+		}
 	case isa.CTICall:
 		// Direct call: target embedded in the instruction; push the RAS.
 		c.bp.Call(blk.End())

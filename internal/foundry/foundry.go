@@ -1,0 +1,369 @@
+// Package foundry turns the synthetic workload generator into a
+// scheme-stress instrument: a deterministic seeded hill-climb over the
+// statistical Profile parameter space that searches for miss-rate worst
+// cases against a named prefetch scheme. A search product is addressed
+// by name — "adv:<scheme>@<seed>[x<iters>]" — and because the search is
+// a pure function of that name, every machine that resolves it (the
+// daemon, dist workers, CLIs) reproduces the identical profile, which
+// is what lets adversarial workloads ride the sweep workload axis with
+// content-derived sweep IDs.
+package foundry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cmp"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// Prefix marks a workload name as an adversarial search product.
+const Prefix = "adv:"
+
+// DefaultIters is the hill-climb iteration count when a name does not
+// carry an explicit "x<iters>" suffix.
+const DefaultIters = 24
+
+// MaxIters bounds the per-name search so a hostile spec cannot turn
+// workload resolution into an unbounded computation.
+const MaxIters = 200
+
+// Eval budgets: small enough that a full default search runs in about a
+// second, large enough that L1-I MPKI rankings between candidate
+// profiles are stable.
+const (
+	evalWarmInstrs    = 40_000
+	evalMeasureInstrs = 160_000
+	evalSeed          = 1
+)
+
+// Spec identifies one adversarial search: the scheme under attack, the
+// search seed, and the iteration budget.
+type Spec struct {
+	Scheme string
+	Seed   uint64
+	Iters  int
+}
+
+// Name returns the canonical workload-axis name for the spec.
+func (s Spec) Name() string {
+	n := Prefix + s.Scheme + "@" + strconv.FormatUint(s.Seed, 10)
+	if s.Iters != DefaultIters {
+		n += "x" + strconv.Itoa(s.Iters)
+	}
+	return n
+}
+
+// ParseName parses and validates "adv:<scheme>@<seed>[x<iters>]". The
+// scheme may itself contain ':' or '@'-free parameter syntax (e.g.
+// "hybrid:nl-tagged+markov"), so the split happens at the last '@'.
+func ParseName(name string) (Spec, error) {
+	rest, ok := strings.CutPrefix(name, Prefix)
+	if !ok {
+		return Spec{}, fmt.Errorf("foundry: %q is not an %s name", name, Prefix)
+	}
+	at := strings.LastIndexByte(rest, '@')
+	if at <= 0 || at == len(rest)-1 {
+		return Spec{}, fmt.Errorf("foundry: %q: want %s<scheme>@<seed>[x<iters>]", name, Prefix)
+	}
+	scheme, tail := rest[:at], rest[at+1:]
+	if _, err := prefetch.New(scheme); err != nil {
+		return Spec{}, fmt.Errorf("foundry: %q: %w", name, err)
+	}
+	iters := DefaultIters
+	if x := strings.IndexByte(tail, 'x'); x >= 0 {
+		n, err := strconv.Atoi(tail[x+1:])
+		if err != nil || n < 1 || n > MaxIters {
+			return Spec{}, fmt.Errorf("foundry: %q: iteration count out of range [1,%d]", name, MaxIters)
+		}
+		iters = n
+		tail = tail[:x]
+	}
+	seed, err := strconv.ParseUint(tail, 10, 64)
+	if err != nil {
+		return Spec{}, fmt.Errorf("foundry: %q: bad seed %q", name, tail)
+	}
+	return Spec{Scheme: scheme, Seed: seed, Iters: iters}, nil
+}
+
+// SearchResult reports one completed adversarial search.
+type SearchResult struct {
+	Spec Spec `json:"spec"`
+	// Profile is the worst-case profile found; its Name is the full
+	// adv: workload name.
+	Profile workload.Profile `json:"profile"`
+	// StartMPKI is the L1-I MPKI of the search's starting point (the
+	// jApp profile, the paper's worst workload) under the scheme;
+	// BestMPKI is the final profile's.
+	StartMPKI float64 `json:"start_mpki"`
+	BestMPKI  float64 `json:"best_mpki"`
+	// Evals counts candidate evaluations performed (accepted or not).
+	Evals int `json:"evals"`
+}
+
+// searchCache memoises completed searches by canonical name: sweeps
+// resolve the same adv: workload once per process, however many points
+// reference it.
+var searchCache sync.Map // string -> searchEntry
+
+type searchEntry struct {
+	res SearchResult
+	err error
+}
+
+// ProfileFor resolves an adv: name to its search product, running (and
+// memoising) the hill-climb on first use.
+func ProfileFor(name string) (workload.Profile, error) {
+	res, err := ResultFor(name)
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	return res.Profile, nil
+}
+
+// ResultFor is ProfileFor with the full search report.
+func ResultFor(name string) (SearchResult, error) {
+	spec, err := ParseName(name)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	key := spec.Name()
+	if e, ok := searchCache.Load(key); ok {
+		ent := e.(searchEntry)
+		return ent.res, ent.err
+	}
+	res, err := Search(spec)
+	// Two goroutines may race the same first search; both compute the
+	// identical (deterministic) result, so either store is fine.
+	searchCache.Store(key, searchEntry{res: res, err: err})
+	return res, err
+}
+
+// Search runs the deterministic hill-climb described by spec.
+func Search(spec Spec) (SearchResult, error) {
+	if _, err := prefetch.New(spec.Scheme); err != nil {
+		return SearchResult{}, err
+	}
+	iters := spec.Iters
+	if iters < 1 {
+		iters = DefaultIters
+	}
+	if iters > MaxIters {
+		iters = MaxIters
+	}
+
+	rng := newSplitMix(spec.Seed ^ hashString(spec.Scheme))
+
+	// Start from the paper's worst workload and give the search a
+	// profile-specific program seed so distinct search seeds explore
+	// distinct program images, not just distinct mutation orders.
+	best := workload.JApp()
+	best.Name = spec.Name()
+	best.Seed = 0xadf0_0000 ^ spec.Seed
+
+	bestMPKI, err := EvalMPKI(best, spec.Scheme)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	startMPKI := bestMPKI
+	evals := 1
+
+	for it := 0; it < iters; it++ {
+		cand := best
+		if it == 0 {
+			// Deterministic opening move along the known-bad direction:
+			// more code, flatter popularity. Hill-climbing only accepts
+			// improvements, so this costs nothing if it fails.
+			cand.NumFuncs = clampInt(cand.NumFuncs*3/2, minFuncs, maxFuncs)
+			cand.PopularityS = clampF(cand.PopularityS*0.85, minZipf, maxZipf)
+		} else {
+			n := 1 + int(rng.next()%3)
+			for i := 0; i < n; i++ {
+				mutators[rng.next()%uint64(len(mutators))](&cand, rng)
+			}
+		}
+		if err := cand.Validate(); err != nil {
+			continue
+		}
+		mpki, err := EvalMPKI(cand, spec.Scheme)
+		if err != nil {
+			continue
+		}
+		evals++
+		if mpki > bestMPKI {
+			best, bestMPKI = cand, mpki
+		}
+	}
+	return SearchResult{Spec: Spec{Scheme: spec.Scheme, Seed: spec.Seed, Iters: iters},
+		Profile: best, StartMPKI: startMPKI, BestMPKI: bestMPKI, Evals: evals}, nil
+}
+
+// EvalMPKI measures prof's L1-I misses per kilo-instruction on a
+// single-core default machine running the given prefetch scheme (the
+// search objective: higher is worse for the scheme).
+func EvalMPKI(prof workload.Profile, scheme string) (float64, error) {
+	prog, err := workload.BuildProgram(prof, 0)
+	if err != nil {
+		return 0, err
+	}
+	cfg := cmp.DefaultConfig(1)
+	cfg.PrefetcherName = scheme
+	sys, err := cmp.New(cfg, []workload.Source{workload.NewGenerator(prog, evalSeed)}, nil)
+	if err != nil {
+		return 0, err
+	}
+	sys.Run(evalWarmInstrs)
+	sys.ResetStats()
+	sys.Run(evalMeasureInstrs)
+	sys.Finalize()
+	t := sys.TotalStats()
+	if t.Instructions == 0 {
+		return 0, fmt.Errorf("foundry: evaluation retired no instructions")
+	}
+	return 1000 * float64(t.L1I.Misses) / float64(t.Instructions), nil
+}
+
+// WorstPaperMPKI returns the highest L1-I MPKI among the paper's four
+// workloads under the scheme, with the profile name that produced it —
+// the baseline an adversarial product is judged against.
+func WorstPaperMPKI(scheme string) (string, float64, error) {
+	worstName, worst := "", -1.0
+	for _, p := range workload.Profiles() {
+		m, err := EvalMPKI(p, scheme)
+		if err != nil {
+			return "", 0, err
+		}
+		if m > worst {
+			worstName, worst = p.Name, m
+		}
+	}
+	return worstName, worst, nil
+}
+
+// Mutation bounds: the search stays inside the generator's plausible
+// regime so products remain structurally valid programs rather than
+// degenerate parameter corners.
+const (
+	minFuncs = 500
+	maxFuncs = 20000
+	minZipf  = 0.35
+	maxZipf  = 1.6
+)
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// scaleInt multiplies v by one of {0.75, 1.25, 1.5} drawn from rng.
+func scaleInt(v int, rng *splitMix, lo, hi int) int {
+	switch rng.next() % 3 {
+	case 0:
+		v = v * 3 / 4
+	case 1:
+		v = v * 5 / 4
+	default:
+		v = v * 3 / 2
+	}
+	return clampInt(v, lo, hi)
+}
+
+func scaleF(v float64, rng *splitMix, lo, hi float64) float64 {
+	switch rng.next() % 3 {
+	case 0:
+		v *= 0.8
+	case 1:
+		v *= 1.15
+	default:
+		v *= 1.3
+	}
+	return clampF(v, lo, hi)
+}
+
+// mutators perturb one code-side Profile field each; the hill-climb
+// composes 1-3 per candidate. Data-side fields are left alone — the
+// objective is instruction-fetch stress, and keeping the data stream
+// fixed keeps eval noise down.
+var mutators = []func(*workload.Profile, *splitMix){
+	func(p *workload.Profile, r *splitMix) { p.NumFuncs = scaleInt(p.NumFuncs, r, minFuncs, maxFuncs) },
+	func(p *workload.Profile, r *splitMix) {
+		p.FuncBlocksMean = scaleInt(p.FuncBlocksMean, r, p.FuncBlocksMin, 40)
+	},
+	func(p *workload.Profile, r *splitMix) {
+		p.BlockInstrsMean = scaleInt(p.BlockInstrsMean, r, p.BlockInstrsMin, 20)
+	},
+	func(p *workload.Profile, r *splitMix) { p.PopularityS = scaleF(p.PopularityS, r, minZipf, maxZipf) },
+	func(p *workload.Profile, r *splitMix) { p.CalleeS = scaleF(p.CalleeS, r, minZipf, maxZipf) },
+	func(p *workload.Profile, r *splitMix) { p.CalleesMean = scaleInt(p.CalleesMean, r, 1, 12) },
+	func(p *workload.Profile, r *splitMix) { p.WCall = scaleF(p.WCall, r, 0.02, 0.35) },
+	func(p *workload.Profile, r *splitMix) { p.WCond = scaleF(p.WCond, r, 0.15, 0.60) },
+	func(p *workload.Profile, r *splitMix) { p.WUncond = scaleF(p.WUncond, r, 0.02, 0.20) },
+	func(p *workload.Profile, r *splitMix) { p.WJump = scaleF(p.WJump, r, 0.005, 0.10) },
+	func(p *workload.Profile, r *splitMix) { p.WRetEarly = scaleF(p.WRetEarly, r, 0.01, 0.12) },
+	func(p *workload.Profile, r *splitMix) {
+		p.TransactionInstrs = scaleInt(p.TransactionInstrs, r, 2000, 100000)
+	},
+	func(p *workload.Profile, r *splitMix) { p.MaxCallDepth = scaleInt(p.MaxCallDepth, r, 8, 96) },
+	func(p *workload.Profile, r *splitMix) {
+		p.CondFwdDistMean = scaleInt(p.CondFwdDistMean, r, 1, 8)
+	},
+	func(p *workload.Profile, r *splitMix) { p.UncondDistMean = scaleInt(p.UncondDistMean, r, 1, 12) },
+}
+
+// splitMix is a tiny deterministic rng (splitmix64), private to the
+// search so library-level rand seeding cannot perturb reproducibility.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-light.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// init registers the adv: resolver with the machine assembly layer, so
+// any consumer that builds sources through cmp.SourcesFor (sim, sweeps,
+// the daemon, dist workers) can run adversarial workloads by name.
+func init() {
+	cmp.RegisterProfileProvider(func(name string) (workload.Profile, bool, error) {
+		if !strings.HasPrefix(name, Prefix) {
+			return workload.Profile{}, false, nil
+		}
+		prof, err := ProfileFor(name)
+		if err != nil {
+			return workload.Profile{}, false, err
+		}
+		return prof, true, nil
+	})
+}

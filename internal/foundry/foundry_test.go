@@ -1,0 +1,124 @@
+package foundry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmp"
+	"repro/internal/workload"
+)
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Spec
+		wantErr bool
+	}{
+		{in: "adv:discontinuity@1", want: Spec{Scheme: "discontinuity", Seed: 1, Iters: DefaultIters}},
+		{in: "adv:nl-tagged@7x3", want: Spec{Scheme: "nl-tagged", Seed: 7, Iters: 3}},
+		{in: "adv:hybrid:nl-tagged+markov@42x9", want: Spec{Scheme: "hybrid:nl-tagged+markov", Seed: 42, Iters: 9}},
+		{in: "adv:discontinuity@1x0", wantErr: true},
+		{in: "adv:discontinuity@1x999", wantErr: true},
+		{in: "adv:discontinuity@", wantErr: true},
+		{in: "adv:@3", wantErr: true},
+		{in: "adv:nosuchscheme@3", wantErr: true},
+		{in: "adv:discontinuity@notanumber", wantErr: true},
+		{in: "discontinuity@1", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseName(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseName(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseName(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseName(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if rt, err := ParseName(got.Name()); err != nil || rt != got {
+			t.Errorf("ParseName(%q).Name() = %q did not round-trip (%+v, %v)", c.in, got.Name(), rt, err)
+		}
+	}
+}
+
+// TestSearchBeatsWorstPaperWorkload is the acceptance bar: the search
+// product for the discontinuity scheme must exceed the worst paper
+// workload's L1-I MPKI by at least 20%, deterministically.
+func TestSearchBeatsWorstPaperWorkload(t *testing.T) {
+	const name = "adv:discontinuity@1x8"
+	res, err := ResultFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstName, worst, err := WorstPaperMPKI("discontinuity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMPKI < 1.2*worst {
+		t.Fatalf("adversarial MPKI %.2f < 1.2x worst paper workload %s (%.2f)",
+			res.BestMPKI, worstName, worst)
+	}
+	if res.Profile.Name != name {
+		t.Fatalf("profile name %q, want %q", res.Profile.Name, name)
+	}
+	if err := res.Profile.Validate(); err != nil {
+		t.Fatalf("search produced an invalid profile: %v", err)
+	}
+
+	// Same spec, fresh search (bypassing the memo): identical product.
+	again, err := Search(res.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Profile != res.Profile || again.BestMPKI != res.BestMPKI {
+		t.Fatalf("search is not deterministic:\n%+v\n%+v", res, again)
+	}
+}
+
+// TestDistinctSeedsDiverge checks seeds actually steer the search.
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, err := Search(Spec{Scheme: "nl-tagged", Seed: 1, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(Spec{Scheme: "nl-tagged", Seed: 2, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profile.Seed == b.Profile.Seed {
+		t.Fatalf("distinct search seeds produced identical program seed %#x", a.Profile.Seed)
+	}
+}
+
+// TestProviderResolvesAdvNames checks the cmp registration: SourcesFor
+// accepts adv: names directly, and the resulting source is usable.
+func TestProviderResolvesAdvNames(t *testing.T) {
+	srcs, err := cmp.SourcesFor([]string{"adv:discontinuity@1x8"}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 1 || srcs[0] == nil {
+		t.Fatalf("SourcesFor returned %v", srcs)
+	}
+	if _, err := cmp.SourcesFor([]string{"adv:bogus-scheme@1"}, 1, 1); err == nil {
+		t.Fatal("invalid adv: scheme accepted")
+	}
+	if !strings.HasPrefix("adv:discontinuity@1", Prefix) {
+		t.Fatal("Prefix drifted from the name grammar")
+	}
+}
+
+// TestEvalMPKIRejectsBadInput covers the error paths.
+func TestEvalMPKIRejectsBadInput(t *testing.T) {
+	if _, err := EvalMPKI(workload.Profile{}, "none"); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := Search(Spec{Scheme: "nosuch", Seed: 1, Iters: 1}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

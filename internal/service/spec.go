@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/codesign"
+	"repro/internal/foundry"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -39,6 +41,15 @@ type JobSpec struct {
 	TableEntries int `json:"table_entries,omitempty"`
 	// PrefetchAhead overrides the prefetch-ahead distance when > 0.
 	PrefetchAhead int `json:"prefetch_ahead,omitempty"`
+	// Insert selects the prefetched-line insertion policy ("mru",
+	// "mid", "lru"; empty = mru, the historical default).
+	Insert string `json:"insert,omitempty"`
+	// TLBFill enables prefetch-triggered I-TLB fill ("none",
+	// "primary", "secondary"; empty = none).
+	TLBFill string `json:"tlb_fill,omitempty"`
+	// WrongPath enables wrong-path fetch modelling ("off",
+	// "train[:depth]", "pollute[:depth]"; empty = off).
+	WrongPath string `json:"wrong_path,omitempty"`
 	// L1I / L2 override the cache geometries when non-nil (must be
 	// fully specified: size, associativity and line size).
 	L1I *sweep.Geometry `json:"l1i,omitempty"`
@@ -84,6 +95,14 @@ func (s JobSpec) Validate() error {
 		}
 	} else {
 		for _, a := range s.Apps {
+			if strings.HasPrefix(a, foundry.Prefix) {
+				// Adversarial search products are resolved lazily at
+				// machine-assembly time; validate the name grammar here.
+				if _, err := foundry.ParseName(a); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := workload.ByName(a); err != nil {
 				return err
 			}
@@ -91,6 +110,15 @@ func (s JobSpec) Validate() error {
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	if _, err := codesign.CanonicalInsertion(s.Insert); err != nil {
+		return err
+	}
+	if _, err := codesign.CanonicalTLBFill(s.TLBFill); err != nil {
+		return err
+	}
+	if _, err := codesign.CanonicalWrongPath(s.WrongPath); err != nil {
+		return err
 	}
 	for name, g := range map[string]*sweep.Geometry{"l1i": s.L1I, "l2": s.L2} {
 		if g == nil {
@@ -121,6 +149,20 @@ func (s JobSpec) runSpec() (sim.RunSpec, error) {
 			return sim.RunSpec{}, fmt.Errorf("unknown workload %q", s.Workload)
 		}
 	}
+	// Canonicalising the policy strings here keeps spec keys aligned
+	// with sweep point keys: "mru" and "" request the same simulation.
+	ins, err := codesign.CanonicalInsertion(s.Insert)
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
+	tf, err := codesign.CanonicalTLBFill(s.TLBFill)
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
+	wp, err := codesign.CanonicalWrongPath(s.WrongPath)
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
 	rs := sim.RunSpec{
 		Workload:        w,
 		Cores:           s.Cores,
@@ -128,6 +170,9 @@ func (s JobSpec) runSpec() (sim.RunSpec, error) {
 		Bypass:          s.Bypass,
 		TableEntries:    s.TableEntries,
 		PrefetchAhead:   s.PrefetchAhead,
+		InsertPolicy:    ins,
+		TLBFill:         tf,
+		WrongPath:       wp,
 		OffChipGBps:     s.OffChipGBps,
 		ModelWritebacks: s.ModelWritebacks,
 	}

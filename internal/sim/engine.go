@@ -12,9 +12,12 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cmp"
+	"repro/internal/codesign"
+	"repro/internal/foundry"
 	"repro/internal/isa"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Workload identifies one column of the paper's charts: a homogeneous
@@ -46,14 +49,28 @@ func PaperWorkloads(cmpMachine bool) []Workload {
 // Names of the form "trace:<id>" resolve to a recorded-trace replay of
 // the corpus entry with that content hash; whether the id actually
 // exists is checked when sources are built (cmp.SourcesFor), since
-// workers may still need to fetch it.
+// workers may still need to fetch it. Foundry profile names
+// ("Microservice", "Serverless") and adversarial generator names
+// ("adv:<scheme>@<seed>[x<iters>]") resolve to homogeneous workloads of
+// that profile.
 func WorkloadByName(name string, cmpMachine bool) (Workload, bool) {
 	if id, ok := strings.CutPrefix(name, cmp.TraceWorkloadPrefix); ok && id != "" {
+		return Workload{Name: name, Apps: []string{name}}, true
+	}
+	if strings.HasPrefix(name, foundry.Prefix) {
+		if _, err := foundry.ParseName(name); err != nil {
+			return Workload{}, false
+		}
 		return Workload{Name: name, Apps: []string{name}}, true
 	}
 	for _, w := range PaperWorkloads(cmpMachine) {
 		if strings.EqualFold(w.Name, name) {
 			return w, true
+		}
+	}
+	for _, n := range workload.FoundryProfileNames() {
+		if strings.EqualFold(n, name) {
+			return Workload{Name: n, Apps: []string{n}}, true
 		}
 	}
 	return Workload{}, false
@@ -99,6 +116,17 @@ type RunSpec struct {
 	L1IPolicy cache.Policy
 	// ModelWritebacks enables dirty write-back traffic (ablation A10).
 	ModelWritebacks bool
+	// InsertPolicy selects the recency depth for prefetched-line
+	// insertion in L1-I and L2 ("", "mru", "mid", "lru"); see
+	// codesign.ParseInsertion. Empty/default keeps the historical MRU
+	// behaviour (and the historical memo key).
+	InsertPolicy string
+	// TLBFill enables prefetch-triggered I-TLB fill ("", "none",
+	// "primary", "secondary"); see codesign.ParseTLBFill.
+	TLBFill string
+	// WrongPath enables wrong-path fetch modelling ("", "off",
+	// "train[:depth]", "pollute[:depth]"); see codesign.ParseWrongPath.
+	WrongPath string
 }
 
 // Key returns a memoisation key covering every field that affects the
@@ -109,11 +137,18 @@ func (s RunSpec) Key() string { return s.key() }
 // key returns a memoisation key covering every field that affects the
 // simulation.
 func (s RunSpec) key() string {
-	return fmt.Sprintf("%s|%d|%s|%v|%v|%+v|%+v|%d|%d|%v|%v|%v|%v",
+	k := fmt.Sprintf("%s|%d|%s|%v|%v|%+v|%+v|%d|%d|%v|%v|%v|%v",
 		s.Workload.Name, s.Cores, s.Scheme, s.Bypass, s.Oracle, s.L1I, s.L2,
 		s.TableEntries, s.PrefetchAhead, s.NoCounter, s.NoRecentFilter, s.QueueFIFO,
 		s.L2UsefulnessFilter) + fmt.Sprintf("|%v|%g|%d|%v", s.ConfidenceFilter, s.OffChipGBps,
 		s.L1IPolicy, s.ModelWritebacks)
+	// Co-design axes extend the key only when set, so default-policy
+	// keys (and the journals/result stores derived from them) are
+	// byte-identical to builds that predate these fields.
+	if s.InsertPolicy != "" || s.TLBFill != "" || s.WrongPath != "" {
+		k += fmt.Sprintf("|ins=%s|tlb=%s|wp=%s", s.InsertPolicy, s.TLBFill, s.WrongPath)
+	}
+	return k
 }
 
 // Result carries everything the figures report from one run.
@@ -293,6 +328,23 @@ func (e *Engine) simulate(ctx context.Context, spec RunSpec) (Result, error) {
 		cfg.FrontEnd.L1I.Policy = spec.L1IPolicy
 	}
 	cfg.ModelWritebacks = spec.ModelWritebacks
+
+	ins, err := codesign.ParseInsertion(spec.InsertPolicy)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.FrontEnd.PrefetchInsert = ins
+	cfg.Mem.PrefetchInsert = ins
+	tf, err := codesign.ParseTLBFill(spec.TLBFill)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.FrontEnd.TLBFill = tf
+	wp, err := codesign.ParseWrongPath(spec.WrongPath)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.FrontEnd.WrongPath = wp
 
 	var override func(int) prefetch.Prefetcher
 	if spec.TableEntries > 0 || spec.PrefetchAhead > 0 || spec.NoCounter || spec.ConfidenceFilter {

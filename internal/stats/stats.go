@@ -118,6 +118,21 @@ type PrefetchStats struct {
 	// LatePartial counts demand fetches that hit a still-in-flight
 	// prefetch (coverage gained, but only partial latency hidden).
 	LatePartial uint64
+	// EvictedUnused counts prefetched L1-I lines evicted before any
+	// demand reference — the inaccuracy feedback the prefetch-aware
+	// insertion policies act on.
+	EvictedUnused uint64
+	// ITLBPrefetchFills counts prefetches that installed an I-TLB (or
+	// secondary TLB) translation ahead of demand under a
+	// prefetch-triggered TLB-fill policy.
+	ITLBPrefetchFills uint64
+	// WrongPathFetches counts wrong-path line fetches exposed to the
+	// prefetch scheme after mispredicted branches (wrong-path
+	// modelling axis).
+	WrongPathFetches uint64
+	// WrongPathFills counts wrong-path lines actually brought into
+	// L1-I under the pollute wrong-path mode.
+	WrongPathFills uint64
 }
 
 // Accuracy returns Useful/Issued, or 0 when nothing was issued.
@@ -141,6 +156,10 @@ func (p *PrefetchStats) Merge(other PrefetchStats) {
 	p.Issued += other.Issued
 	p.Useful += other.Useful
 	p.LatePartial += other.LatePartial
+	p.EvictedUnused += other.EvictedUnused
+	p.ITLBPrefetchFills += other.ITLBPrefetchFills
+	p.WrongPathFetches += other.WrongPathFetches
+	p.WrongPathFills += other.WrongPathFills
 }
 
 // ComponentPrefetchStats attributes a composite (hybrid) prefetcher's

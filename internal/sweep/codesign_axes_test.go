@@ -1,0 +1,107 @@
+package sweep
+
+import "testing"
+
+// TestCodesignAxesExpand checks the three co-design axes cross like any
+// other axis, canonicalise their defaults, and keep baseline marking on
+// the all-default cell only.
+func TestCodesignAxesExpand(t *testing.T) {
+	s := Spec{
+		Schemes:    []string{"discontinuity"},
+		Workloads:  []string{"DB"},
+		Cores:      []int{1},
+		Inserts:    []string{"mru", "lru"},
+		TLBFills:   []string{"none", "primary"},
+		WrongPaths: []string{"off", "train"},
+	}
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2x2 scheme points + one appended baseline ("none", all defaults).
+	if len(pts) != 9 {
+		t.Fatalf("got %d points, want 9: %+v", len(pts), pts)
+	}
+	var defaults, baselines int
+	for _, p := range pts {
+		if p.Insert == "mru" || p.TLBFill == "none" || p.WrongPath == "off" {
+			t.Fatalf("axis value not canonicalised: %+v", p)
+		}
+		if p.Insert == "" && p.TLBFill == "" && p.WrongPath == "" {
+			defaults++
+		}
+		if p.Baseline {
+			baselines++
+			if p.Insert != "" || p.TLBFill != "" || p.WrongPath != "" {
+				t.Fatalf("non-default point marked baseline: %+v", p)
+			}
+		}
+	}
+	if defaults != 2 { // all-default discontinuity point + the baseline
+		t.Fatalf("got %d all-default points, want 2", defaults)
+	}
+	if baselines != 1 {
+		t.Fatalf("got %d baseline points, want 1", baselines)
+	}
+
+	// The point resolves to a run spec carrying the policy strings.
+	for _, p := range pts {
+		rs, err := p.RunSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.InsertPolicy != p.Insert || rs.TLBFill != p.TLBFill || rs.WrongPath != p.WrongPath {
+			t.Fatalf("RunSpec dropped policy fields: %+v vs %+v", rs, p)
+		}
+	}
+}
+
+// TestCodesignAxesCanonicalDedup: spelling the defaults explicitly must
+// not change the grid or the sweep ID-relevant point keys.
+func TestCodesignAxesCanonicalDedup(t *testing.T) {
+	base := Spec{Schemes: []string{"none"}, Workloads: []string{"DB"}, Cores: []int{1}}
+	spelled := base
+	spelled.Inserts = []string{"mru"}
+	spelled.TLBFills = []string{"none"}
+	spelled.WrongPaths = []string{"off", "train:2"}
+
+	a, err := base.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spelled.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base grid: the bypass=true scheme point plus its appended
+	// baseline (bypass=false).
+	if len(a) != 2 {
+		t.Fatalf("base grid %d points, want 2", len(a))
+	}
+	// The spelled spec adds only the train point; the defaults collapse
+	// onto the base points.
+	if len(b) != 3 {
+		t.Fatalf("spelled grid %d points, want 3: %+v", len(b), b)
+	}
+	ka, _ := a[0].Key(1, 2, 3)
+	kb, _ := b[0].Key(1, 2, 3)
+	if ka != kb {
+		t.Fatalf("canonical default point keys diverge:\n%s\n%s", ka, kb)
+	}
+	if b[1].WrongPath != "train" {
+		t.Fatalf("train:2 did not canonicalise to train: %+v", b[1])
+	}
+}
+
+// TestCodesignAxesValidate rejects unknown policy spellings.
+func TestCodesignAxesValidate(t *testing.T) {
+	for _, s := range []Spec{
+		{Schemes: []string{"none"}, Workloads: []string{"DB"}, Inserts: []string{"pseudo"}},
+		{Schemes: []string{"none"}, Workloads: []string{"DB"}, TLBFills: []string{"both"}},
+		{Schemes: []string{"none"}, Workloads: []string{"DB"}, WrongPaths: []string{"train:99"}},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("invalid spec accepted: %+v", s)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/codesign"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -80,6 +81,20 @@ type Spec struct {
 	L1I []Geometry `json:"l1i,omitempty"`
 	L2  []Geometry `json:"l2,omitempty"`
 
+	// Inserts sweeps the prefetched-line insertion policy ("mru",
+	// "mid", "lru"; see codesign.ParseInsertion). Values are
+	// canonicalised during expansion, so "mru" and "" land on the same
+	// point. Default: [""] (historical MRU behaviour).
+	Inserts []string `json:"inserts,omitempty"`
+	// TLBFills sweeps prefetch-triggered I-TLB fill ("none",
+	// "primary", "secondary"; see codesign.ParseTLBFill). Default:
+	// [""] (no TLB fill).
+	TLBFills []string `json:"tlb_fills,omitempty"`
+	// WrongPaths sweeps wrong-path fetch modelling ("off",
+	// "train[:depth]", "pollute[:depth]"; see codesign.ParseWrongPath).
+	// Default: [""] (off).
+	WrongPaths []string `json:"wrong_paths,omitempty"`
+
 	// BaselineScheme is the scheme speedups and miss-rate reductions
 	// are normalised against (default "none"). A baseline point (no
 	// bypass, default table) is appended to the grid for every
@@ -105,6 +120,9 @@ type Point struct {
 	Bypass        bool      `json:"bypass,omitempty"`
 	TableEntries  int       `json:"table_entries,omitempty"`
 	PrefetchAhead int       `json:"prefetch_ahead,omitempty"`
+	Insert        string    `json:"insert,omitempty"`
+	TLBFill       string    `json:"tlb_fill,omitempty"`
+	WrongPath     string    `json:"wrong_path,omitempty"`
 	L1I           *Geometry `json:"l1i,omitempty"`
 	L2            *Geometry `json:"l2,omitempty"`
 
@@ -126,6 +144,9 @@ func (p Point) RunSpec() (sim.RunSpec, error) {
 		Bypass:        p.Bypass,
 		TableEntries:  p.TableEntries,
 		PrefetchAhead: p.PrefetchAhead,
+		InsertPolicy:  p.Insert,
+		TLBFill:       p.TLBFill,
+		WrongPath:     p.WrongPath,
 	}
 	if p.L1I != nil {
 		rs.L1I = p.L1I.Config()
@@ -174,7 +195,7 @@ func (s Spec) baselineScheme() string {
 }
 
 // axes returns the spec's axes with defaults applied.
-func (s Spec) axes() (cores []int, bypass []bool, tables, ahead []int, l1i, l2 []Geometry) {
+func (s Spec) axes() (cores []int, bypass []bool, tables, ahead []int, inserts, tlbFills, wrongPaths []string, l1i, l2 []Geometry) {
 	cores = s.Cores
 	if len(cores) == 0 {
 		cores = []int{4}
@@ -190,6 +211,18 @@ func (s Spec) axes() (cores []int, bypass []bool, tables, ahead []int, l1i, l2 [
 	ahead = s.PrefetchAhead
 	if len(ahead) == 0 {
 		ahead = []int{0}
+	}
+	inserts = s.Inserts
+	if len(inserts) == 0 {
+		inserts = []string{""}
+	}
+	tlbFills = s.TLBFills
+	if len(tlbFills) == 0 {
+		tlbFills = []string{""}
+	}
+	wrongPaths = s.WrongPaths
+	if len(wrongPaths) == 0 {
+		wrongPaths = []string{""}
 	}
 	l1i = s.L1I
 	if len(l1i) == 0 {
@@ -224,7 +257,7 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
-	cores, _, tables, ahead, l1i, l2 := s.axes()
+	cores, _, tables, ahead, inserts, tlbFills, wrongPaths, l1i, l2 := s.axes()
 	for _, c := range cores {
 		if c < 1 || c > 64 {
 			return fmt.Errorf("sweep: cores must be in [1,64], got %d", c)
@@ -245,6 +278,21 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: prefetch-ahead %d must be >= 0", n)
 		}
 	}
+	for _, v := range inserts {
+		if _, err := codesign.CanonicalInsertion(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range tlbFills {
+		if _, err := codesign.CanonicalTLBFill(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range wrongPaths {
+		if _, err := codesign.CanonicalWrongPath(v); err != nil {
+			return err
+		}
+	}
 	for _, g := range append(append([]Geometry{}, l1i...), l2...) {
 		if !g.IsZero() {
 			if err := g.Config().Validate(); err != nil {
@@ -261,22 +309,26 @@ func (s Spec) Validate() error {
 // GridSize returns the raw cartesian size before dedup and baseline
 // insertion — an upper bound on the expanded grid.
 func (s Spec) GridSize() int {
-	cores, bypass, tables, ahead, l1i, l2 := s.axes()
+	cores, bypass, tables, ahead, inserts, tlbFills, wrongPaths, l1i, l2 := s.axes()
 	return len(s.Workloads) * len(cores) * len(s.Schemes) * len(bypass) *
-		len(tables) * len(ahead) * len(l1i) * len(l2)
+		len(tables) * len(ahead) * len(inserts) * len(tlbFills) * len(wrongPaths) *
+		len(l1i) * len(l2)
 }
 
 // Expand materialises the deterministic grid: the cartesian product of
 // every axis in fixed nesting order (workload, cores, scheme, bypass,
-// table entries, prefetch-ahead, L1-I geometry, L2 geometry), with
-// duplicate simulation points removed (first occurrence wins) and a
-// baseline point appended for every normalisation group that lacks
-// one. Equal specs always expand to equal grids.
+// table entries, prefetch-ahead, insertion policy, TLB fill, wrong
+// path, L1-I geometry, L2 geometry), with duplicate simulation points
+// removed (first occurrence wins) and a baseline point appended for
+// every normalisation group that lacks one. Co-design axis values are
+// canonicalised (defaults collapse to ""), so spelling a default
+// explicitly never mints a second point. Equal specs always expand to
+// equal grids.
 func (s Spec) Expand() ([]Point, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	cores, bypass, tables, ahead, l1i, l2 := s.axes()
+	cores, bypass, tables, ahead, inserts, tlbFills, wrongPaths, l1i, l2 := s.axes()
 
 	var points []Point
 	seen := make(map[string]int) // simulation key (budget-free) -> points index
@@ -316,14 +368,27 @@ func (s Spec) Expand() ([]Point, error) {
 								// the first occurrence).
 								te, pa = 0, 0
 							}
-							for _, g1 := range l1i {
-								for _, g2 := range l2 {
-									add(Point{
-										Workload: w, Cores: c, Scheme: scheme, Bypass: bp,
-										TableEntries: te, PrefetchAhead: pa,
-										L1I: geomPtr(g1), L2: geomPtr(g2),
-										Baseline: scheme == s.baselineScheme() && !bp && te == 0 && pa == 0,
-									})
+							for _, insRaw := range inserts {
+								// Validate vetted the axis values, so the
+								// canonicalisation errors are unreachable.
+								ins, _ := codesign.CanonicalInsertion(insRaw)
+								for _, tfRaw := range tlbFills {
+									tf, _ := codesign.CanonicalTLBFill(tfRaw)
+									for _, wpRaw := range wrongPaths {
+										wp, _ := codesign.CanonicalWrongPath(wpRaw)
+										for _, g1 := range l1i {
+											for _, g2 := range l2 {
+												add(Point{
+													Workload: w, Cores: c, Scheme: scheme, Bypass: bp,
+													TableEntries: te, PrefetchAhead: pa,
+													Insert: ins, TLBFill: tf, WrongPath: wp,
+													L1I: geomPtr(g1), L2: geomPtr(g2),
+													Baseline: scheme == s.baselineScheme() && !bp && te == 0 && pa == 0 &&
+														ins == "" && tf == "" && wp == "",
+												})
+											}
+										}
+									}
 								}
 							}
 						}

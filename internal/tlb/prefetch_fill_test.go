@@ -1,0 +1,81 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// pageAddr returns an address inside page p.
+func pageAddr(p uint64) isa.Addr { return isa.Addr(p << PageBits) }
+
+func TestFillDoesNotTouchStats(t *testing.T) {
+	tl := New(Config{Entries: 8, Assoc: 2})
+	tl.Fill(Page(1))
+	tl.Fill(Page(1)) // re-fill promotes, still no stats
+	if tl.Accesses() != 0 || tl.Misses() != 0 {
+		t.Fatalf("accesses=%d misses=%d after Fill, want 0/0", tl.Accesses(), tl.Misses())
+	}
+	if !tl.Probe(Page(1)) {
+		t.Fatal("filled page not resident")
+	}
+	// The demand access that follows is a hit thanks to the fill.
+	if !tl.Access(Page(1)) {
+		t.Fatal("demand access after fill missed")
+	}
+	if tl.Accesses() != 1 || tl.Misses() != 0 {
+		t.Fatalf("accesses=%d misses=%d, want 1/0", tl.Accesses(), tl.Misses())
+	}
+}
+
+func TestFillEvictsLRU(t *testing.T) {
+	tl := New(Config{Entries: 2, Assoc: 2}) // one set, two ways
+	tl.Fill(Page(0))
+	tl.Fill(Page(1))
+	tl.Fill(Page(0)) // promote 0 to MRU; 1 becomes LRU
+	tl.Fill(Page(2)) // evicts 1
+	if tl.Probe(Page(1)) {
+		t.Fatal("LRU page survived fill eviction")
+	}
+	if !tl.Probe(Page(0)) || !tl.Probe(Page(2)) {
+		t.Fatal("resident pages missing")
+	}
+}
+
+func TestPrefetchFillIPrimary(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	if !h.PrefetchFillI(pageAddr(7), false) {
+		t.Fatal("first prefetch fill reported nothing installed")
+	}
+	// Demand translation now free: primary hit.
+	if pen := h.TranslateI(pageAddr(7)); pen != 0 {
+		t.Fatalf("post-fill translate penalty = %d, want 0", pen)
+	}
+	// Re-fill of a resident translation installs nothing.
+	if h.PrefetchFillI(pageAddr(7), false) {
+		t.Fatal("re-fill of resident translation claimed to install")
+	}
+	// Demand stats untouched by fills: one access, zero misses.
+	if a, m := h.ITLB().Accesses(), h.ITLB().Misses(); a != 1 || m != 0 {
+		t.Fatalf("itlb accesses=%d misses=%d, want 1/0", a, m)
+	}
+}
+
+func TestPrefetchFillISecondaryOnly(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	if !h.PrefetchFillI(pageAddr(9), true) {
+		t.Fatal("secondary-only fill reported nothing installed")
+	}
+	if h.ITLB().Probe(PageOf(pageAddr(9))) {
+		t.Fatal("secondary-only fill leaked into the primary I-TLB")
+	}
+	// Demand translation pays the refill (secondary hit), not the walk.
+	if pen := h.TranslateI(pageAddr(9)); pen != cfg.RefillCycles {
+		t.Fatalf("penalty = %d, want refill %d", pen, cfg.RefillCycles)
+	}
+	// A second secondary-only fill for the same page is a no-op.
+	if h.PrefetchFillI(pageAddr(9), true) {
+		t.Fatal("repeat secondary-only fill claimed to install")
+	}
+}

@@ -80,6 +80,25 @@ func (t *TLB) Access(p Page) bool {
 	return false
 }
 
+// Fill installs page p at the MRU position without charging an access
+// or a miss: prefetch-triggered fills are not demand lookups, so they
+// must not perturb the hit/miss statistics. If p is already present it
+// is promoted.
+func (t *TLB) Fill(p Page) {
+	base := int(uint64(p)&t.setMask) * t.assoc
+	for i := 0; i < t.assoc; i++ {
+		if t.pages[base+i] == p && t.valid[base+i] {
+			copy(t.pages[base+1:base+i+1], t.pages[base:base+i])
+			copy(t.valid[base+1:base+i+1], t.valid[base:base+i])
+			t.pages[base], t.valid[base] = p, true
+			return
+		}
+	}
+	copy(t.pages[base+1:base+t.assoc], t.pages[base:base+t.assoc-1])
+	copy(t.valid[base+1:base+t.assoc], t.valid[base:base+t.assoc-1])
+	t.pages[base], t.valid[base] = p, true
+}
+
 // Probe reports whether page p is present without side effects.
 func (t *TLB) Probe(p Page) bool {
 	base := int(uint64(p)&t.setMask) * t.assoc
@@ -165,6 +184,28 @@ func (h *Hierarchy) translate(primary *TLB, p Page) uint64 {
 		return h.refill
 	}
 	return h.walk
+}
+
+// PrefetchFillI installs the translation for an instruction prefetch
+// address ahead of demand (the prefetch-triggered I-TLB fill of the
+// co-design axis). With secondaryOnly the translation lands only in the
+// unified secondary TLB — a later demand miss still pays the refill but
+// skips the page walk; otherwise it also fills the primary I-TLB. It
+// reports whether any structure was actually filled (the translation
+// was not already resident where the policy wanted it), without
+// touching demand hit/miss statistics.
+func (h *Hierarchy) PrefetchFillI(addr isa.Addr, secondaryOnly bool) bool {
+	p := PageOf(addr)
+	filled := false
+	if !h.l2.Probe(p) {
+		h.l2.Fill(p)
+		filled = true
+	}
+	if !secondaryOnly && !h.itlb.Probe(p) {
+		h.itlb.Fill(p)
+		filled = true
+	}
+	return filled
 }
 
 // ITLB returns the primary instruction TLB (stats access).

@@ -1,0 +1,75 @@
+package workload
+
+// This file holds the workload foundry's profile families beyond the
+// paper's four commercial applications: modern microservice and
+// serverless shapes. They are reachable through ByName (and therefore
+// usable as sweep workload axes) but deliberately not part of
+// Profiles(), which enumerates the paper's charted workloads and
+// anchors the calibration tests.
+
+// Microservice models a container-deployed RPC microservice mesh
+// process: a flat multi-MiB code footprint (frameworks, serialisation,
+// RPC stacks dominate over application logic), very deep call chains
+// through middleware layers, short request handlers, and poor
+// instruction locality — the post-2015 regime where front-end stalls
+// grew past even the paper's commercial workloads.
+func Microservice() Profile {
+	return Profile{
+		Name: "Microservice", Seed: 0x71c5,
+		NumFuncs: 14000, FuncBlocksMean: 12, FuncBlocksMin: 3,
+		BlockInstrsMean: 7, BlockInstrsMin: 3, FuncAlignBytes: 32,
+		PopularityS: 0.55, CalleeS: 0.60, CalleesMean: 7,
+		WFall: 0.10, WCond: 0.40, WUncond: 0.10, WCall: 0.28, WJump: 0.05,
+		WRetEarly: 0.065, WTrap: 0.001,
+		PCondBwd: 0.07, PCondFwdTaken: 0.54, PLoopContinue: 0.68,
+		CondFwdDistMean: 3, UncondDistMean: 7,
+		MaxCallDepth: 80, KernelFuncs: 32,
+		TransactionInstrs: 6000,
+		LoadsPerInstr:     0.27, StoresPerInstr: 0.10,
+		StackBytes: 32 << 10, NearDataBytes: 192 << 10, HotDataBytes: 2 << 20,
+		ColdDataBytes: 24 << 20,
+		PStack:        0.50, PNear: 0.40, PFar: 0.08, DataZipfS: 0.85, NearZipfS: 1.25,
+	}
+}
+
+// Serverless models a function-as-a-service runtime: an even larger,
+// flatter code image (language runtime + SDK loaded per function), very
+// short invocations that renew the working set constantly, and deep
+// framework call chains — the workload family with the least fetch
+// locality the foundry produces without adversarial search.
+func Serverless() Profile {
+	return Profile{
+		Name: "Serverless", Seed: 0x5e1f,
+		NumFuncs: 16000, FuncBlocksMean: 11, FuncBlocksMin: 3,
+		BlockInstrsMean: 7, BlockInstrsMin: 3, FuncAlignBytes: 32,
+		PopularityS: 0.50, CalleeS: 0.58, CalleesMean: 6,
+		WFall: 0.11, WCond: 0.41, WUncond: 0.10, WCall: 0.27, WJump: 0.05,
+		WRetEarly: 0.06, WTrap: 0.0015,
+		PCondBwd: 0.07, PCondFwdTaken: 0.53, PLoopContinue: 0.68,
+		CondFwdDistMean: 3, UncondDistMean: 7,
+		MaxCallDepth: 72, KernelFuncs: 40,
+		TransactionInstrs: 2500,
+		LoadsPerInstr:     0.26, StoresPerInstr: 0.10,
+		StackBytes: 24 << 10, NearDataBytes: 128 << 10, HotDataBytes: 1536 << 10,
+		ColdDataBytes: 24 << 20,
+		PStack:        0.50, PNear: 0.40, PFar: 0.08, DataZipfS: 0.85, NearZipfS: 1.25,
+	}
+}
+
+// FoundryProfiles returns the non-paper profile families in
+// presentation order.
+func FoundryProfiles() []Profile {
+	return []Profile{Microservice(), Serverless()}
+}
+
+// FoundryProfileNames returns the names of the foundry's profile
+// families (the workload-axis values beyond the paper's four apps and
+// the SPEC control).
+func FoundryProfileNames() []string {
+	ps := FoundryProfiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestFoundryProfilesValidate checks the new families are well-formed
+// and reachable via ByName without joining the paper's charted set.
+func TestFoundryProfilesValidate(t *testing.T) {
+	for _, p := range FoundryProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := ByName(p.Name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", p.Name, err)
+		}
+		if got.Name != p.Name {
+			t.Fatalf("ByName(%s) returned %s", p.Name, got.Name)
+		}
+		for _, paper := range Profiles() {
+			if paper.Name == p.Name {
+				t.Fatalf("%s leaked into the paper profile set", p.Name)
+			}
+		}
+	}
+}
+
+// TestMicroserviceFootprintExceedsPaper verifies the foundry's design
+// point: the microservice image is a flat multi-MiB footprint larger
+// than any paper workload's.
+func TestMicroserviceFootprintExceedsPaper(t *testing.T) {
+	footprint := func(p Profile) uint64 {
+		prog, err := BuildProgram(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		return uint64(prog.CodeBytes)
+	}
+	ms := footprint(Microservice())
+	if ms < 4<<20 {
+		t.Fatalf("Microservice footprint = %d bytes, want >= 4 MiB", ms)
+	}
+	for _, p := range Profiles() {
+		if fp := footprint(p); fp >= ms {
+			t.Fatalf("%s footprint %d >= Microservice %d", p.Name, fp, ms)
+		}
+	}
+}
+
+// TestProfileJSONRoundTrip pins the spec format: JSON -> ProfileFromJSON
+// reproduces the profile exactly.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, p := range append(FoundryProfiles(), DB()) {
+		data, err := p.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := ProfileFromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got != p {
+			t.Fatalf("%s round trip diverged:\n%+v\n%+v", p.Name, got, p)
+		}
+	}
+}
+
+// TestProfileFromJSONValidates rejects structurally valid JSON that
+// fails profile validation.
+func TestProfileFromJSONValidates(t *testing.T) {
+	if _, err := ProfileFromJSON([]byte(`{"Name":"bad","NumFuncs":1}`)); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := ProfileFromJSON([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -285,9 +285,15 @@ func Profiles() []Profile {
 }
 
 // ByName returns the profile with the given name (case-sensitive, as
-// reported by Profiles), or the SPEC negative control.
+// reported by Profiles), a foundry profile (Microservice/Serverless),
+// or the SPEC negative control.
 func ByName(name string) (Profile, error) {
 	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range FoundryProfiles() {
 		if p.Name == name {
 			return p, nil
 		}

@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialises the profile as indented JSON. Together with
+// ProfileFromJSON it gives the adversarial foundry a stable on-disk
+// spec format: every statistical field of Profile is exported, so plain
+// encoding/json round-trips the complete definition.
+func (p Profile) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// ProfileFromJSON parses and validates a profile spec produced by
+// Profile.JSON (for example a committed adversarial workload spec).
+func ProfileFromJSON(data []byte) (Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Profile{}, fmt.Errorf("workload: parsing profile spec: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cmp"
+	"repro/internal/codesign"
 	"repro/internal/isa"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
@@ -74,6 +75,18 @@ type MachineConfig struct {
 	// off-chip bandwidth for dirty evictions (off by default, matching
 	// the paper's read-side bandwidth accounting).
 	ModelWritebacks bool
+	// InsertPolicy selects where prefetched lines enter the recency
+	// stack: "mru" (default, historical behaviour), "mid" or "lru".
+	// Applies to both the L1-I and the L2.
+	InsertPolicy string
+	// TLBFill lets instruction prefetches pre-fill the I-TLB: "none"
+	// (default), "primary" (both levels) or "secondary" (second level
+	// only).
+	TLBFill string
+	// WrongPath models fetch down mispredicted paths: "off" (default),
+	// "train[:depth]" (wrong-path blocks train the prefetcher) or
+	// "pollute[:depth]" (they also fill the L1-I).
+	WrongPath string
 	// Seed makes runs reproducible; runs with equal configs and seeds
 	// are bit-identical. Default 1.
 	Seed uint64
@@ -105,6 +118,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	sysCfg.PrefetcherName = cfg.Prefetcher
 	sysCfg.FrontEnd.BypassL2 = cfg.BypassL2
 	sysCfg.ModelWritebacks = cfg.ModelWritebacks
+	if err := applyCodesign(&sysCfg, cfg); err != nil {
+		return nil, err
+	}
 	if cfg.L1I.SizeBytes > 0 {
 		sysCfg.FrontEnd.L1I = cfg.L1I.internal()
 	}
@@ -211,6 +227,28 @@ func metricsFrom(t *stats.CoreStats) Metrics {
 	return out
 }
 
+// applyCodesign parses the co-design policy strings into the front-end
+// and memory-system configs. Empty strings keep the historical machine.
+func applyCodesign(sysCfg *cmp.Config, cfg MachineConfig) error {
+	ins, err := codesign.ParseInsertion(cfg.InsertPolicy)
+	if err != nil {
+		return err
+	}
+	tf, err := codesign.ParseTLBFill(cfg.TLBFill)
+	if err != nil {
+		return err
+	}
+	wp, err := codesign.ParseWrongPath(cfg.WrongPath)
+	if err != nil {
+		return err
+	}
+	sysCfg.FrontEnd.PrefetchInsert = ins
+	sysCfg.Mem.PrefetchInsert = ins
+	sysCfg.FrontEnd.TLBFill = tf
+	sysCfg.FrontEnd.WrongPath = wp
+	return nil
+}
+
 // overrideFor returns a per-core prefetcher constructor when the config
 // requires a non-registry variant, or nil.
 func overrideFor(cfg MachineConfig) func(int) prefetch.Prefetcher {
@@ -250,6 +288,9 @@ func NewMachineFromTrace(cfg MachineConfig, traces [][]byte) (*Machine, error) {
 	sysCfg := cmp.DefaultConfig(cfg.Cores)
 	sysCfg.PrefetcherName = cfg.Prefetcher
 	sysCfg.FrontEnd.BypassL2 = cfg.BypassL2
+	if err := applyCodesign(&sysCfg, cfg); err != nil {
+		return nil, err
+	}
 	if cfg.L1I.SizeBytes > 0 {
 		sysCfg.FrontEnd.L1I = cfg.L1I.internal()
 	}
