@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-dist race-core race-ctlplane race-corpus race-codesign fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service advgen-smoke
+.PHONY: build vet test race race-dist race-core race-ctlplane race-corpus race-codesign race-fork fuzz-smoke bench bench-sweep bench-dist bench-trace bench-core bench-pref bench-service advgen-smoke
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ race-corpus:
 # runs).
 race-codesign:
 	$(GO) test -race -count=2 ./internal/cache/... ./internal/tlb/... ./internal/core/... ./internal/workload/... ./internal/codesign/... ./internal/foundry/...
+
+# Fork-and-diverge race pass: RunBatchContext shares one warm snapshot
+# across concurrent measurement goroutines and the waiter-retry dedup
+# path hands results across goroutines — run every snapshot round-trip
+# and fork differential twice under the race detector (what CI runs).
+race-fork:
+	$(GO) test -race -count=2 -run 'Fork|Snapshot|Warm|Batch|Waiter|LineSize' ./internal/sim/... ./internal/sweep/... ./internal/cmp/... ./internal/prefetch/... ./internal/cache/... ./internal/tlb/... ./internal/bpred/... ./internal/memory/... ./internal/core/... ./internal/workload/...
 
 # Bounded adversarial-generator smoke: the hill-climb must beat the
 # worst paper workload's L1-I miss rate (what CI runs).

@@ -6,7 +6,8 @@
 //	experiments [-figure 1|2|...|10|a1..a10|all] [-n instrs] [-warm instrs]
 //	            [-seed n] [-csv] [-md] [-o dir] [-v] [-parallel=false]
 //	            [-timeout duration]
-//	experiments -sweep spec.json [-checkpoint dir] [-workers n] [-data dir] [...]
+//	experiments -sweep spec.json [-checkpoint dir] [-workers n] [-data dir]
+//	            [-fork-warm] [...]
 //	experiments -sweep spec.json -dist-coordinator http://host:8080
 //
 // Instruction budgets are per core. The defaults run every figure in a
@@ -72,6 +73,7 @@ var (
 	workers   = flag.Int("workers", 0, "concurrent simulations in sweep mode (0 = GOMAXPROCS)")
 	distURL   = flag.String("dist-coordinator", "", "submit the -sweep spec to this iprefetchd URL and let remote workers run it")
 	dataDir   = flag.String("data", "", "resolve trace:<id> workloads from the corpus under this data directory")
+	forkWarm  = flag.Bool("fork-warm", false, "sweep mode: share warm-up across points via fork-and-diverge snapshots")
 )
 
 func main() {
@@ -300,6 +302,12 @@ func loadSpec(path string) (sweep.Spec, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		return sweep.Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if *forkWarm {
+		// Flag and spec field are OR'd: either opts the sweep into the
+		// fork-and-diverge methodology (which is part of the sweep ID, so
+		// fork and cold runs keep separate journals).
+		spec.ForkWarm = true
 	}
 	var selectIDs func(string) ([]string, error)
 	if traceStore != nil {

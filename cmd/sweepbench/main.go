@@ -3,13 +3,16 @@
 // trend. It runs a representative three-axis sweep twice on one
 // engine: the cold pass simulates every grid point, the warm pass
 // resolves the identical grid through the engine's memoisation layer.
-// The report carries points/sec for both passes plus the memo-hit
-// ratio across the whole run.
+// A third comparison runs a dense same-workload grid cold and then
+// fork-warm (shared warm-up snapshot, see sim.Engine.RunBatchContext)
+// on fresh engines, under warm-dominated budgets where the
+// fork-and-diverge methodology pays off. The report carries points/sec
+// for every pass plus the memo-hit ratio and the fork speedup.
 //
 // Usage:
 //
 //	sweepbench [-n instrs] [-warm instrs] [-seed n] [-workers n]
-//	           [-o BENCH_sweep.json]
+//	           [-fork-n instrs] [-fork-warm instrs] [-o BENCH_sweep.json]
 package main
 
 import (
@@ -46,15 +49,27 @@ type report struct {
 	Simulations  uint64  `json:"simulations"`
 	MemoHits     uint64  `json:"memo_hits"`
 	MemoHitRatio float64 `json:"memo_hit_ratio"`
+
+	// Dense same-workload grid, cold vs fork-warm on fresh engines.
+	ForkWarmInstrs     uint64  `json:"fork_warm_instrs"`
+	ForkMeasureInstrs  uint64  `json:"fork_measure_instrs"`
+	DenseGridPoints    int     `json:"dense_grid_points"`
+	DenseColdSeconds   float64 `json:"dense_cold_seconds"`
+	DenseColdPerSec    float64 `json:"dense_cold_points_per_sec"`
+	ForkedSeconds      float64 `json:"forked_seconds"`
+	ForkedPointsPerSec float64 `json:"forked_points_per_sec"`
+	ForkSpeedup        float64 `json:"fork_speedup"`
 }
 
 func main() {
 	var (
-		measure = flag.Uint64("n", 200_000, "measured instructions per core per point")
-		warm    = flag.Uint64("warm", 100_000, "warm-up instructions per core per point")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		out     = flag.String("o", "BENCH_sweep.json", "output report path")
+		measure  = flag.Uint64("n", 200_000, "measured instructions per core per point")
+		warm     = flag.Uint64("warm", 100_000, "warm-up instructions per core per point")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		forkN    = flag.Uint64("fork-n", 60_000, "dense-grid comparison: measured instructions per point")
+		forkWarm = flag.Uint64("fork-warm", 600_000, "dense-grid comparison: warm-up instructions per point")
+		out      = flag.String("o", "BENCH_sweep.json", "output report path")
 	)
 	flag.Parse()
 
@@ -88,6 +103,41 @@ func main() {
 	}
 	warmSecs := time.Since(warmStart).Seconds()
 
+	// Dense same-workload grid: one workload, one scheme, table-size ×
+	// prefetch-ahead cross (12 points + baseline). Bypass is pinned
+	// off so the implicit baseline shares the grid's warm key and every
+	// point shares one scheme-neutral warm phase — fork-warm runs the
+	// warm-up once where the cold schedule repeats it per point.
+	// Warm-dominated budgets (the regime dense grids actually run in)
+	// make the shared prefix the bulk of the work. Fresh engines per
+	// pass keep the memoisation layer out of the comparison.
+	dense := sweep.Spec{
+		Name:          "bench-dense",
+		Schemes:       []string{"discontinuity"},
+		Workloads:     []string{"DB"},
+		Cores:         []int{1},
+		Bypass:        []bool{false},
+		TableEntries:  []int{256, 512, 1024, 2048},
+		PrefetchAhead: []int{0, 2, 4},
+	}
+	denseCold := time.Now()
+	denseOut, err := (&sweep.Runner{Engine: sim.NewEngine(*forkWarm, *forkN, *seed), Workers: *workers}).Run(ctx, dense)
+	if err != nil {
+		fatal(err)
+	}
+	denseColdSecs := time.Since(denseCold).Seconds()
+
+	dense.ForkWarm = true
+	forkStart := time.Now()
+	forkOut, err := (&sweep.Runner{Engine: sim.NewEngine(*forkWarm, *forkN, *seed), Workers: *workers}).Run(ctx, dense)
+	if err != nil {
+		fatal(err)
+	}
+	forkSecs := time.Since(forkStart).Seconds()
+	if len(forkOut.Points) != len(denseOut.Points) {
+		fatal(fmt.Errorf("sweepbench: dense grid size mismatch: cold %d vs forked %d", len(denseOut.Points), len(forkOut.Points)))
+	}
+
 	c := e.Counters()
 	points := len(outc.Points)
 	rep := report{
@@ -103,6 +153,12 @@ func main() {
 		WarmSeconds:   warmSecs,
 		Simulations:   c.Simulations,
 		MemoHits:      c.MemoHits,
+
+		ForkWarmInstrs:    *forkWarm,
+		ForkMeasureInstrs: *forkN,
+		DenseGridPoints:   len(denseOut.Points),
+		DenseColdSeconds:  denseColdSecs,
+		ForkedSeconds:     forkSecs,
 	}
 	if coldSecs > 0 {
 		rep.ColdPointsPerSec = float64(points) / coldSecs
@@ -112,6 +168,13 @@ func main() {
 	}
 	if total := c.Simulations + c.MemoHits; total > 0 {
 		rep.MemoHitRatio = float64(c.MemoHits) / float64(total)
+	}
+	if denseColdSecs > 0 {
+		rep.DenseColdPerSec = float64(rep.DenseGridPoints) / denseColdSecs
+	}
+	if forkSecs > 0 {
+		rep.ForkedPointsPerSec = float64(rep.DenseGridPoints) / forkSecs
+		rep.ForkSpeedup = denseColdSecs / forkSecs
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -124,6 +187,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweepbench: %d points, cold %.1f pts/s, warm %.1f pts/s, memo-hit %.2f -> %s\n",
 		points, rep.ColdPointsPerSec, rep.WarmPointsPerSec, rep.MemoHitRatio, *out)
+	fmt.Fprintf(os.Stderr, "sweepbench: dense %d points, cold %.1f pts/s, forked %.1f pts/s (%.1fx)\n",
+		rep.DenseGridPoints, rep.DenseColdPerSec, rep.ForkedPointsPerSec, rep.ForkSpeedup)
 }
 
 func fatal(err error) {

@@ -1,0 +1,52 @@
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Snapshot is a deep copy of a predictor's dynamic state (gshare
+// counters, global history, BTB targets, RAS contents, statistics).
+type Snapshot struct {
+	counters  []uint8
+	history   uint64
+	btb       []isa.Addr
+	ras       []isa.Addr
+	rasTop    int
+	predicted uint64
+	wrong     uint64
+}
+
+// Snapshot captures the predictor's current state.
+func (p *Predictor) Snapshot() *Snapshot {
+	return &Snapshot{
+		counters:  append([]uint8(nil), p.counters...),
+		history:   p.history,
+		btb:       append([]isa.Addr(nil), p.btb...),
+		ras:       append([]isa.Addr(nil), p.ras...),
+		rasTop:    p.rasTop,
+		predicted: p.predicted,
+		wrong:     p.wrong,
+	}
+}
+
+// Restore overwrites the predictor's state with a copy of the
+// snapshot's. The target must have the same table sizes.
+func (p *Predictor) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("bpred: restore from nil snapshot")
+	}
+	if len(s.counters) != len(p.counters) || len(s.btb) != len(p.btb) || len(s.ras) != len(p.ras) {
+		return fmt.Errorf("bpred: restore sizing mismatch: %d/%d/%d into %d/%d/%d",
+			len(s.counters), len(s.btb), len(s.ras), len(p.counters), len(p.btb), len(p.ras))
+	}
+	copy(p.counters, s.counters)
+	p.history = s.history
+	copy(p.btb, s.btb)
+	copy(p.ras, s.ras)
+	p.rasTop = s.rasTop
+	p.predicted = s.predicted
+	p.wrong = s.wrong
+	return nil
+}

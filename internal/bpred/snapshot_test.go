@@ -1,0 +1,78 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// predictStream drives the predictor with conditional branches, calls
+// and returns, and counts correct predictions — the behaviour two
+// equal-state predictors must reproduce exactly.
+func predictStream(p *Predictor, seed uint64, n int) (correct int) {
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		pc := isa.Addr(x >> 30 & 0xFFFFF)
+		switch x & 7 {
+		case 0:
+			p.Call(pc + 4)
+		case 1:
+			if p.PredictReturn(pc) {
+				correct++
+			}
+		case 2:
+			if p.PredictIndirect(pc, isa.Addr(x>>10&0xFFFF)) {
+				correct++
+			}
+		default:
+			if p.PredictCond(pc, x&16 == 0) {
+				correct++
+			}
+		}
+	}
+	return
+}
+
+func TestPredictorSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{GshareEntries: 1 << 10, BTBEntries: 256, RASEntries: 8}
+	a := New(cfg)
+	predictStream(a, 42, 1000)
+	snap := a.Snapshot()
+
+	b := New(cfg)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.Predictions() != a.Predictions() || b.Mispredictions() != a.Mispredictions() || b.RASDepth() != a.RASDepth() {
+		t.Fatalf("statistics lost across restore: %d/%d/%d vs %d/%d/%d",
+			b.Predictions(), b.Mispredictions(), b.RASDepth(),
+			a.Predictions(), a.Mispredictions(), a.RASDepth())
+	}
+	want := predictStream(a, 7, 1000)
+	if got := predictStream(b, 7, 1000); got != want {
+		t.Fatalf("restored predictor diverged: %d vs %d correct", got, want)
+	}
+
+	// Pristine snapshot: a third restore replays the same tail.
+	c := New(cfg)
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if again := predictStream(c, 7, 1000); again != want {
+		t.Fatalf("snapshot mutated by use: %d vs %d correct", again, want)
+	}
+}
+
+func TestPredictorSnapshotSizingMismatch(t *testing.T) {
+	snap := New(Config{GshareEntries: 1 << 10, BTBEntries: 256, RASEntries: 8}).Snapshot()
+	if err := New(Config{GshareEntries: 2 << 10, BTBEntries: 256, RASEntries: 8}).Restore(snap); err == nil {
+		t.Error("gshare sizing mismatch accepted")
+	}
+	if err := New(Config{GshareEntries: 1 << 10, BTBEntries: 128, RASEntries: 8}).Restore(snap); err == nil {
+		t.Error("BTB sizing mismatch accepted")
+	}
+	if err := New(Config{GshareEntries: 1 << 10, BTBEntries: 256, RASEntries: 8}).Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Snapshot is a deep copy of a cache's dynamic state (tags, packed
+// metadata, per-set fill counts, lifetime counters, and the Random
+// policy's generator state). A snapshot is immutable once taken: Restore
+// copies out of it, so one snapshot can seed any number of machines.
+type Snapshot struct {
+	cfg      Config
+	lines    []isa.Line
+	meta     []uint8
+	fill     []uint8
+	inserted uint64
+	evicted  uint64
+	rngState uint64
+}
+
+// Snapshot captures the cache's current state.
+func (c *Cache) Snapshot() *Snapshot {
+	return &Snapshot{
+		cfg:      c.cfg,
+		lines:    append([]isa.Line(nil), c.lines...),
+		meta:     append([]uint8(nil), c.meta...),
+		fill:     append([]uint8(nil), c.fill...),
+		inserted: c.inserted,
+		evicted:  c.evicted,
+		rngState: c.rngState,
+	}
+}
+
+// Restore overwrites the cache's state with a copy of the snapshot's.
+// The target must have the same geometry (the snapshot is addressed by
+// set and way); the replacement policy may differ — policy is behaviour,
+// not state. The snapshot itself is left untouched.
+func (c *Cache) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("cache: restore from nil snapshot")
+	}
+	if s.cfg.SizeBytes != c.cfg.SizeBytes || s.cfg.Assoc != c.cfg.Assoc || s.cfg.LineBytes != c.cfg.LineBytes {
+		return fmt.Errorf("cache: restore geometry mismatch: snapshot %+v into %+v", s.cfg, c.cfg)
+	}
+	copy(c.lines, s.lines)
+	copy(c.meta, s.meta)
+	copy(c.fill, s.fill)
+	c.inserted = s.inserted
+	c.evicted = s.evicted
+	c.rngState = s.rngState
+	return nil
+}

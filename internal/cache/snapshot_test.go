@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// churn drives the cache with a deterministic access/insert mix and
+// returns the observable outcomes (hits and evictions), which two
+// equal-state caches must reproduce exactly.
+func churn(c *Cache, seed uint64, n int) (hits, evictions int) {
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		l := isa.Line(x >> 33 & 0x1FF)
+		if hit, _ := c.Access(l); hit {
+			hits++
+		} else if _, ev := c.Insert(l, Flags{Prefetched: x&1 == 0, Inst: true}); ev {
+			evictions++
+		}
+	}
+	return
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	// Random policy exercises the rng-state capture; LRU and FIFO are
+	// strictly less stateful.
+	for _, pol := range []Policy{LRU, FIFO, Random} {
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 64, Policy: pol}
+			a := New(cfg)
+			churn(a, 42, 500)
+			snap := a.Snapshot()
+
+			b := New(cfg)
+			if err := b.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			ah, ae := churn(a, 7, 500)
+			bh, be := churn(b, 7, 500)
+			if ah != bh || ae != be {
+				t.Fatalf("restored cache diverged: %d/%d hits/evictions vs %d/%d", ah, ae, bh, be)
+			}
+
+			// The snapshot is pristine: both a and b mutated since it was
+			// taken, yet a third restore replays the same tail.
+			c := New(cfg)
+			if err := c.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if ch, ce := churn(c, 7, 500); ch != ah || ce != ae {
+				t.Fatalf("snapshot mutated by use: %d/%d vs %d/%d", ch, ce, ah, ae)
+			}
+		})
+	}
+}
+
+func TestSnapshotCountersSurvive(t *testing.T) {
+	cfg := Config{SizeBytes: 4 << 10, Assoc: 2, LineBytes: 64}
+	a := New(cfg)
+	churn(a, 3, 300)
+	snap := a.Snapshot()
+	b := New(cfg)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.Inserted() != a.Inserted() || b.Evicted() != a.Evicted() {
+		t.Fatalf("lifetime counters lost: %d/%d vs %d/%d", b.Inserted(), b.Evicted(), a.Inserted(), a.Evicted())
+	}
+	if b.CountValid() != a.CountValid() {
+		t.Fatalf("valid-line count lost: %d vs %d", b.CountValid(), a.CountValid())
+	}
+}
+
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	snap := New(Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 64}).Snapshot()
+	for _, cfg := range []Config{
+		{SizeBytes: 8 << 10, Assoc: 4, LineBytes: 64},
+		{SizeBytes: 4 << 10, Assoc: 2, LineBytes: 64},
+		{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 128},
+	} {
+		if err := New(cfg).Restore(snap); err == nil {
+			t.Errorf("geometry %+v accepted a foreign snapshot", cfg)
+		}
+	}
+	if err := New(Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 64}).Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	// Policy is behaviour, not state: a different policy may adopt the
+	// same geometry's contents.
+	if err := New(Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 64, Policy: Random}).Restore(snap); err != nil {
+		t.Errorf("policy change rejected: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -281,11 +282,8 @@ func SourcesFor(names []string, numCores int, seed uint64) ([]workload.Source, e
 		}
 		prog, ok := progs[name]
 		if !ok {
-			prof, err := resolveProfile(name)
-			if err != nil {
-				return nil, err
-			}
-			prog, err = workload.BuildProgram(prof, nextASID)
+			var err error
+			prog, err = cachedProgram(name, nextASID)
 			if err != nil {
 				return nil, err
 			}
@@ -297,4 +295,36 @@ func SourcesFor(names []string, numCores int, seed uint64) ([]workload.Source, e
 		srcs[i] = workload.NewGeneratorThread(prog, seed+uint64(i)*0x1234567, tid)
 	}
 	return srcs, nil
+}
+
+// progCache memoises program images across machine constructions.
+// BuildProgram is a pure function of (profile, asid), profile
+// resolution is deterministic per name (the adv: foundry memoises its
+// searches), and a Program is immutable once built — generators keep
+// every cursor privately — so machines on any goroutine can share one
+// image. Building an image costs tens of milliseconds, which would
+// otherwise dominate dense fork-and-diverge sweeps whose measured
+// phases are short.
+var progCache sync.Map // progKey -> *workload.Program
+
+type progKey struct {
+	name string
+	asid uint64
+}
+
+func cachedProgram(name string, asid uint64) (*workload.Program, error) {
+	k := progKey{name, asid}
+	if p, ok := progCache.Load(k); ok {
+		return p.(*workload.Program), nil
+	}
+	prof, err := resolveProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.BuildProgram(prof, asid)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := progCache.LoadOrStore(k, prog)
+	return p.(*workload.Program), nil
 }

@@ -1,0 +1,107 @@
+package cmp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildDB constructs an n-core machine running the DB workload with the
+// given prefetcher.
+func buildDB(t *testing.T, n int, scheme string) *System {
+	t.Helper()
+	cfg := DefaultConfig(n)
+	cfg.PrefetcherName = scheme
+	srcs, err := SourcesFor([]string{"DB"}, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSystemSnapshotRoundTrip is the machine-level fork identity: run a
+// warm prefix, snapshot, continue on the original, restore into a fresh
+// machine and run the same continuation — the statistics must match
+// bit-for-bit, twice (the snapshot stays pristine).
+func TestSystemSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cores  int
+		scheme string
+	}{
+		{"1-core discontinuity", 1, "discontinuity"},
+		{"4-core none", 4, "none"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := buildDB(t, tc.cores, tc.scheme)
+			a.Run(50_000)
+			snap, err := a.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Run(50_000)
+			a.Finalize()
+			want := a.TotalStats()
+
+			replay := func() {
+				b := buildDB(t, tc.cores, tc.scheme)
+				if err := b.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				b.Run(50_000)
+				b.Finalize()
+				if got := b.TotalStats(); !reflect.DeepEqual(want, got) {
+					t.Fatalf("restored machine diverged:\nwant %+v\ngot  %+v", want, got)
+				}
+			}
+			replay()
+			replay() // pristine: the first restore must not consume the snapshot
+		})
+	}
+}
+
+// TestSystemRestoreDivergentScheme: restoring into a machine with a
+// different prefetcher adopts the machine state and starts that scheme
+// cold — exactly like a fresh machine warmed under the snapshot's
+// configuration. Two restores must agree with each other.
+func TestSystemRestoreDivergentScheme(t *testing.T) {
+	warm := buildDB(t, 1, "none")
+	warm.Run(50_000)
+	snap, err := warm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() any {
+		sys := buildDB(t, 1, "discontinuity")
+		if err := sys.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetStats()
+		sys.Run(50_000)
+		sys.Finalize()
+		return sys.TotalStats()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("divergent-scheme restores disagree")
+	}
+}
+
+// TestSystemRestoreCoreCountMismatch: geometry mismatches are refused.
+func TestSystemRestoreCoreCountMismatch(t *testing.T) {
+	one := buildDB(t, 1, "none")
+	one.Run(10_000)
+	snap, err := one.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := buildDB(t, 4, "none")
+	if err := four.Restore(snap); err == nil {
+		t.Error("1-core snapshot accepted into a 4-core machine")
+	}
+	if err := four.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}

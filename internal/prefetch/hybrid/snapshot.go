@@ -1,0 +1,125 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+// ownerState is a deep copy of an ownerTable. Like the prefetch
+// package's creditState, the whole open-addressed array is captured so
+// a restore reproduces probe order and eviction choices bit-for-bit.
+type ownerState struct {
+	keys []isa.Line
+	vals []uint32
+	live []bool
+	n    int
+}
+
+// snapshot deep-copies the table's dynamic state.
+func (t *ownerTable) snapshot() *ownerState {
+	return &ownerState{
+		keys: append([]isa.Line(nil), t.keys...),
+		vals: append([]uint32(nil), t.vals...),
+		live: append([]bool(nil), t.live...),
+		n:    t.n,
+	}
+}
+
+// restore overwrites the table's state with a copy of the snapshot's.
+func (t *ownerTable) restore(s *ownerState) error {
+	if s == nil {
+		return fmt.Errorf("hybrid: owner table restore from nil snapshot")
+	}
+	if len(s.keys) != len(t.keys) {
+		return fmt.Errorf("hybrid: owner table restore sizing mismatch: %d into %d", len(s.keys), len(t.keys))
+	}
+	copy(t.keys, s.keys)
+	copy(t.vals, s.vals)
+	copy(t.live, s.live)
+	t.n = s.n
+	return nil
+}
+
+// compositeState is the dynamic state of a Composite: the arbitration
+// table (tags + per-component credit rows), both owner tables, the
+// per-component counter blocks and accuracy EWMAs, and one opaque state
+// per component (recursively captured through prefetch.Snapshotter).
+type compositeState struct {
+	pcTags  []isa.Line
+	pcValid []bool
+	credit  [][]uint8
+	attr    *ownerState
+	shadow  *ownerState
+	stats   []compStats
+	ewma    []uint32
+	comps   []any
+}
+
+// SnapshotState implements prefetch.Snapshotter. Every component must
+// itself be a Snapshotter (all registry-constructible schemes are; the
+// registry rejects nested hybrids), so the recursion terminates at the
+// leaf schemes' explicit state copies.
+func (c *Composite) SnapshotState() any {
+	s := &compositeState{
+		pcTags:  append([]isa.Line(nil), c.pcTags...),
+		pcValid: append([]bool(nil), c.pcValid...),
+		credit:  make([][]uint8, len(c.credit)),
+		attr:    c.attr.snapshot(),
+		shadow:  c.shadow.snapshot(),
+		stats:   append([]compStats(nil), c.stats...),
+		ewma:    append([]uint32(nil), c.ewma...),
+		comps:   make([]any, len(c.comps)),
+	}
+	for i, row := range c.credit {
+		s.credit[i] = append([]uint8(nil), row...)
+	}
+	for i, p := range c.comps {
+		snap, ok := p.(prefetch.Snapshotter)
+		if !ok {
+			// Unreachable for registry-built composites; fail loudly for
+			// hand-assembled ones rather than silently dropping state.
+			panic(fmt.Sprintf("hybrid: component %s does not implement prefetch.Snapshotter", c.labels[i]))
+		}
+		s.comps[i] = snap.SnapshotState()
+	}
+	return s
+}
+
+// RestoreState implements prefetch.Snapshotter. The target must be an
+// identically-configured composite (same component list, same arbiter
+// geometry).
+func (c *Composite) RestoreState(state any) error {
+	s, ok := state.(*compositeState)
+	if !ok {
+		return fmt.Errorf("hybrid: composite restore from %T", state)
+	}
+	if len(s.pcTags) != len(c.pcTags) || len(s.comps) != len(c.comps) {
+		return fmt.Errorf("hybrid: composite restore sizing mismatch: %d slots/%d comps into %d/%d",
+			len(s.pcTags), len(s.comps), len(c.pcTags), len(c.comps))
+	}
+	copy(c.pcTags, s.pcTags)
+	copy(c.pcValid, s.pcValid)
+	for i := range c.credit {
+		copy(c.credit[i], s.credit[i])
+	}
+	if err := c.attr.restore(s.attr); err != nil {
+		return err
+	}
+	if err := c.shadow.restore(s.shadow); err != nil {
+		return err
+	}
+	copy(c.stats, s.stats)
+	copy(c.ewma, s.ewma)
+	for i, p := range c.comps {
+		snap, ok := p.(prefetch.Snapshotter)
+		if !ok {
+			return fmt.Errorf("hybrid: component %s does not implement prefetch.Snapshotter", c.labels[i])
+		}
+		if err := snap.RestoreState(s.comps[i]); err != nil {
+			return fmt.Errorf("hybrid: component %s: %w", c.labels[i], err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package hybrid
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+// drive mirrors the prefetch package's contract-test stream: misses,
+// discontinuities, useful-prefetch credits, with every emitted
+// candidate collected as the observable behaviour.
+func drive(p prefetch.Prefetcher, seed uint64, n int) []isa.Line {
+	out := []isa.Line{}
+	x := seed
+	next := func() uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return x
+	}
+	for i := 0; i < n; i++ {
+		v := next()
+		line := isa.Line(v >> 40 & 0x3FF)
+		out = p.OnFetch(prefetch.Event{Line: line, Miss: v&3 == 0, PrefetchHit: v&7 == 1}, out)
+		if v&3 == 0 {
+			tgt := isa.Line(next() >> 40 & 0x3FF)
+			p.OnDiscontinuity(line, tgt, v&1 == 0)
+		}
+		if v&15 == 2 {
+			p.OnPrefetchUseful(line)
+		}
+	}
+	return out
+}
+
+// TestCompositeSnapshotRoundTrip: a composite's snapshot carries the
+// arbitration tables AND every component's state recursively, and the
+// snapshot stays pristine across repeated restores.
+func TestCompositeSnapshotRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		"hybrid:discontinuity+streams",
+		"hybrid:discontinuity+markov+target",
+		"hybrid:discontinuity:table=256+streams:n=2",
+	} {
+		t.Run(name, func(t *testing.T) {
+			a, err := prefetch.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive(a, 42, 600)
+			state := a.(prefetch.Snapshotter).SnapshotState()
+
+			fresh := func() prefetch.Prefetcher {
+				b := prefetch.MustNew(name)
+				if err := b.(prefetch.Snapshotter).RestoreState(state); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				return b
+			}
+			b := fresh()
+			want := drive(a, 7, 600)
+			if got := drive(b, 7, 600); !reflect.DeepEqual(want, got) {
+				t.Fatalf("restored composite diverged: %d vs %d candidates", len(want), len(got))
+			}
+			c := fresh()
+			if again := drive(c, 7, 600); !reflect.DeepEqual(want, again) {
+				t.Fatal("snapshot mutated by use: second restore diverged")
+			}
+		})
+	}
+}
+
+// TestCompositeSnapshotRejectsMismatch: component-list and geometry
+// mismatches must be refused.
+func TestCompositeSnapshotRejectsMismatch(t *testing.T) {
+	a := prefetch.MustNew("hybrid:discontinuity+streams")
+	drive(a, 1, 100)
+	state := a.(prefetch.Snapshotter).SnapshotState()
+
+	for _, other := range []string{
+		"hybrid:discontinuity+markov",           // different component
+		"hybrid:discontinuity+streams+target",   // different arity
+		"hybrid:discontinuity:table=64+streams", // different leaf geometry
+	} {
+		p := prefetch.MustNew(other)
+		if err := p.(prefetch.Snapshotter).RestoreState(state); err == nil {
+			t.Errorf("%s accepted foreign composite state", other)
+		}
+	}
+	if err := a.(prefetch.Snapshotter).RestoreState(struct{}{}); err == nil {
+		t.Error("composite accepted junk state")
+	}
+}

@@ -90,8 +90,15 @@ func TestSubmitRejectsInvalidSpecs(t *testing.T) {
 
 // TestInFlightDedup submits the same spec many times concurrently and
 // checks every caller gets the same job and exactly one simulation ran.
+// The budgets are larger than the other tests' so the job reliably
+// outlives the submission burst — with tiny budgets a job can start
+// and finish between two Submit calls on a single-CPU scheduler,
+// leaving nothing in flight to dedup against.
 func TestInFlightDedup(t *testing.T) {
-	s := newTestService(t, testConfig(t))
+	cfg := testConfig(t)
+	cfg.DefaultWarmInstrs = 500_000
+	cfg.DefaultMeasureInstrs = 1_500_000
+	s := newTestService(t, cfg)
 	const callers = 8
 	ids := make([]string, callers)
 	var wg sync.WaitGroup

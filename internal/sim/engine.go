@@ -5,10 +5,12 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cmp"
@@ -127,6 +129,14 @@ type RunSpec struct {
 	// WrongPath enables wrong-path fetch modelling ("", "off",
 	// "train[:depth]", "pollute[:depth]"); see codesign.ParseWrongPath.
 	WrongPath string
+	// ForkWarm selects the fork-and-diverge methodology: the warm-up
+	// phase runs on a scheme-neutral machine (Scheme "none", no table
+	// overrides) and the measurement machine starts from a snapshot of
+	// its warmed state, with the scheme under test cold. Specs sharing a
+	// warm key (see WarmKey) can then share one warm-up via
+	// RunBatchContext. A ForkWarm run is a different methodology from
+	// the default two-phase run, so it memoises under a distinct key.
+	ForkWarm bool
 }
 
 // Key returns a memoisation key covering every field that affects the
@@ -148,8 +158,37 @@ func (s RunSpec) key() string {
 	if s.InsertPolicy != "" || s.TLBFill != "" || s.WrongPath != "" {
 		k += fmt.Sprintf("|ins=%s|tlb=%s|wp=%s", s.InsertPolicy, s.TLBFill, s.WrongPath)
 	}
+	// Like the co-design axes, ForkWarm extends the key only when set, so
+	// default-methodology keys stay byte-identical to historical ones.
+	if s.ForkWarm {
+		k += "|fork"
+	}
 	return k
 }
+
+// warmSpec derives the scheme-neutral warm-up spec for a fork-and-
+// diverge run: the machine (workload, cores, geometries, policies)
+// stays as specified, while the prefetch scheme and its table/filter
+// knobs are neutralised so every member of a warm group builds the
+// identical warm machine. ConfidenceFilter is neutralised too — it
+// forces a discontinuity prefetcher override even under Scheme "none".
+func (s RunSpec) warmSpec() RunSpec {
+	w := s
+	w.Scheme = "none"
+	w.TableEntries = 0
+	w.PrefetchAhead = 0
+	w.NoCounter = false
+	w.NoRecentFilter = false
+	w.QueueFIFO = false
+	w.ConfidenceFilter = false
+	w.ForkWarm = false
+	return w
+}
+
+// WarmKey identifies the shared warm-up phase of a ForkWarm spec: specs
+// with equal warm keys warm identical machines, so RunBatchContext runs
+// that warm phase once and forks its snapshot across the group.
+func (s RunSpec) WarmKey() string { return s.warmSpec().key() }
 
 // Result carries everything the figures report from one run.
 type Result struct {
@@ -245,76 +284,192 @@ func (e *Engine) Run(spec RunSpec) (Result, error) {
 // the simulating caller's ctx fired is not memoised, so a later call
 // retries from scratch.
 func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (Result, error) {
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
-	}
-	key := spec.key()
-	e.mu.Lock()
-	if r, ok := e.memo[key]; ok {
-		e.counters.MemoHits++
-		e.mu.Unlock()
-		return r, nil
-	}
-	if fl, ok := e.inflight[key]; ok {
-		e.counters.DedupWaits++
-		e.mu.Unlock()
-		select {
-		case <-fl.done:
-			return fl.res, fl.err
-		case <-ctx.Done():
-			return Result{}, ctx.Err()
-		}
-	}
-	fl := &inflightRun{done: make(chan struct{})}
-	if e.inflight == nil {
-		e.inflight = make(map[string]*inflightRun)
-	}
-	e.inflight[key] = fl
-	e.counters.Simulations++
-	e.mu.Unlock()
-
-	res, err := e.simulate(ctx, spec)
-
-	e.mu.Lock()
-	if err == nil {
-		if e.memo == nil {
-			e.memo = make(map[string]Result)
-		}
-		e.memo[key] = res
-	}
-	delete(e.inflight, key)
-	e.mu.Unlock()
-	fl.res, fl.err = res, err
-	close(fl.done)
-	if err == nil && e.Verbose != nil {
-		e.Verbose(fmt.Sprintf("ran %-6s cores=%d scheme=%-14s bypass=%-5v IPC=%.3f L1I=%.3f%%",
-			spec.Workload.Name, spec.Cores, spec.Scheme, spec.Bypass,
-			res.Total.IPC(), 100*res.Total.L1I.PerInstr(res.Total.Instructions)))
-	}
-	return res, err
+	return e.runShared(ctx, spec, func(ctx context.Context) (Result, error) {
+		return e.simulate(ctx, spec)
+	})
 }
 
-// simulate builds the machine for spec and executes the warm + measure
-// phases under ctx.
+// runShared resolves spec through the memo and singleflight layers:
+// a cached result is returned immediately; a caller that finds an
+// identical spec in flight waits for it; otherwise the caller becomes
+// the leader and executes simFn. Waiters that see the leader abandon
+// the run because the LEADER's context fired — not their own — loop
+// back and retry (re-checking memo/inflight, possibly becoming the new
+// leader) instead of inheriting a cancellation that was never theirs.
+func (e *Engine) runShared(ctx context.Context, spec RunSpec, simFn func(context.Context) (Result, error)) (Result, error) {
+	key := spec.key()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		e.mu.Lock()
+		if r, ok := e.memo[key]; ok {
+			e.counters.MemoHits++
+			e.mu.Unlock()
+			return r, nil
+		}
+		if fl, ok := e.inflight[key]; ok {
+			e.counters.DedupWaits++
+			e.mu.Unlock()
+			select {
+			case <-fl.done:
+				if (errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+					// The leader was cancelled but this waiter wasn't:
+					// the leader has already removed the inflight entry,
+					// so retry (and possibly lead) rather than fail.
+					continue
+				}
+				return fl.res, fl.err
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		fl := &inflightRun{done: make(chan struct{})}
+		if e.inflight == nil {
+			e.inflight = make(map[string]*inflightRun)
+		}
+		e.inflight[key] = fl
+		e.counters.Simulations++
+		e.mu.Unlock()
+
+		res, err := simFn(ctx)
+
+		e.mu.Lock()
+		if err == nil {
+			if e.memo == nil {
+				e.memo = make(map[string]Result)
+			}
+			e.memo[key] = res
+		}
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		fl.res, fl.err = res, err
+		close(fl.done)
+		if err == nil && e.Verbose != nil {
+			e.Verbose(fmt.Sprintf("ran %-6s cores=%d scheme=%-14s bypass=%-5v IPC=%.3f L1I=%.3f%%",
+				spec.Workload.Name, spec.Cores, spec.Scheme, spec.Bypass,
+				res.Total.IPC(), 100*res.Total.L1I.PerInstr(res.Total.Instructions)))
+		}
+		return res, err
+	}
+}
+
+// simulate executes spec's warm + measure phases under ctx, selecting
+// the methodology: the default path warms and measures one machine; the
+// ForkWarm path warms a scheme-neutral machine and measures from a
+// restored snapshot of it.
 func (e *Engine) simulate(ctx context.Context, spec RunSpec) (Result, error) {
+	if spec.ForkWarm {
+		return e.simulateForked(ctx, spec)
+	}
+	sys, err := e.buildSystem(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sys.RunContext(ctx, e.WarmInstrs); err != nil {
+		return Result{}, err
+	}
+	sys.ResetStats()
+	if err := sys.RunContext(ctx, e.MeasureInstrs); err != nil {
+		return Result{}, err
+	}
+	sys.Finalize()
+	return collect(sys, spec), nil
+}
+
+// simulateForked is the fork-and-diverge methodology for a single spec:
+// warm the scheme-neutral machine, snapshot, measure from the restored
+// snapshot. RunBatchContext shares the first two steps across specs
+// with equal warm keys; run solo the methodology (and therefore the
+// result) is identical, just without the sharing.
+func (e *Engine) simulateForked(ctx context.Context, spec RunSpec) (Result, error) {
+	snap, err := e.warmSnapshot(ctx, spec.warmSpec())
+	if err != nil {
+		return Result{}, err
+	}
+	return e.measureFrom(ctx, spec, snap)
+}
+
+// warmSnapshot builds the machine for the (already scheme-neutral) warm
+// spec, runs the warm phase, and captures the machine state.
+func (e *Engine) warmSnapshot(ctx context.Context, warm RunSpec) (*cmp.Snapshot, error) {
+	sys, err := e.buildSystem(warm)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.RunContext(ctx, e.WarmInstrs); err != nil {
+		return nil, err
+	}
+	return sys.Snapshot()
+}
+
+// measureFrom builds spec's full-configuration machine, restores the
+// shared warm snapshot into it (the scheme under test starts cold —
+// the snapshot's scheme is "none"), and runs the measurement phase.
+func (e *Engine) measureFrom(ctx context.Context, spec RunSpec, snap *cmp.Snapshot) (Result, error) {
+	sys, err := e.buildSystem(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sys.Restore(snap); err != nil {
+		return Result{}, err
+	}
+	sys.ResetStats()
+	if err := sys.RunContext(ctx, e.MeasureInstrs); err != nil {
+		return Result{}, err
+	}
+	sys.Finalize()
+	return collect(sys, spec), nil
+}
+
+// collect gathers a finalized machine's statistics into a Result.
+func collect(sys *cmp.System, spec RunSpec) Result {
+	res := Result{
+		Spec:             spec,
+		Total:            sys.TotalStats(),
+		L2InstrOccupancy: sys.Mem().InstrOccupancy(),
+		OffChipTransfers: sys.Mem().Port().Transfers(),
+		Writebacks:       sys.Mem().Writebacks(),
+	}
+	for i := 0; i < spec.Cores; i++ {
+		res.PerCore = append(res.PerCore, *sys.CoreStats(i))
+	}
+	return res
+}
+
+// buildSystem translates spec into a machine configuration and
+// constructs the system (no simulation phases are run).
+func (e *Engine) buildSystem(spec RunSpec) (*cmp.System, error) {
 	cfg := cmp.DefaultConfig(spec.Cores)
 	cfg.PrefetcherName = spec.Scheme
 	cfg.FrontEnd.BypassL2 = spec.Bypass
 	cfg.FrontEnd.Oracle = spec.Oracle
 	if spec.L1I.SizeBytes > 0 {
 		cfg.FrontEnd.L1I = spec.L1I
-		// The memory system is line-addressed, so a non-default L1-I
-		// line size is applied hierarchy-wide (L1-D, L2, off-chip unit).
-		// Figure 1 reports only the I-cache miss rate, for which this is
-		// equivalent to the paper's sweep.
-		if lb := spec.L1I.LineBytes; lb != cfg.Mem.L2.LineBytes {
-			cfg.Core.L1D.LineBytes = lb
-			cfg.Mem.L2.LineBytes = lb
-			cfg.Mem.Port.LineBytes = lb
-		}
 	}
 	if spec.L2.SizeBytes > 0 {
 		cfg.Mem.L2 = spec.L2
+	}
+	// The memory system is line-addressed, so a non-default line size in
+	// either override is applied hierarchy-wide (L1-I, L1-D, L2, off-chip
+	// unit) — resolved after BOTH overrides so an L2 override cannot
+	// clobber an L1-I line-size propagation, and an L2-only line size
+	// propagates at all. Overrides that disagree are rejected rather
+	// than silently mismatched.
+	l1lb, l2lb := cfg.FrontEnd.L1I.LineBytes, cfg.Mem.L2.LineBytes
+	switch {
+	case spec.L1I.SizeBytes > 0 && spec.L2.SizeBytes > 0 && l1lb != l2lb:
+		return nil, fmt.Errorf("sim: inconsistent line sizes: L1I override %d B vs L2 override %d B", l1lb, l2lb)
+	case spec.L1I.SizeBytes > 0:
+		// Overridden (and, if both were set, agreeing) L1I line size
+		// rules every level, including the non-overridden ones.
+		cfg.Core.L1D.LineBytes = l1lb
+		cfg.Mem.L2.LineBytes = l1lb
+		cfg.Mem.Port.LineBytes = l1lb
+	case spec.L2.SizeBytes > 0:
+		cfg.FrontEnd.L1I.LineBytes = l2lb
+		cfg.Core.L1D.LineBytes = l2lb
+		cfg.Mem.Port.LineBytes = l2lb
 	}
 
 	cfg.FrontEnd.NoRecentFilter = spec.NoRecentFilter
@@ -331,18 +486,18 @@ func (e *Engine) simulate(ctx context.Context, spec RunSpec) (Result, error) {
 
 	ins, err := codesign.ParseInsertion(spec.InsertPolicy)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	cfg.FrontEnd.PrefetchInsert = ins
 	cfg.Mem.PrefetchInsert = ins
 	tf, err := codesign.ParseTLBFill(spec.TLBFill)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	cfg.FrontEnd.TLBFill = tf
 	wp, err := codesign.ParseWrongPath(spec.WrongPath)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	cfg.FrontEnd.WrongPath = wp
 
@@ -362,32 +517,9 @@ func (e *Engine) simulate(ctx context.Context, spec RunSpec) (Result, error) {
 
 	srcs, err := cmp.SourcesFor(spec.Workload.Apps, spec.Cores, e.Seed)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	sys, err := cmp.New(cfg, srcs, override)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := sys.RunContext(ctx, e.WarmInstrs); err != nil {
-		return Result{}, err
-	}
-	sys.ResetStats()
-	if err := sys.RunContext(ctx, e.MeasureInstrs); err != nil {
-		return Result{}, err
-	}
-	sys.Finalize()
-
-	res := Result{
-		Spec:             spec,
-		Total:            sys.TotalStats(),
-		L2InstrOccupancy: sys.Mem().InstrOccupancy(),
-		OffChipTransfers: sys.Mem().Port().Transfers(),
-		Writebacks:       sys.Mem().Writebacks(),
-	}
-	for i := 0; i < spec.Cores; i++ {
-		res.PerCore = append(res.PerCore, *sys.CoreStats(i))
-	}
-	return res, nil
+	return cmp.New(cfg, srcs, override)
 }
 
 // MustRun is Run that panics on error (experiment code uses literal,
@@ -438,13 +570,22 @@ func (e *Engine) Warm(specs []RunSpec) error {
 
 // WarmContext is Warm with cancellation: in-flight simulations stop at
 // their next context poll and the first error (which may be ctx.Err())
-// is returned.
+// is returned. Submission short-circuits once an error is recorded —
+// warming exists only to fill the memo, so continuing to launch the
+// remaining specs after a failure would burn cycles on results the
+// caller is about to discard.
 func (e *Engine) WarmContext(ctx context.Context, specs []RunSpec) error {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	for _, spec := range specs {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(s RunSpec) {
@@ -458,6 +599,113 @@ func (e *Engine) WarmContext(ctx context.Context, specs []RunSpec) error {
 				mu.Unlock()
 			}
 		}(spec)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunBatchContext executes specs concurrently (bounded by workers;
+// workers < 1 means GOMAXPROCS), sharing warm-up work among ForkWarm
+// specs: specs with equal warm keys form a group whose scheme-neutral
+// warm phase runs ONCE, is snapshotted, and seeds every member's
+// measurement machine via restore. Non-ForkWarm specs (and memoised
+// members) resolve through the ordinary RunContext path. onResult, when
+// non-nil, receives every spec's outcome as it completes, identified by
+// its index into specs; it must be safe for concurrent calls. The
+// returned error is the first failure (results already delivered stand).
+func (e *Engine) RunBatchContext(ctx context.Context, specs []RunSpec, workers int, onResult func(i int, res Result, err error, elapsed time.Duration)) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	emit := func(i int, res Result, err error, elapsed time.Duration) {
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		if onResult != nil {
+			onResult(i, res, err, elapsed)
+		}
+	}
+	// runSolo resolves one spec through RunContext under a worker slot.
+	runSolo := func(i int) {
+		defer wg.Done()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		start := time.Now()
+		res, err := e.RunContext(ctx, specs[i])
+		emit(i, res, err, time.Since(start))
+	}
+
+	groups := make(map[string][]int)
+	for i, s := range specs {
+		if !s.ForkWarm {
+			wg.Add(1)
+			go runSolo(i)
+			continue
+		}
+		k := s.WarmKey()
+		groups[k] = append(groups[k], i)
+	}
+
+	// Group goroutines are lightweight coordinators and do NOT hold
+	// worker slots; only warm phases and member measurements acquire
+	// them. (A coordinator holding a slot while its members wait for
+	// slots would deadlock at workers=1.)
+	for _, members := range groups {
+		wg.Add(1)
+		go func(members []int) {
+			defer wg.Done()
+			// Members already memoised need no warm machine; resolve
+			// them through the cache and only warm for the rest.
+			var todo []int
+			for _, i := range members {
+				e.mu.Lock()
+				_, hit := e.memo[specs[i].key()]
+				e.mu.Unlock()
+				if hit {
+					wg.Add(1)
+					go runSolo(i)
+					continue
+				}
+				todo = append(todo, i)
+			}
+			if len(todo) == 0 {
+				return
+			}
+			warm := specs[todo[0]].warmSpec()
+			sem <- struct{}{}
+			warmStart := time.Now()
+			e.mu.Lock()
+			e.counters.Simulations++
+			e.mu.Unlock()
+			snap, err := e.warmSnapshot(ctx, warm)
+			warmElapsed := time.Since(warmStart)
+			<-sem
+			if err != nil {
+				for _, i := range todo {
+					emit(i, Result{}, err, warmElapsed)
+				}
+				return
+			}
+			for _, i := range todo {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					start := time.Now()
+					res, err := e.runShared(ctx, specs[i], func(ctx context.Context) (Result, error) {
+						return e.measureFrom(ctx, specs[i], snap)
+					})
+					emit(i, res, err, time.Since(start))
+				}(i)
+			}
+		}(members)
 	}
 	wg.Wait()
 	return firstErr

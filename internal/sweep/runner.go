@@ -101,10 +101,26 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Outcome, error) {
 	r.logf("sweep %s: %d points (%d checkpointed, %d to run)",
 		spec.ID(warm, measure, seed), len(points), out.Recovered, len(todo))
 
-	// Pass 2: shard the remainder across the worker pool.
+	// Pass 2: shard the remainder across the worker pool. Grids with
+	// fork-warm points route through the engine's batching layer so
+	// points sharing a warm phase fork from one snapshot instead of each
+	// re-running the warm-up.
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	anyFork := false
+	for _, p := range todo {
+		if p.ForkWarm {
+			anyFork = true
+			break
+		}
+	}
+	if anyFork {
+		if err := r.runBatch(ctx, todo, workers, warm, measure, seed, resolve); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -140,6 +156,38 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Outcome, error) {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// runBatch resolves the remaining points through RunBatchContext, which
+// groups fork-warm points by shared warm phase and runs the rest solo.
+// Checkpointing happens in the completion callback, so an interrupted
+// batch still resumes from every point that finished.
+func (r *Runner) runBatch(ctx context.Context, todo []Point, workers int, warm, measure, seed uint64, resolve func(PointResult)) error {
+	specs := make([]sim.RunSpec, len(todo))
+	keys := make([]string, len(todo))
+	for i, p := range todo {
+		key, err := p.Key(warm, measure, seed)
+		if err != nil {
+			return err
+		}
+		rs, err := p.RunSpec()
+		if err != nil {
+			return err
+		}
+		keys[i], specs[i] = key, rs
+	}
+	return r.Engine.RunBatchContext(ctx, specs, workers, func(i int, simRes sim.Result, err error, elapsed time.Duration) {
+		if err != nil {
+			return // RunBatchContext returns the first error itself
+		}
+		res := NewPointResult(todo[i], keys[i], simRes, elapsed)
+		if r.Journal != nil {
+			if jerr := r.Journal.Put(res); jerr != nil {
+				r.logf("sweep: checkpoint point %d: %v", todo[i].Index, jerr)
+			}
+		}
+		resolve(res)
+	})
 }
 
 // runPoint simulates one point and checkpoints the result.

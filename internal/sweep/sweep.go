@@ -101,6 +101,14 @@ type Spec struct {
 	// workload × cores × geometry combination that lacks one.
 	BaselineScheme string `json:"baseline_scheme,omitempty"`
 
+	// ForkWarm switches every point to the fork-and-diverge
+	// methodology: points sharing a scheme-neutral warm phase run it
+	// once, snapshot the machine, and diverge from restored copies (see
+	// sim.Engine.RunBatchContext). Default off — the historical
+	// cold-warm-per-point schedule. Part of every point's identity, so
+	// fork and cold journals never alias.
+	ForkWarm bool `json:"fork_warm,omitempty"`
+
 	// WarmInstrs / MeasureInstrs / Seed pin the engine budgets the
 	// sweep must run under; zero takes the executing engine's values.
 	WarmInstrs    uint64 `json:"warm_instrs,omitempty"`
@@ -129,6 +137,11 @@ type Point struct {
 	// Baseline marks the normalisation point of the point's
 	// workload × cores × geometry group.
 	Baseline bool `json:"baseline,omitempty"`
+
+	// ForkWarm carries the sweep's fork-and-diverge setting into the
+	// point identity (omitted when false, so historical journal keys
+	// and sweep IDs are unchanged).
+	ForkWarm bool `json:"fork_warm,omitempty"`
 }
 
 // RunSpec resolves the point to the engine's run spec.
@@ -147,6 +160,7 @@ func (p Point) RunSpec() (sim.RunSpec, error) {
 		InsertPolicy:  p.Insert,
 		TLBFill:       p.TLBFill,
 		WrongPath:     p.WrongPath,
+		ForkWarm:      p.ForkWarm,
 	}
 	if p.L1I != nil {
 		rs.L1I = p.L1I.Config()
@@ -383,6 +397,7 @@ func (s Spec) Expand() ([]Point, error) {
 													TableEntries: te, PrefetchAhead: pa,
 													Insert: ins, TLBFill: tf, WrongPath: wp,
 													L1I: geomPtr(g1), L2: geomPtr(g2),
+													ForkWarm: s.ForkWarm,
 													Baseline: scheme == s.baselineScheme() && !bp && te == 0 && pa == 0 &&
 														ins == "" && tf == "" && wp == "",
 												})
@@ -405,7 +420,8 @@ func (s Spec) Expand() ([]Point, error) {
 				for _, g2 := range l2 {
 					add(Point{
 						Workload: w, Cores: c, Scheme: base,
-						L1I: geomPtr(g1), L2: geomPtr(g2), Baseline: true,
+						L1I: geomPtr(g1), L2: geomPtr(g2),
+						ForkWarm: s.ForkWarm, Baseline: true,
 					})
 				}
 			}

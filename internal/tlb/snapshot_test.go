@@ -1,0 +1,63 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func walk(h *Hierarchy, seed uint64, n int) (cycles uint64) {
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := isa.Addr(x >> 20 & 0xFFFFF000)
+		if x&1 == 0 {
+			cycles += h.TranslateI(addr)
+		} else {
+			cycles += h.TranslateD(addr)
+		}
+	}
+	return
+}
+
+func TestHierarchySnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	a := NewHierarchy(cfg)
+	walk(a, 42, 400)
+	snap := a.Snapshot()
+
+	b := NewHierarchy(cfg)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := walk(b, 7, 400), walk(a, 7, 400); got != want {
+		t.Fatalf("restored hierarchy diverged: %d vs %d translation cycles", got, want)
+	}
+	if b.ITLB().Accesses() == 0 || b.ITLB().Accesses() != a.ITLB().Accesses() {
+		t.Fatalf("ITLB counters lost: %d vs %d", b.ITLB().Accesses(), a.ITLB().Accesses())
+	}
+
+	// Pristine snapshot: restore again after both diverged.
+	c := NewHierarchy(cfg)
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	d := NewHierarchy(cfg)
+	if err := d.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if walk(c, 7, 400) != walk(d, 7, 400) {
+		t.Fatal("snapshot mutated by use")
+	}
+}
+
+func TestTLBSnapshotGeometryMismatch(t *testing.T) {
+	small := New(Config{Entries: 16, Assoc: 4})
+	big := New(Config{Entries: 64, Assoc: 4})
+	if err := big.Restore(small.Snapshot()); err == nil {
+		t.Error("entry-count mismatch accepted")
+	}
+	if err := small.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}

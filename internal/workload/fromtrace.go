@@ -29,6 +29,7 @@ type ChunkedTrace interface {
 type traceReplay struct {
 	tr      ChunkedTrace
 	cur     []isa.Block
+	curIdx  int
 	pos     int
 	next    chan prefetched
 	nextIdx int
@@ -73,7 +74,7 @@ func (r *traceReplay) advance() error {
 	if p.err != nil {
 		return p.err
 	}
-	r.cur, r.pos = p.blocks, 0
+	r.cur, r.curIdx, r.pos = p.blocks, r.nextIdx, 0
 	n := r.nextIdx + 1
 	if n >= r.tr.NumChunks() {
 		n = 0

@@ -1,0 +1,106 @@
+package workload
+
+import "fmt"
+
+// Snapshotter is the snapshot capability of a workload Source: a deep
+// copy of the stream cursor (SnapshotState) and the inverse operation
+// (RestoreState). The returned state is opaque to callers and immutable
+// once taken, so one snapshot can seed any number of equivalent sources
+// — which is what lets fork-and-diverge sweeps replay a shared warm-up
+// prefix into many divergent measurement machines. Both Source
+// implementations (*Generator and the trace replayer) satisfy it.
+type Snapshotter interface {
+	// SnapshotState returns a deep copy of the source's cursor.
+	SnapshotState() (any, error)
+	// RestoreState rewinds the source to a state captured from an
+	// equivalent source (same program/trace, same seed lineage).
+	RestoreState(state any) error
+}
+
+// generatorState is the dynamic state of a Generator walk: the rng
+// stream, the call stack, the current frame, and the progress counters.
+// Everything else on the Generator (program image, samplers, thresholds,
+// region bases) is immutable after construction.
+type generatorState struct {
+	asid    uint64
+	rstate  [4]uint64
+	stack   []frame
+	cur     frame
+	instrs  uint64
+	txStart uint64
+	blocks  uint64
+}
+
+// SnapshotState implements Snapshotter.
+func (g *Generator) SnapshotState() (any, error) {
+	return &generatorState{
+		asid:    g.prog.ASID,
+		rstate:  g.r.State(),
+		stack:   append([]frame(nil), g.stack...),
+		cur:     g.cur,
+		instrs:  g.instrs,
+		txStart: g.txStart,
+		blocks:  g.blocks,
+	}, nil
+}
+
+// RestoreState implements Snapshotter. The target must walk the same
+// program (the snapshot holds frame indices into the program image).
+func (g *Generator) RestoreState(state any) error {
+	s, ok := state.(*generatorState)
+	if !ok {
+		return fmt.Errorf("workload: generator restore from %T", state)
+	}
+	if s.asid != g.prog.ASID {
+		return fmt.Errorf("workload: generator restore across programs (ASID %d into %d)", s.asid, g.prog.ASID)
+	}
+	g.r.SetState(s.rstate)
+	g.stack = append(g.stack[:0], s.stack...)
+	g.cur = s.cur
+	g.instrs = s.instrs
+	g.txStart = s.txStart
+	g.blocks = s.blocks
+	return nil
+}
+
+// traceReplayState is the cursor of a trace replayer: which chunk is
+// current and how far into it the consumer has read.
+type traceReplayState struct {
+	curIdx int
+	pos    int
+	chunks int
+}
+
+// SnapshotState implements Snapshotter.
+func (r *traceReplay) SnapshotState() (any, error) {
+	return &traceReplayState{curIdx: r.curIdx, pos: r.pos, chunks: r.tr.NumChunks()}, nil
+}
+
+// RestoreState implements Snapshotter: it retires the in-flight decode,
+// re-decodes the snapshot's current chunk synchronously, and restarts
+// the one-chunk-ahead pipeline, leaving the replayer exactly where the
+// snapshot was taken.
+func (r *traceReplay) RestoreState(state any) error {
+	s, ok := state.(*traceReplayState)
+	if !ok {
+		return fmt.Errorf("workload: trace replay restore from %T", state)
+	}
+	if s.chunks != r.tr.NumChunks() || s.curIdx >= s.chunks {
+		return fmt.Errorf("workload: trace replay restore across containers (%d chunks into %d)", s.chunks, r.tr.NumChunks())
+	}
+	// Drain the outstanding prefetch so the channel slot is free for the
+	// restarted pipeline (a decode error here is irrelevant — the chunk
+	// is being discarded).
+	<-r.next
+	blocks, err := r.tr.DecodeChunk(s.curIdx)
+	if err != nil {
+		return fmt.Errorf("workload: trace replay restore chunk %d: %w", s.curIdx, err)
+	}
+	r.cur, r.curIdx, r.pos = blocks, s.curIdx, s.pos
+	n := s.curIdx + 1
+	if n >= r.tr.NumChunks() {
+		n = 0
+	}
+	r.prefetch(n)
+	return nil
+}
